@@ -1,0 +1,105 @@
+// E3 -- event-driven vs conventional full-evaluation simulation.
+//
+// The paper motivates a software event-driven engine with prior results
+// showing such simulators beating conventional HDL simulation [2][3].  We
+// reproduce the comparison against our own faithful stand-in for the
+// conventional strategy: a cycle-accurate simulator that re-evaluates
+// every combinational unit in full sweeps each cycle.  Both engines share
+// operator semantics and produce bit-identical memories (asserted in
+// tests), so the difference isolates scheduling strategy.
+#include <iostream>
+
+#include "fti/compiler/parser.hpp"
+#include "fti/elab/rtg_exec.hpp"
+#include "fti/golden/fdct.hpp"
+#include "fti/golden/rng.hpp"
+#include "fti/golden/hamming.hpp"
+#include "fti/harness/baseline.hpp"
+#include "fti/harness/testcase.hpp"
+#include "fti/util/table.hpp"
+
+namespace {
+
+void compare(const std::string& name, const std::string& source,
+             std::map<std::string, std::int64_t> args,
+             std::map<std::string, std::vector<std::uint64_t>> inputs,
+             fti::util::TextTable& table) {
+  fti::compiler::CompileOptions options;
+  options.scalar_args = args;
+  auto compiled = fti::compiler::compile_source(source, options);
+  auto prime = [&](fti::mem::MemoryPool& pool) {
+    fti::compiler::Program program = fti::compiler::parse_program(source);
+    for (const auto& param : program.params) {
+      if (param.is_array) {
+        pool.create(param.name, param.array_size,
+                    fti::compiler::width_of(param.type));
+      }
+    }
+    for (const auto& [array, values] : inputs) {
+      fti::harness::load_inputs(pool, array, values);
+    }
+  };
+
+  fti::mem::MemoryPool event_pool;
+  prime(event_pool);
+  auto event_run = fti::elab::run_design(compiled.design, event_pool);
+
+  fti::mem::MemoryPool naive_pool;
+  prime(naive_pool);
+  auto naive_run =
+      fti::harness::run_design_naive(compiled.design, naive_pool);
+
+  bool identical = event_run.completed && naive_run.completed;
+  for (const std::string& array : naive_pool.names()) {
+    identical = identical && event_pool.get(array).words() ==
+                                 naive_pool.get(array).words();
+  }
+  std::uint64_t event_evals = 0;
+  double event_seconds = 0;
+  for (const auto& partition : event_run.partitions) {
+    event_evals += partition.stats.evaluations;
+    event_seconds += partition.wall_seconds;
+  }
+  table.add_row(
+      {name, fti::util::format_count(event_run.total_cycles()),
+       fti::util::format_count(event_evals),
+       fti::util::format_count(naive_run.unit_evaluations),
+       fti::util::format_double(
+           static_cast<double>(naive_run.unit_evaluations) /
+               static_cast<double>(event_evals),
+           2),
+       fti::util::format_double(event_seconds, 3),
+       fti::util::format_double(naive_run.wall_seconds, 3),
+       fti::util::format_double(naive_run.wall_seconds / event_seconds, 2),
+       identical ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  fti::util::TextTable table({"design", "cycles", "evals (event)",
+                              "evals (naive)", "eval ratio", "event (s)",
+                              "naive (s)", "speedup", "bit-identical"});
+
+  constexpr std::size_t kBlocks = 64;
+  compare("FDCT1 (4,096 px)", fti::golden::fdct_source(kBlocks, false),
+          {{"nblocks", kBlocks}},
+          {{"in", fti::golden::make_test_image(kBlocks * 64)}}, table);
+  compare("FDCT2 (4,096 px)", fti::golden::fdct_source(kBlocks, true),
+          {{"nblocks", kBlocks}},
+          {{"in", fti::golden::make_test_image(kBlocks * 64)}}, table);
+  constexpr std::size_t kWords = 4096;
+  compare("Hamming (4,096 words)", fti::golden::hamming_source(kWords),
+          {{"n", kWords}},
+          {{"code", fti::golden::make_codewords(kWords, 31, 5)}}, table);
+
+  std::cout << "=== event-driven kernel vs full-evaluation baseline (E3) "
+               "===\n"
+            << table.to_string() << "\n";
+  std::cout
+      << "expected shape: the event kernel touches only active components\n"
+         "(eval ratio > 1, growing with datapath size); the paper's claim\n"
+         "is that this style of software simulation outpaces conventional\n"
+         "evaluate-everything RTL simulation.\n";
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "fti/codegen/dot.hpp"
+
+#include "fti/ir/serde.hpp"
+#include "fti/xml/transform.hpp"
+
+namespace fti::codegen {
+
+std::string dot_escape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Ports that drive their wire, per unit kind attribute value.  Everything
+/// else is an input of the unit.
+bool is_output_port(const std::string& kind, const std::string& port) {
+  if (kind == "register") {
+    return port == "q";
+  }
+  if (kind == "memport") {
+    return port == "dout";
+  }
+  return port == "out";
+}
+
+}  // namespace
+
+std::string datapath_to_dot(const ir::Datapath& datapath) {
+  auto document = ir::to_xml(datapath);
+
+  xml::Stylesheet sheet;
+  sheet.add_rule("datapath", [](const xml::Element& element, xml::Output& out,
+                                const xml::Stylesheet& inner) {
+    out.writeln("digraph \"" + dot_escape(element.attr("name")) + "\" {");
+    out.indent();
+    out.writeln("rankdir=LR;");
+    out.writeln("node [shape=box, fontsize=10];");
+    inner.apply_templates(element, out);
+    out.dedent();
+    out.writeln("}");
+  });
+  sheet.add_rule("unit", [](const xml::Element& element, xml::Output& out,
+                            const xml::Stylesheet&) {
+    const std::string& name = element.attr("name");
+    const std::string& kind = element.attr("kind");
+    std::string shape = "box";
+    if (kind == "register") {
+      shape = "box3d";
+    } else if (kind == "mux") {
+      shape = "trapezium";
+    } else if (kind == "memport") {
+      shape = "cylinder";
+    } else if (kind == "const") {
+      shape = "plaintext";
+    }
+    out.writeln("\"" + dot_escape(name) + "\" [label=\"" + dot_escape(name) +
+                "\\n" + dot_escape(kind) + "\", shape=" + shape + "];");
+    for (const xml::Element* port : element.children("port")) {
+      const std::string& port_name = port->attr("name");
+      const std::string& wire = port->attr("wire");
+      if (is_output_port(kind, port_name)) {
+        out.writeln("\"" + dot_escape(name) + "\" -> \"w_" +
+                    dot_escape(wire) + "\" [taillabel=\"" +
+                    dot_escape(port_name) + "\", fontsize=8];");
+      } else {
+        out.writeln("\"w_" + dot_escape(wire) + "\" -> \"" +
+                    dot_escape(name) + "\" [headlabel=\"" +
+                    dot_escape(port_name) + "\", fontsize=8];");
+      }
+    }
+  });
+  sheet.add_rule("wire", [](const xml::Element& element, xml::Output& out,
+                            const xml::Stylesheet&) {
+    out.writeln(xml::expand_template(
+        element,
+        "\"w_@{@name}\" [label=\"@{@name}[@{@width}]\", shape=ellipse, "
+        "fontsize=8];"));
+  });
+  sheet.add_rule("memory", [](const xml::Element& element, xml::Output& out,
+                              const xml::Stylesheet&) {
+    out.writeln(xml::expand_template(
+        element,
+        "\"m_@{@name}\" [label=\"@{@name} (@{@depth}x@{@width})\", "
+        "shape=cylinder, style=filled, fillcolor=lightgrey];"));
+  });
+  sheet.add_rule("control", [](const xml::Element& element, xml::Output& out,
+                               const xml::Stylesheet&) {
+    out.writeln(xml::expand_template(
+        element, "\"w_@{@wire}\" [style=dashed, color=blue];"));
+  });
+  sheet.add_rule("status", [](const xml::Element& element, xml::Output& out,
+                              const xml::Stylesheet&) {
+    out.writeln(xml::expand_template(
+        element, "\"w_@{@wire}\" [style=dashed, color=red];"));
+  });
+  return sheet.apply(*document);
+}
+
+std::string fsm_to_dot(const ir::Fsm& fsm) {
+  auto document = ir::to_xml(fsm);
+
+  xml::Stylesheet sheet;
+  sheet.add_rule("fsm", [](const xml::Element& element, xml::Output& out,
+                           const xml::Stylesheet& inner) {
+    out.writeln("digraph \"" + dot_escape(element.attr("name")) + "\" {");
+    out.indent();
+    out.writeln("node [shape=circle, fontsize=10];");
+    out.writeln("__start [shape=point];");
+    out.writeln("__start -> \"" + dot_escape(element.attr("initial")) +
+                "\";");
+    inner.apply_templates(element, out);
+    out.dedent();
+    out.writeln("}");
+  });
+  sheet.add_rule("state", [](const xml::Element& element, xml::Output& out,
+                             const xml::Stylesheet&) {
+    const std::string& name = element.attr("name");
+    std::string label = name;
+    for (const xml::Element* set : element.children("set")) {
+      label += "\\n" + set->attr("wire") + "=" + set->attr("value");
+    }
+    out.writeln("\"" + dot_escape(name) + "\" [label=\"" + label + "\"];");
+    for (const xml::Element* next : element.children("next")) {
+      std::string edge = "\"" + dot_escape(name) + "\" -> \"" +
+                         dot_escape(next->attr("target")) + "\"";
+      if (next->has_attr("when")) {
+        edge += " [label=\"" + dot_escape(next->attr("when")) + "\"]";
+      }
+      out.writeln(edge + ";");
+    }
+  });
+  return sheet.apply(*document);
+}
+
+std::string rtg_to_dot(const ir::Rtg& rtg) {
+  auto document = ir::to_xml(rtg);
+
+  xml::Stylesheet sheet;
+  sheet.add_rule("rtg", [](const xml::Element& element, xml::Output& out,
+                           const xml::Stylesheet& inner) {
+    out.writeln("digraph \"" + dot_escape(element.attr("name")) + "\" {");
+    out.indent();
+    out.writeln("node [shape=doubleoctagon, fontsize=11];");
+    out.writeln("__start [shape=point];");
+    out.writeln("__start -> \"" + dot_escape(element.attr("initial")) +
+                "\";");
+    inner.apply_templates(element, out);
+    out.dedent();
+    out.writeln("}");
+  });
+  sheet.add_text_rule("node", "\"@{@name}\";");
+  sheet.add_text_rule("edge", "\"@{@from}\" -> \"@{@to}\";");
+  return sheet.apply(*document);
+}
+
+}  // namespace fti::codegen

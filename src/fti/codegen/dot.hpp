@@ -1,0 +1,25 @@
+// Graphviz exports -- the "to dotty" arrows of Figure 1.  Like the paper's
+// flow, these run as translation rules over the *XML form* of the IR (via
+// the fti::xml::Stylesheet engine), so they double as the demonstration of
+// user-defined translation rules.
+#pragma once
+
+#include <string>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::codegen {
+
+/// Datapath structure: units as boxes, wires as edges (control dashed).
+std::string datapath_to_dot(const ir::Datapath& datapath);
+
+/// Control unit: states as nodes, guarded transitions as labelled edges.
+std::string fsm_to_dot(const ir::Fsm& fsm);
+
+/// Reconfiguration transition graph: configurations and their sequence.
+std::string rtg_to_dot(const ir::Rtg& rtg);
+
+/// Escapes a string for use inside a double-quoted dot label.
+std::string dot_escape(std::string_view text);
+
+}  // namespace fti::codegen

@@ -1,0 +1,250 @@
+#include "fti/codegen/hds.hpp"
+
+#include <map>
+
+#include "fti/ops/alu.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/strings.hpp"
+
+namespace fti::codegen {
+
+std::string hds_class_name(const ir::Unit& unit) {
+  switch (unit.kind) {
+    case ir::UnitKind::kBinOp:
+      if (ops::is_comparison(unit.binop)) {
+        return "hades.models.rtlib.compare." +
+               std::string(ops::to_string(unit.binop));
+      }
+      return "hades.models.rtlib.arith." +
+             std::string(ops::to_string(unit.binop));
+    case ir::UnitKind::kUnOp:
+      return "hades.models.rtlib.arith." +
+             std::string(ops::to_string(unit.unop));
+    case ir::UnitKind::kRegister:
+      return "hades.models.rtlib.register.RegRE";
+    case ir::UnitKind::kMux:
+      return "hades.models.rtlib.mux.Mux" + std::to_string(unit.mux_inputs);
+    case ir::UnitKind::kConst:
+      return "hades.models.rtlib.io.Constant";
+    case ir::UnitKind::kMemPort:
+      return "hades.models.rtlib.memory.RAM";
+  }
+  return "?";
+}
+
+std::string datapath_to_hds(const ir::Datapath& datapath) {
+  std::string out;
+  out += "hds 1\n";
+  out += "design " + datapath.name + "\n";
+  for (const ir::Wire& wire : datapath.wires) {
+    out += "net " + wire.name + " " + std::to_string(wire.width) + "\n";
+  }
+  for (const ir::MemoryDecl& memory : datapath.memories) {
+    out += "memory " + memory.name + " " + std::to_string(memory.depth) +
+           " " + std::to_string(memory.width) + "\n";
+  }
+  for (const ir::Unit& unit : datapath.units) {
+    out += "instance " + unit.name + " " + hds_class_name(unit);
+    out += " width=" + std::to_string(unit.width);
+    if (unit.latency != 0) {
+      out += " latency=" + std::to_string(unit.latency);
+    }
+    switch (unit.kind) {
+      case ir::UnitKind::kConst:
+        out += " value=" + std::to_string(unit.value);
+        break;
+      case ir::UnitKind::kRegister:
+        out += " reset=" + std::to_string(unit.reset_value);
+        break;
+      case ir::UnitKind::kMux:
+        out += " inputs=" + std::to_string(unit.mux_inputs);
+        break;
+      case ir::UnitKind::kMemPort:
+        out += " memory=" + unit.memory;
+        if (unit.mem_mode != ir::MemMode::kReadWrite) {
+          out += " mode=" + std::string(ir::to_string(unit.mem_mode));
+        }
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+    for (const auto& [port, wire] : unit.ports) {
+      out += "wire " + unit.name + "." + port + " " + wire + "\n";
+    }
+  }
+  for (const std::string& control : datapath.control_wires) {
+    out += "control " + control + "\n";
+  }
+  for (const std::string& status : datapath.status_wires) {
+    out += "status " + status + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string design_to_hds(const ir::Design& design) {
+  std::string out;
+  out += "# design '" + design.name + "', " +
+         std::to_string(design.configuration_count()) + " configuration(s)\n";
+  for (const std::string& node : design.rtg.nodes) {
+    out += "# --- configuration '" + node + "' ---\n";
+    out += datapath_to_hds(design.configuration(node).datapath);
+  }
+  return out;
+}
+
+namespace {
+
+/// Inverse of hds_class_name: recovers the unit kind/op from the class.
+void kind_from_class(const std::string& class_name, ir::Unit& unit) {
+  const std::string kPrefix = "hades.models.rtlib.";
+  if (!util::starts_with(class_name, kPrefix)) {
+    throw util::XmlError("hds: unknown component class '" + class_name +
+                         "'");
+  }
+  std::string tail = class_name.substr(kPrefix.size());
+  if (tail == "register.RegRE") {
+    unit.kind = ir::UnitKind::kRegister;
+    return;
+  }
+  if (tail == "io.Constant") {
+    unit.kind = ir::UnitKind::kConst;
+    return;
+  }
+  if (tail == "memory.RAM") {
+    unit.kind = ir::UnitKind::kMemPort;
+    return;
+  }
+  if (util::starts_with(tail, "mux.Mux")) {
+    unit.kind = ir::UnitKind::kMux;
+    return;  // input count comes from the inputs= attribute
+  }
+  std::size_t dot = tail.find('.');
+  if (dot == std::string::npos) {
+    throw util::XmlError("hds: unknown component class '" + class_name +
+                         "'");
+  }
+  std::string op = tail.substr(dot + 1);
+  try {
+    unit.binop = ops::binop_from_string(op);
+    unit.kind = ir::UnitKind::kBinOp;
+    return;
+  } catch (const util::Error&) {
+  }
+  unit.unop = ops::unop_from_string(op);  // throws with a useful message
+  unit.kind = ir::UnitKind::kUnOp;
+}
+
+}  // namespace
+
+ir::Datapath datapath_from_hds(const std::string& text) {
+  ir::Datapath datapath;
+  bool saw_header = false;
+  bool saw_end = false;
+  ir::Unit* current = nullptr;
+  int line_number = 0;
+  for (const std::string& raw : util::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    if (saw_end) {
+      throw util::XmlError("hds line " + std::to_string(line_number) +
+                           ": content after 'end'");
+    }
+    auto fields = util::split_whitespace(line);
+    auto fail = [line_number](const std::string& message) -> void {
+      throw util::XmlError("hds line " + std::to_string(line_number) +
+                           ": " + message);
+    };
+    try {
+      const std::string& keyword = fields[0];
+      if (keyword == "hds") {
+        saw_header = true;
+      } else if (!saw_header) {
+        fail("missing 'hds 1' header");
+      } else if (keyword == "design") {
+        if (fields.size() != 2) fail("expected: design NAME");
+        datapath.name = fields[1];
+      } else if (keyword == "net") {
+        if (fields.size() != 3) fail("expected: net NAME WIDTH");
+        datapath.wires.push_back(
+            {fields[1],
+             static_cast<std::uint32_t>(util::parse_u64(fields[2]))});
+      } else if (keyword == "memory") {
+        if (fields.size() != 4) fail("expected: memory NAME DEPTH WIDTH");
+        datapath.memories.push_back(
+            {fields[1],
+             static_cast<std::size_t>(util::parse_u64(fields[2])),
+             static_cast<std::uint32_t>(util::parse_u64(fields[3])),
+             {}});
+      } else if (keyword == "instance") {
+        if (fields.size() < 3) fail("expected: instance NAME CLASS ...");
+        ir::Unit unit;
+        unit.name = fields[1];
+        kind_from_class(fields[2], unit);
+        for (std::size_t i = 3; i < fields.size(); ++i) {
+          std::size_t eq = fields[i].find('=');
+          if (eq == std::string::npos) fail("expected key=value attribute");
+          std::string key = fields[i].substr(0, eq);
+          std::string value = fields[i].substr(eq + 1);
+          if (key == "width") {
+            unit.width =
+                static_cast<std::uint32_t>(util::parse_u64(value));
+          } else if (key == "value") {
+            unit.value = util::parse_u64(value);
+          } else if (key == "reset") {
+            unit.reset_value = util::parse_u64(value);
+          } else if (key == "inputs") {
+            unit.mux_inputs =
+                static_cast<std::uint32_t>(util::parse_u64(value));
+          } else if (key == "memory") {
+            unit.memory = value;
+          } else if (key == "mode") {
+            unit.mem_mode = ir::mem_mode_from_string(value);
+          } else if (key == "latency") {
+            unit.latency =
+                static_cast<std::uint32_t>(util::parse_u64(value));
+          } else {
+            fail("unknown attribute '" + key + "'");
+          }
+        }
+        datapath.units.push_back(std::move(unit));
+        current = &datapath.units.back();
+      } else if (keyword == "wire") {
+        if (fields.size() != 3) fail("expected: wire INST.PORT NET");
+        std::size_t dot = fields[1].find('.');
+        if (dot == std::string::npos) fail("expected INST.PORT");
+        std::string instance = fields[1].substr(0, dot);
+        if (current == nullptr || current->name != instance) {
+          fail("wire line must follow its instance ('" + instance + "')");
+        }
+        current->ports[fields[1].substr(dot + 1)] = fields[2];
+      } else if (keyword == "control") {
+        if (fields.size() != 2) fail("expected: control NET");
+        datapath.control_wires.push_back(fields[1]);
+      } else if (keyword == "status") {
+        if (fields.size() != 2) fail("expected: status NET");
+        datapath.status_wires.push_back(fields[1]);
+      } else if (keyword == "end") {
+        saw_end = true;
+      } else {
+        fail("unknown keyword '" + keyword + "'");
+      }
+    } catch (const util::Error& e) {
+      if (std::string(e.kind()) == "xml") {
+        throw;
+      }
+      throw util::XmlError("hds line " + std::to_string(line_number) +
+                           ": " + e.what());
+    }
+  }
+  if (!saw_end) {
+    throw util::XmlError("hds: missing 'end'");
+  }
+  return datapath;
+}
+
+}  // namespace fti::codegen

@@ -1,0 +1,38 @@
+// HDS netlist emitter -- the "to hds" arrow of Figure 1.
+//
+// Hades consumes .hds design files naming simulation component classes and
+// their wiring.  Our simulator elaborates the IR directly, so this emitter
+// exists for flow parity and for users who want a portable, line-oriented
+// netlist:
+//
+//   hds 1
+//   design <name>
+//   net <name> <width>
+//   memory <name> <depth> <width>
+//   instance <name> <class> [key=value ...]
+//   wire <instance>.<port> <net>
+//   control <net> / status <net>
+//   end
+#pragma once
+
+#include <string>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::codegen {
+
+/// Hades-style component class name for a unit ("hades.models.rtlib....").
+std::string hds_class_name(const ir::Unit& unit);
+
+std::string datapath_to_hds(const ir::Datapath& datapath);
+
+/// All configurations of a design, concatenated with per-node headers.
+std::string design_to_hds(const ir::Design& design);
+
+/// Parses one `hds 1` block back into a datapath (the inverse of
+/// datapath_to_hds), so hand-authored netlists in the line format can be
+/// validated and simulated.  Throws XmlError with line numbers on
+/// malformed input.  FSMs are not part of the hds format.
+ir::Datapath datapath_from_hds(const std::string& text);
+
+}  // namespace fti::codegen

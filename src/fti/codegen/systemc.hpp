@@ -1,0 +1,17 @@
+// SystemC back-end -- the third HDL the paper names ("e.g., Verilog,
+// VHDL, SystemC").  Emits one SC_MODULE per configuration: wires become
+// sc_signal<sc_uint<W>>, combinational units one SC_METHOD sensitive to
+// its inputs, registers/memories/FSM a clocked SC_METHOD.
+#pragma once
+
+#include <string>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::codegen {
+
+std::string configuration_to_systemc(const ir::Configuration& config);
+
+std::string design_to_systemc(const ir::Design& design);
+
+}  // namespace fti::codegen

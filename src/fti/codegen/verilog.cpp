@@ -1,0 +1,312 @@
+#include "fti/codegen/verilog.hpp"
+
+#include "fti/ops/alu.hpp"
+#include "fti/util/error.hpp"
+#include "fti/xml/transform.hpp"
+
+namespace fti::codegen {
+namespace {
+
+using xml::Output;
+
+std::string range(std::uint32_t width) {
+  return width == 1 ? "" : "[" + std::to_string(width - 1) + ":0] ";
+}
+
+std::string binop_rhs(const ir::Unit& unit, const std::string& a,
+                      const std::string& b) {
+  std::string sa = "$signed(" + a + ")";
+  std::string sb = "$signed(" + b + ")";
+  switch (unit.binop) {
+    case ops::BinOp::kAdd:
+      return a + " + " + b;
+    case ops::BinOp::kSub:
+      return a + " - " + b;
+    case ops::BinOp::kMul:
+      return a + " * " + b;
+    case ops::BinOp::kDiv:
+      return sa + " / " + sb;
+    case ops::BinOp::kRem:
+      return sa + " % " + sb;
+    case ops::BinOp::kAnd:
+      return a + " & " + b;
+    case ops::BinOp::kOr:
+      return a + " | " + b;
+    case ops::BinOp::kXor:
+      return a + " ^ " + b;
+    case ops::BinOp::kShl:
+      return a + " << " + b;
+    case ops::BinOp::kShr:
+      return a + " >> " + b;
+    case ops::BinOp::kAshr:
+      return sa + " >>> " + b;
+    case ops::BinOp::kEq:
+      return a + " == " + b;
+    case ops::BinOp::kNe:
+      return a + " != " + b;
+    case ops::BinOp::kLt:
+      return sa + " < " + sb;
+    case ops::BinOp::kLe:
+      return sa + " <= " + sb;
+    case ops::BinOp::kGt:
+      return sa + " > " + sb;
+    case ops::BinOp::kGe:
+      return sa + " >= " + sb;
+    case ops::BinOp::kLtu:
+      return a + " < " + b;
+    case ops::BinOp::kLeu:
+      return a + " <= " + b;
+    case ops::BinOp::kGtu:
+      return a + " > " + b;
+    case ops::BinOp::kGeu:
+      return a + " >= " + b;
+    case ops::BinOp::kMin:
+      return "(" + sa + " < " + sb + ") ? " + a + " : " + b;
+    case ops::BinOp::kMax:
+      return "(" + sa + " > " + sb + ") ? " + a + " : " + b;
+  }
+  FTI_ASSERT(false, "unhandled BinOp in Verilog emitter");
+}
+
+std::string unop_rhs(const ir::Unit& unit, const std::string& a,
+                     std::uint32_t out_width) {
+  switch (unit.unop) {
+    case ops::UnOp::kNot:
+      return "~" + a;
+    case ops::UnOp::kNeg:
+      return "-" + a;
+    case ops::UnOp::kAbs:
+      return "($signed(" + a + ") < 0) ? -" + a + " : " + a;
+    case ops::UnOp::kPass:
+      return "{" + std::to_string(out_width) + "{1'b0}} | " + a;
+    case ops::UnOp::kSext:
+      return "$unsigned(" + std::to_string(out_width) + "'($signed(" + a +
+             ")))";
+  }
+  FTI_ASSERT(false, "unhandled UnOp in Verilog emitter");
+}
+
+std::string guard_condition(const ir::Guard& guard) {
+  if (guard.always()) {
+    return "1'b1";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < guard.literals.size(); ++i) {
+    if (i > 0) {
+      out += " && ";
+    }
+    out += (guard.literals[i].expected ? "" : "!") + guard.literals[i].status;
+  }
+  return out;
+}
+
+void emit_fsm(Output& out, const ir::Fsm& fsm, const ir::Datapath& datapath) {
+  std::uint32_t state_bits = 1;
+  while ((std::size_t{1} << state_bits) < fsm.states.size()) {
+    ++state_bits;
+  }
+  out.writeln("// control unit '" + fsm.name + "'");
+  for (std::size_t i = 0; i < fsm.states.size(); ++i) {
+    out.writeln("localparam ST_" + fsm.states[i].name + " = " +
+                verilog_literal(i, state_bits) + ";");
+  }
+  out.writeln("reg " + range(state_bits) + "state = ST_" + fsm.initial +
+              ";");
+  out.writeln();
+  out.writeln("always @(posedge clk) begin");
+  out.indent();
+  out.writeln("case (state)");
+  out.indent();
+  for (const ir::State& state : fsm.states) {
+    out.writeln("ST_" + state.name + ": begin");
+    out.indent();
+    bool first = true;
+    for (const ir::Transition& transition : state.transitions) {
+      out.writeln((first ? "if (" : "else if (") +
+                  guard_condition(transition.guard) + ") state <= ST_" +
+                  transition.target + ";");
+      first = false;
+    }
+    out.dedent();
+    out.writeln("end");
+  }
+  out.writeln("default: ;");
+  out.dedent();
+  out.writeln("endcase");
+  out.dedent();
+  out.writeln("end");
+  out.writeln();
+  out.writeln("always @(*) begin");
+  out.indent();
+  for (const std::string& control : datapath.control_wires) {
+    out.writeln(control + " = " +
+                verilog_literal(0, datapath.wire(control).width) + ";");
+  }
+  out.writeln("case (state)");
+  out.indent();
+  for (const ir::State& state : fsm.states) {
+    out.writeln("ST_" + state.name + ": begin");
+    out.indent();
+    for (const ir::ControlAssign& assign : state.controls) {
+      out.writeln(assign.wire + " = " +
+                  verilog_literal(assign.value,
+                                  datapath.wire(assign.wire).width) +
+                  ";");
+    }
+    out.dedent();
+    out.writeln("end");
+  }
+  out.writeln("default: ;");
+  out.dedent();
+  out.writeln("endcase");
+  out.dedent();
+  out.writeln("end");
+}
+
+}  // namespace
+
+std::string verilog_literal(std::uint64_t value, std::uint32_t width) {
+  return std::to_string(width) + "'d" + std::to_string(value);
+}
+
+std::string configuration_to_verilog(const ir::Configuration& config) {
+  const ir::Datapath& datapath = config.datapath;
+  ir::validate(datapath);
+  ir::validate(config.fsm, datapath);
+
+  Output out;
+  out.writeln("// generated by fti from datapath '" + datapath.name + "'");
+  out.writeln("module " + datapath.name + " (");
+  out.indent();
+  out.writeln("input  wire clk,");
+  out.writeln("output wire done_o");
+  out.dedent();
+  out.writeln(");");
+  out.indent();
+  out.writeln();
+  for (const ir::Wire& wire : datapath.wires) {
+    // Control wires are assigned from the FSM's always block -> reg.
+    bool is_reg = datapath.is_control(wire.name);
+    out.writeln(std::string(is_reg ? "reg  " : "wire ") + range(wire.width) +
+                wire.name + (is_reg ? " = 0;" : ";"));
+  }
+  for (const ir::MemoryDecl& memory : datapath.memories) {
+    out.writeln("reg " + range(memory.width) + memory.name + "_mem [0:" +
+                std::to_string(memory.depth - 1) + "];");
+  }
+  out.writeln();
+  out.writeln("assign done_o = " + config.fsm.done_wire + ";");
+  out.writeln();
+
+  for (const ir::Unit& unit : datapath.units) {
+    switch (unit.kind) {
+      case ir::UnitKind::kBinOp:
+        if (unit.latency > 0) {
+          // Initiation-interval-1 pipeline: one register per stage.
+          std::uint32_t width = datapath.wire(unit.port("out")).width;
+          out.writeln("// pipelined " + unit.name + " (latency " +
+                      std::to_string(unit.latency) + ")");
+          for (std::uint32_t stage = 0; stage < unit.latency; ++stage) {
+            out.writeln("reg " + range(width) + unit.name + "_p" +
+                        std::to_string(stage) + " = 0;");
+          }
+          out.writeln("always @(posedge clk) begin");
+          out.indent();
+          out.writeln(unit.name + "_p0 <= " +
+                      binop_rhs(unit, unit.port("a"), unit.port("b")) +
+                      ";");
+          for (std::uint32_t stage = 1; stage < unit.latency; ++stage) {
+            out.writeln(unit.name + "_p" + std::to_string(stage) + " <= " +
+                        unit.name + "_p" + std::to_string(stage - 1) + ";");
+          }
+          out.dedent();
+          out.writeln("end");
+          out.writeln("assign " + unit.port("out") + " = " + unit.name +
+                      "_p" + std::to_string(unit.latency - 1) + ";");
+        } else {
+          out.writeln("assign " + unit.port("out") + " = " +
+                      binop_rhs(unit, unit.port("a"), unit.port("b")) +
+                      ";  // " + unit.name);
+        }
+        break;
+      case ir::UnitKind::kUnOp: {
+        std::uint32_t out_width = datapath.wire(unit.port("out")).width;
+        out.writeln("assign " + unit.port("out") + " = " +
+                    unop_rhs(unit, unit.port("a"), out_width) + ";  // " +
+                    unit.name);
+        break;
+      }
+      case ir::UnitKind::kConst:
+        out.writeln("assign " + unit.port("out") + " = " +
+                    verilog_literal(unit.value, unit.width) + ";  // " +
+                    unit.name);
+        break;
+      case ir::UnitKind::kRegister: {
+        out.writeln("// register " + unit.name);
+        out.writeln("always @(posedge clk) begin");
+        out.indent();
+        std::string assign =
+            unit.port("q") + " <= " + unit.port("d") + ";";
+        if (unit.has_port("rst")) {
+          out.writeln("if (" + unit.port("rst") + ") " + unit.port("q") +
+                      " <= " +
+                      verilog_literal(unit.reset_value, unit.width) + ";");
+          if (unit.has_port("en")) {
+            out.writeln("else if (" + unit.port("en") + ") " + assign);
+          } else {
+            out.writeln("else " + assign);
+          }
+        } else if (unit.has_port("en")) {
+          out.writeln("if (" + unit.port("en") + ") " + assign);
+        } else {
+          out.writeln(assign);
+        }
+        out.dedent();
+        out.writeln("end");
+        break;
+      }
+      case ir::UnitKind::kMux: {
+        std::string rhs;
+        for (std::uint32_t i = 0; i + 1 < unit.mux_inputs; ++i) {
+          rhs += "(" + unit.port("sel") + " == " +
+                 verilog_literal(i, ir::select_width(unit.mux_inputs)) +
+                 ") ? " + unit.port("in" + std::to_string(i)) + " : ";
+        }
+        rhs += unit.port("in" + std::to_string(unit.mux_inputs - 1));
+        out.writeln("assign " + unit.port("out") + " = " + rhs + ";  // " +
+                    unit.name);
+        break;
+      }
+      case ir::UnitKind::kMemPort:
+        out.writeln("// memory port " + unit.name + " on " + unit.memory +
+                    " (" + std::string(ir::to_string(unit.mem_mode)) + ")");
+        if (unit.mem_mode != ir::MemMode::kWrite) {
+          out.writeln("assign " + unit.port("dout") + " = " + unit.memory +
+                      "_mem[" + unit.port("addr") + "];");
+        }
+        if (unit.mem_mode != ir::MemMode::kRead) {
+          out.writeln("always @(posedge clk) if (" + unit.port("we") +
+                      ") " + unit.memory + "_mem[" + unit.port("addr") +
+                      "] <= " + unit.port("din") + ";");
+        }
+        break;
+    }
+  }
+  out.writeln();
+  emit_fsm(out, config.fsm, datapath);
+  out.dedent();
+  out.writeln();
+  out.writeln("endmodule");
+  return out.str();
+}
+
+std::string design_to_verilog(const ir::Design& design) {
+  std::string out;
+  for (const std::string& node : design.rtg.nodes) {
+    out += configuration_to_verilog(design.configuration(node));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fti::codegen

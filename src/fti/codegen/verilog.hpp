@@ -1,0 +1,18 @@
+// Verilog-2001 back-end: one module per configuration.  Companion of the
+// VHDL emitter; same role in the flow (user-chosen HDL output).
+#pragma once
+
+#include <string>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::codegen {
+
+std::string configuration_to_verilog(const ir::Configuration& config);
+
+std::string design_to_verilog(const ir::Design& design);
+
+/// Sized literal, e.g. verilog_literal(5, 4) == "4'd5".
+std::string verilog_literal(std::uint64_t value, std::uint32_t width);
+
+}  // namespace fti::codegen

@@ -1,0 +1,391 @@
+#include "fti/codegen/vhdl.hpp"
+
+#include "fti/ops/alu.hpp"
+#include "fti/util/error.hpp"
+#include "fti/xml/transform.hpp"
+
+namespace fti::codegen {
+namespace {
+
+using xml::Output;
+
+std::string utype(std::uint32_t width) {
+  return "unsigned(" + std::to_string(width - 1) + " downto 0)";
+}
+
+std::string flag_expr(const std::string& condition) {
+  return "\"1\" when " + condition + " else \"0\"";
+}
+
+/// Right-hand side for a binary functional unit output.
+std::string binop_rhs(const ir::Unit& unit, const std::string& a,
+                      const std::string& b, std::uint32_t out_width) {
+  std::string sa = "signed(" + a + ")";
+  std::string sb = "signed(" + b + ")";
+  std::string resize_to = std::to_string(out_width);
+  switch (unit.binop) {
+    case ops::BinOp::kAdd:
+      return "resize(" + a + ", " + resize_to + ") + resize(" + b + ", " +
+             resize_to + ")";
+    case ops::BinOp::kSub:
+      return "resize(" + a + ", " + resize_to + ") - resize(" + b + ", " +
+             resize_to + ")";
+    case ops::BinOp::kMul:
+      return "resize(" + a + " * " + b + ", " + resize_to + ")";
+    case ops::BinOp::kDiv:
+      return "unsigned(resize(" + sa + " / " + sb + ", " + resize_to + "))";
+    case ops::BinOp::kRem:
+      return "unsigned(resize(" + sa + " rem " + sb + ", " + resize_to +
+             "))";
+    case ops::BinOp::kAnd:
+      return a + " and " + b;
+    case ops::BinOp::kOr:
+      return a + " or " + b;
+    case ops::BinOp::kXor:
+      return a + " xor " + b;
+    case ops::BinOp::kShl:
+      return "shift_left(resize(" + a + ", " + resize_to + "), to_integer(" +
+             b + "))";
+    case ops::BinOp::kShr:
+      return "shift_right(resize(" + a + ", " + resize_to +
+             "), to_integer(" + b + "))";
+    case ops::BinOp::kAshr:
+      return "unsigned(shift_right(resize(" + sa + ", " + resize_to +
+             "), to_integer(" + b + ")))";
+    case ops::BinOp::kEq:
+      return flag_expr(a + " = " + b);
+    case ops::BinOp::kNe:
+      return flag_expr(a + " /= " + b);
+    case ops::BinOp::kLt:
+      return flag_expr(sa + " < " + sb);
+    case ops::BinOp::kLe:
+      return flag_expr(sa + " <= " + sb);
+    case ops::BinOp::kGt:
+      return flag_expr(sa + " > " + sb);
+    case ops::BinOp::kGe:
+      return flag_expr(sa + " >= " + sb);
+    case ops::BinOp::kLtu:
+      return flag_expr(a + " < " + b);
+    case ops::BinOp::kLeu:
+      return flag_expr(a + " <= " + b);
+    case ops::BinOp::kGtu:
+      return flag_expr(a + " > " + b);
+    case ops::BinOp::kGeu:
+      return flag_expr(a + " >= " + b);
+    case ops::BinOp::kMin:
+      return a + " when " + sa + " < " + sb + " else " + b;
+    case ops::BinOp::kMax:
+      return a + " when " + sa + " > " + sb + " else " + b;
+  }
+  FTI_ASSERT(false, "unhandled BinOp in VHDL emitter");
+}
+
+std::string unop_rhs(const ir::Unit& unit, const std::string& a,
+                     std::uint32_t out_width) {
+  std::string resize_to = std::to_string(out_width);
+  switch (unit.unop) {
+    case ops::UnOp::kNot:
+      return "not resize(" + a + ", " + resize_to + ")";
+    case ops::UnOp::kNeg:
+      return "unsigned(-resize(signed(" + a + "), " + resize_to + "))";
+    case ops::UnOp::kAbs:
+      return "unsigned(abs(resize(signed(" + a + "), " + resize_to + ")))";
+    case ops::UnOp::kPass:
+      return "resize(" + a + ", " + resize_to + ")";
+    case ops::UnOp::kSext:
+      return "unsigned(resize(signed(" + a + "), " + resize_to + "))";
+  }
+  FTI_ASSERT(false, "unhandled UnOp in VHDL emitter");
+}
+
+std::string guard_condition(const ir::Guard& guard) {
+  if (guard.always()) {
+    return "true";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < guard.literals.size(); ++i) {
+    if (i > 0) {
+      out += " and ";
+    }
+    out += "(" + guard.literals[i].status + " = \"" +
+           (guard.literals[i].expected ? "1" : "0") + "\")";
+  }
+  return out;
+}
+
+void emit_fsm(Output& out, const ir::Fsm& fsm, const ir::Datapath& datapath) {
+  out.writeln("-- control unit '" + fsm.name + "'");
+  out.writeln("fsm_seq : process (clk)");
+  out.writeln("begin");
+  out.indent();
+  out.writeln("if rising_edge(clk) then");
+  out.indent();
+  out.writeln("case state is");
+  out.indent();
+  for (const ir::State& state : fsm.states) {
+    out.writeln("when st_" + state.name + " =>");
+    out.indent();
+    bool first = true;
+    for (const ir::Transition& transition : state.transitions) {
+      std::string keyword = first ? "if " : "elsif ";
+      out.writeln(keyword + guard_condition(transition.guard) + " then");
+      out.indent();
+      out.writeln("state <= st_" + transition.target + ";");
+      out.dedent();
+      first = false;
+    }
+    if (!first) {
+      out.writeln("end if;");
+    } else {
+      out.writeln("null;");
+    }
+    out.dedent();
+  }
+  out.dedent();
+  out.writeln("end case;");
+  out.dedent();
+  out.writeln("end if;");
+  out.dedent();
+  out.writeln("end process;");
+  out.writeln();
+
+  out.writeln("fsm_out : process (state)");
+  out.writeln("begin");
+  out.indent();
+  for (const std::string& control : datapath.control_wires) {
+    out.writeln(control + " <= " +
+                vhdl_bin_literal(0, datapath.wire(control).width) + ";");
+  }
+  out.writeln("case state is");
+  out.indent();
+  for (const ir::State& state : fsm.states) {
+    out.writeln("when st_" + state.name + " =>");
+    out.indent();
+    if (state.controls.empty()) {
+      out.writeln("null;");
+    }
+    for (const ir::ControlAssign& assign : state.controls) {
+      out.writeln(assign.wire + " <= " +
+                  vhdl_bin_literal(assign.value,
+                                   datapath.wire(assign.wire).width) +
+                  ";");
+    }
+    out.dedent();
+  }
+  out.dedent();
+  out.writeln("end case;");
+  out.dedent();
+  out.writeln("end process;");
+}
+
+}  // namespace
+
+std::string vhdl_bin_literal(std::uint64_t value, std::uint32_t width) {
+  std::string bits;
+  for (std::uint32_t i = width; i-- > 0;) {
+    bits += ((value >> i) & 1) != 0 ? '1' : '0';
+  }
+  return "\"" + bits + "\"";
+}
+
+std::string configuration_to_vhdl(const ir::Configuration& config) {
+  const ir::Datapath& datapath = config.datapath;
+  ir::validate(datapath);
+  ir::validate(config.fsm, datapath);
+
+  Output out;
+  out.writeln("-- generated by fti from datapath '" + datapath.name + "'");
+  out.writeln("library ieee;");
+  out.writeln("use ieee.std_logic_1164.all;");
+  out.writeln("use ieee.numeric_std.all;");
+  out.writeln();
+  out.writeln("entity " + datapath.name + " is");
+  out.indent();
+  out.writeln("port (");
+  out.indent();
+  out.writeln("clk  : in  std_logic;");
+  out.writeln("done_o : out std_logic");
+  out.dedent();
+  out.writeln(");");
+  out.dedent();
+  out.writeln("end entity " + datapath.name + ";");
+  out.writeln();
+  out.writeln("architecture rtl of " + datapath.name + " is");
+  out.indent();
+  for (const ir::Wire& wire : datapath.wires) {
+    out.writeln("signal " + wire.name + " : " + utype(wire.width) +
+                " := (others => '0');");
+  }
+  for (const ir::MemoryDecl& memory : datapath.memories) {
+    out.writeln("type " + memory.name + "_t is array (0 to " +
+                std::to_string(memory.depth - 1) + ") of " +
+                utype(memory.width) + ";");
+    out.writeln("signal " + memory.name + "_mem : " + memory.name +
+                "_t := (others => (others => '0'));");
+  }
+  for (const ir::Unit& unit : datapath.units) {
+    if (unit.kind == ir::UnitKind::kBinOp && unit.latency > 0) {
+      std::uint32_t width = datapath.wire(unit.port("out")).width;
+      for (std::uint32_t stage = 0; stage < unit.latency; ++stage) {
+        out.writeln("signal " + unit.name + "_p" + std::to_string(stage) +
+                    " : " + utype(width) + " := (others => '0');");
+      }
+    }
+  }
+  std::string state_list;
+  for (std::size_t i = 0; i < config.fsm.states.size(); ++i) {
+    if (i > 0) {
+      state_list += ", ";
+    }
+    state_list += "st_" + config.fsm.states[i].name;
+  }
+  out.writeln("type state_t is (" + state_list + ");");
+  out.writeln("signal state : state_t := st_" + config.fsm.initial + ";");
+  out.dedent();
+  out.writeln("begin");
+  out.indent();
+  out.writeln("done_o <= " + config.fsm.done_wire + "(0);");
+  out.writeln();
+
+  for (const ir::Unit& unit : datapath.units) {
+    switch (unit.kind) {
+      case ir::UnitKind::kBinOp: {
+        std::uint32_t out_width = datapath.wire(unit.port("out")).width;
+        if (unit.latency > 0) {
+          out.writeln("-- pipelined " + unit.name + " (latency " +
+                      std::to_string(unit.latency) + ")");
+          out.writeln(unit.name + "_pipe : process (clk)");
+          out.writeln("begin");
+          out.indent();
+          out.writeln("if rising_edge(clk) then");
+          out.indent();
+          out.writeln(unit.name + "_p0 <= " +
+                      binop_rhs(unit, unit.port("a"), unit.port("b"),
+                                out_width) +
+                      ";");
+          for (std::uint32_t stage = 1; stage < unit.latency; ++stage) {
+            out.writeln(unit.name + "_p" + std::to_string(stage) + " <= " +
+                        unit.name + "_p" + std::to_string(stage - 1) + ";");
+          }
+          out.dedent();
+          out.writeln("end if;");
+          out.dedent();
+          out.writeln("end process;");
+          out.writeln(unit.port("out") + " <= " + unit.name + "_p" +
+                      std::to_string(unit.latency - 1) + ";");
+        } else {
+          out.writeln("-- " + unit.name + " (" +
+                      std::string(ops::to_string(unit.binop)) + ")");
+          out.writeln(unit.port("out") + " <= " +
+                      binop_rhs(unit, unit.port("a"), unit.port("b"),
+                                out_width) +
+                      ";");
+        }
+        break;
+      }
+      case ir::UnitKind::kUnOp: {
+        std::uint32_t out_width = datapath.wire(unit.port("out")).width;
+        out.writeln(unit.port("out") + " <= " +
+                    unop_rhs(unit, unit.port("a"), out_width) + ";  -- " +
+                    unit.name);
+        break;
+      }
+      case ir::UnitKind::kConst:
+        out.writeln(unit.port("out") + " <= " +
+                    vhdl_bin_literal(unit.value, unit.width) + ";  -- " +
+                    unit.name);
+        break;
+      case ir::UnitKind::kRegister: {
+        out.writeln(unit.name + " : process (clk)");
+        out.writeln("begin");
+        out.indent();
+        out.writeln("if rising_edge(clk) then");
+        out.indent();
+        int closes = 0;
+        if (unit.has_port("rst")) {
+          out.writeln("if " + unit.port("rst") + " = \"1\" then");
+          out.indent();
+          out.writeln(unit.port("q") + " <= " +
+                      vhdl_bin_literal(unit.reset_value, unit.width) + ";");
+          out.dedent();
+          out.writeln(unit.has_port("en")
+                          ? "elsif " + unit.port("en") + " = \"1\" then"
+                          : "else");
+          ++closes;
+        } else if (unit.has_port("en")) {
+          out.writeln("if " + unit.port("en") + " = \"1\" then");
+          ++closes;
+        }
+        out.indent();
+        out.writeln(unit.port("q") + " <= " + unit.port("d") + ";");
+        out.dedent();
+        for (int i = 0; i < closes; ++i) {
+          out.writeln("end if;");
+        }
+        out.dedent();
+        out.writeln("end if;");
+        out.dedent();
+        out.writeln("end process;");
+        break;
+      }
+      case ir::UnitKind::kMux: {
+        out.writeln("with to_integer(" + unit.port("sel") + ") select");
+        out.indent();
+        std::string line = unit.port("out") + " <= ";
+        for (std::uint32_t i = 0; i < unit.mux_inputs; ++i) {
+          line += unit.port("in" + std::to_string(i)) + " when " +
+                  std::to_string(i) + ", ";
+        }
+        line += "(others => '0') when others;  -- " + unit.name;
+        out.writeln(line);
+        out.dedent();
+        break;
+      }
+      case ir::UnitKind::kMemPort: {
+        const ir::MemoryDecl* memory = datapath.find_memory(unit.memory);
+        FTI_ASSERT(memory != nullptr, "validated memport without memory");
+        out.writeln("-- memory port " + unit.name + " on " + unit.memory +
+                    " (" + std::string(ir::to_string(unit.mem_mode)) + ")");
+        if (unit.mem_mode != ir::MemMode::kWrite) {
+          out.writeln(unit.port("dout") + " <= " + unit.memory +
+                      "_mem(to_integer(" + unit.port("addr") + ") mod " +
+                      std::to_string(memory->depth) + ");");
+        }
+        if (unit.mem_mode != ir::MemMode::kRead) {
+          out.writeln(unit.name + "_wr : process (clk)");
+          out.writeln("begin");
+          out.indent();
+          out.writeln("if rising_edge(clk) then");
+          out.indent();
+          out.writeln("if " + unit.port("we") + " = \"1\" then");
+          out.indent();
+          out.writeln(unit.memory + "_mem(to_integer(" + unit.port("addr") +
+                      ")) <= " + unit.port("din") + ";");
+          out.dedent();
+          out.writeln("end if;");
+          out.dedent();
+          out.writeln("end if;");
+          out.dedent();
+          out.writeln("end process;");
+        }
+        break;
+      }
+    }
+  }
+  out.writeln();
+  emit_fsm(out, config.fsm, datapath);
+  out.dedent();
+  out.writeln("end architecture rtl;");
+  return out.str();
+}
+
+std::string design_to_vhdl(const ir::Design& design) {
+  std::string out;
+  for (const std::string& node : design.rtg.nodes) {
+    out += configuration_to_vhdl(design.configuration(node));
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fti::codegen

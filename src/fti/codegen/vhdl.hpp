@@ -1,0 +1,24 @@
+// VHDL back-end: emits one synthesizable entity per configuration
+// (datapath as concurrent statements, control unit as a two-process FSM).
+// This is the "users define their own XSL translation rules to output ...
+// VHDL" path of the paper, realised as a dedicated emitter.
+#pragma once
+
+#include <string>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::codegen {
+
+/// Entity + architecture for one configuration.  The entity exposes only
+/// clk and done; memories become internal signal arrays.
+std::string configuration_to_vhdl(const ir::Configuration& config);
+
+/// All configurations of a design in one file (one entity each).
+std::string design_to_vhdl(const ir::Design& design);
+
+/// Binary string literal of the given width, e.g. bin_literal(5, 4) ==
+/// "\"0101\"" -- used for constants and control values of any width.
+std::string vhdl_bin_literal(std::uint64_t value, std::uint32_t width);
+
+}  // namespace fti::codegen

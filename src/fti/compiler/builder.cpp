@@ -1,0 +1,479 @@
+#include "fti/compiler/builder.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::compiler {
+
+void ControlPlan::set(std::size_t state, const std::string& wire,
+                      std::uint64_t value) {
+  if (value == 0) {
+    return;  // Moore outputs default to zero
+  }
+  by_state_[state][wire] = value;
+}
+
+std::vector<ir::ControlAssign> ControlPlan::assigns_for(
+    std::size_t state) const {
+  std::vector<ir::ControlAssign> out;
+  auto it = by_state_.find(state);
+  if (it == by_state_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const auto& [wire, value] : it->second) {
+    out.push_back({wire, value});
+  }
+  return out;
+}
+
+DatapathBuilder::DatapathBuilder(std::string name) {
+  datapath_.name = std::move(name);
+}
+
+std::string DatapathBuilder::wire(const std::string& name,
+                                  std::uint32_t width) {
+  if (wire_names_.insert(name).second) {
+    datapath_.wires.push_back({name, width});
+  }
+  return name;
+}
+
+std::string DatapathBuilder::ensure_var_reg(const std::string& var) {
+  auto it = var_regs_.find(var);
+  if (it != var_regs_.end()) {
+    return it->second;
+  }
+  // The "v_" prefix keeps user variables out of the generated temp ("tN")
+  // namespace.
+  std::string reg = "v_" + var;
+  var_regs_.emplace(var, reg);
+  regs_.insert(reg);
+  ir::Unit unit;
+  unit.name = "r_" + reg;
+  unit.kind = ir::UnitKind::kRegister;
+  unit.width = kWordWidth;
+  unit.ports["q"] = wire("r_" + reg + "_q", kWordWidth);
+  // d and en are bound at finalize from the recorded writes.
+  reg_units_.emplace(reg, std::move(unit));
+  return reg;
+}
+
+std::string DatapathBuilder::new_temp() {
+  std::string reg = "t" + std::to_string(temp_counter_++);
+  regs_.insert(reg);
+  ir::Unit unit;
+  unit.name = "r_" + reg;
+  unit.kind = ir::UnitKind::kRegister;
+  unit.width = kWordWidth;
+  unit.ports["q"] = wire("r_" + reg + "_q", kWordWidth);
+  reg_units_.emplace(reg, std::move(unit));
+  return reg;
+}
+
+std::string DatapathBuilder::reg_q_wire(const std::string& reg) {
+  FTI_ASSERT(regs_.count(reg) != 0, "unknown register '" + reg + "'");
+  return "r_" + reg + "_q";
+}
+
+void DatapathBuilder::add_reg_write(const std::string& reg, std::size_t state,
+                                    const Source& source) {
+  FTI_ASSERT(regs_.count(reg) != 0, "write to unknown register '" + reg +
+                                        "'");
+  reg_write_states_[reg].insert(state);
+  MuxPoint& point = mux_point("r_" + reg, "d", kWordWidth);
+  add_mux_source(point, state, source);
+}
+
+std::string DatapathBuilder::const_wire(std::uint64_t value) {
+  value &= sim::Bits::mask(kWordWidth);
+  auto it = consts_.find(value);
+  if (it != consts_.end()) {
+    return it->second;
+  }
+  std::string name = "k" + std::to_string(consts_.size());
+  ir::Unit unit;
+  unit.name = name;
+  unit.kind = ir::UnitKind::kConst;
+  unit.width = kWordWidth;
+  unit.value = value;
+  unit.ports["out"] = wire(name + "_out", kWordWidth);
+  datapath_.units.push_back(std::move(unit));
+  consts_.emplace(value, name + "_out");
+  return name + "_out";
+}
+
+FuHandle DatapathBuilder::ensure_binop_fu(ops::BinOp op, std::size_t index,
+                                          std::uint32_t latency) {
+  std::string name =
+      std::string(ops::to_string(op)) + "_" + std::to_string(index);
+  auto it = fu_units_.find(name);
+  if (it == fu_units_.end()) {
+    bool cmp = ops::is_comparison(op);
+    FTI_ASSERT(!cmp || latency == 0, "pipelined comparator requested");
+    ir::Unit unit;
+    unit.name = name;
+    unit.kind = ir::UnitKind::kBinOp;
+    unit.binop = op;
+    unit.latency = latency;
+    unit.width = kWordWidth;
+    unit.ports["out"] = wire(name + "_out", cmp ? 1 : kWordWidth);
+    // a/b are bound at finalize.
+    fu_units_.emplace(name, std::move(unit));
+    if (cmp) {
+      // Widening stage so the result can land in a 32-bit register.
+      ir::Unit ext;
+      ext.name = name + "_ext";
+      ext.kind = ir::UnitKind::kUnOp;
+      ext.unop = ops::UnOp::kPass;
+      ext.width = kWordWidth;
+      ext.ports["a"] = name + "_out";
+      ext.ports["out"] = wire(name + "_val", kWordWidth);
+      datapath_.units.push_back(std::move(ext));
+    }
+  }
+  bool cmp = ops::is_comparison(op);
+  return {name, cmp ? name + "_val" : name + "_out"};
+}
+
+FuHandle DatapathBuilder::ensure_unop_fu(ops::UnOp op, std::size_t index) {
+  std::string name =
+      std::string(ops::to_string(op)) + "_" + std::to_string(index);
+  if (fu_units_.find(name) == fu_units_.end()) {
+    ir::Unit unit;
+    unit.name = name;
+    unit.kind = ir::UnitKind::kUnOp;
+    unit.unop = op;
+    unit.width = kWordWidth;
+    unit.ports["out"] = wire(name + "_out", kWordWidth);
+    fu_units_.emplace(name, std::move(unit));
+  }
+  return {name, name + "_out"};
+}
+
+void DatapathBuilder::add_fu_input(const FuHandle& fu, const std::string& port,
+                                   std::size_t state, const Source& source) {
+  MuxPoint& point = mux_point(fu.unit_name, port, kWordWidth);
+  add_mux_source(point, state, source);
+}
+
+void DatapathBuilder::ensure_memport(const Param& param,
+                                     std::vector<std::uint64_t> init,
+                                     unsigned read_ports) {
+  const std::string& array = param.name;
+  if (memports_.find(array) != memports_.end()) {
+    return;
+  }
+  if (read_ports == 0) {
+    read_ports = 1;
+  }
+  memports_.emplace(array, MemPorts{param, read_ports});
+  std::uint32_t elem_width = width_of(param.type);
+  for (std::uint64_t& word : init) {
+    word &= sim::Bits::mask(elem_width);
+  }
+  datapath_.memories.push_back(
+      {array, param.array_size, elem_width, std::move(init)});
+
+  auto add_ext = [&](const std::string& port_name) {
+    ir::Unit ext;
+    ext.name = port_name + "_ext";
+    ext.kind = ir::UnitKind::kUnOp;
+    ext.unop = is_signed(param.type) ? ops::UnOp::kSext : ops::UnOp::kPass;
+    ext.width = kWordWidth;
+    ext.ports["a"] = port_name + "_dout";
+    ext.ports["out"] = wire(port_name + "_val", kWordWidth);
+    datapath_.units.push_back(std::move(ext));
+  };
+  auto add_trunc = [&](const std::string& din_wire) {
+    ir::Unit trunc;
+    trunc.name = "mp_" + array + "_trunc";
+    trunc.kind = ir::UnitKind::kUnOp;
+    trunc.unop = ops::UnOp::kPass;
+    trunc.width = elem_width;
+    trunc.ports["out"] = din_wire;
+    // Its input is the din mux point, bound at finalize.
+    datapath_.units.push_back(std::move(trunc));
+  };
+
+  if (read_ports == 1) {
+    // Classic single read-write port.
+    std::string mp = "mp_" + array;
+    ir::Unit sram;
+    sram.name = mp;
+    sram.kind = ir::UnitKind::kMemPort;
+    sram.memory = array;
+    sram.width = elem_width;
+    sram.ports["dout"] = wire(mp + "_dout", elem_width);
+    sram.ports["din"] = wire(mp + "_din", elem_width);
+    sram.ports["we"] = wire("c_we_" + array, 1);
+    datapath_.control_wires.push_back("c_we_" + array);
+    fu_units_.emplace(mp, std::move(sram));
+    add_ext(mp);
+    add_trunc(mp + "_din");
+    return;
+  }
+
+  // 1-write/N-read port set.
+  std::string wp = "mp_" + array + "_w";
+  ir::Unit write_port;
+  write_port.name = wp;
+  write_port.kind = ir::UnitKind::kMemPort;
+  write_port.mem_mode = ir::MemMode::kWrite;
+  write_port.memory = array;
+  write_port.width = elem_width;
+  write_port.ports["din"] = wire(wp + "_din", elem_width);
+  write_port.ports["we"] = wire("c_we_" + array, 1);
+  datapath_.control_wires.push_back("c_we_" + array);
+  fu_units_.emplace(wp, std::move(write_port));
+  add_trunc(wp + "_din");
+  for (unsigned port = 0; port < read_ports; ++port) {
+    std::string rp = "mp_" + array + "_r" + std::to_string(port);
+    ir::Unit read_port;
+    read_port.name = rp;
+    read_port.kind = ir::UnitKind::kMemPort;
+    read_port.mem_mode = ir::MemMode::kRead;
+    read_port.memory = array;
+    read_port.width = elem_width;
+    read_port.ports["dout"] = wire(rp + "_dout", elem_width);
+    fu_units_.emplace(rp, std::move(read_port));
+    add_ext(rp);
+  }
+}
+
+void DatapathBuilder::add_mem_read(const std::string& array, std::size_t state,
+                                   const Source& addr, std::size_t port) {
+  auto it = memports_.find(array);
+  FTI_ASSERT(it != memports_.end(), "read of unknown array");
+  std::string owner = it->second.read_ports == 1
+                          ? "mp_" + array
+                          : "mp_" + array + "_r" + std::to_string(port);
+  MuxPoint& point = mux_point(owner, "addr", kWordWidth);
+  add_mux_source(point, state, addr);
+}
+
+void DatapathBuilder::add_mem_write(const std::string& array,
+                                    std::size_t state, const Source& addr,
+                                    const Source& din) {
+  auto it = memports_.find(array);
+  FTI_ASSERT(it != memports_.end(), "write of unknown array");
+  std::string owner =
+      it->second.read_ports == 1 ? "mp_" + array : "mp_" + array + "_w";
+  MuxPoint& addr_point = mux_point(owner, "addr", kWordWidth);
+  add_mux_source(addr_point, state, addr);
+  MuxPoint& din_point = mux_point("mp_" + array + "_trunc", "a", kWordWidth);
+  add_mux_source(din_point, state, din);
+  mem_write_states_[array].insert(state);
+}
+
+std::string DatapathBuilder::mem_value_wire(const std::string& array,
+                                            std::size_t port) {
+  auto it = memports_.find(array);
+  FTI_ASSERT(it != memports_.end(), "unknown array '" + array + "'");
+  return it->second.read_ports == 1
+             ? "mp_" + array + "_val"
+             : "mp_" + array + "_r" + std::to_string(port) + "_val";
+}
+
+std::string DatapathBuilder::add_status_compare(ops::BinOp op,
+                                                const Source& a,
+                                                const Source& b) {
+  FTI_ASSERT(ops::is_comparison(op), "status compare needs a comparison op");
+  std::string wa = source_wire(a);
+  std::string wb = source_wire(b);
+  std::string key = std::string(ops::to_string(op)) + "|" + wa + "|" + wb;
+  auto it = status_cache_.find(key);
+  if (it != status_cache_.end()) {
+    return it->second;
+  }
+  std::string name = "cmp" + std::to_string(cmp_counter_++);
+  ir::Unit unit;
+  unit.name = name;
+  unit.kind = ir::UnitKind::kBinOp;
+  unit.binop = op;
+  unit.width = kWordWidth;
+  unit.ports["a"] = wa;
+  unit.ports["b"] = wb;
+  unit.ports["out"] = wire(name + "_out", 1);
+  datapath_.units.push_back(std::move(unit));
+  datapath_.status_wires.push_back(name + "_out");
+  status_cache_.emplace(key, name + "_out");
+  return name + "_out";
+}
+
+std::string DatapathBuilder::source_wire(const Source& source) {
+  return source.kind == Source::Kind::kConst ? const_wire(source.value)
+                                             : source.wire;
+}
+
+DatapathBuilder::MuxPoint& DatapathBuilder::mux_point(
+    const std::string& owner, const std::string& port, std::uint32_t width) {
+  std::string key = owner + "." + port;
+  auto it = point_index_.find(key);
+  if (it != point_index_.end()) {
+    return points_[it->second];
+  }
+  point_index_.emplace(key, points_.size());
+  points_.push_back({owner, port, width, {}, {}});
+  return points_.back();
+}
+
+void DatapathBuilder::add_mux_source(MuxPoint& point, std::size_t state,
+                                     const Source& source) {
+  std::size_t index = point.sources.size();
+  for (std::size_t i = 0; i < point.sources.size(); ++i) {
+    if (point.sources[i] == source) {
+      index = i;
+      break;
+    }
+  }
+  if (index == point.sources.size()) {
+    point.sources.push_back(source);
+  }
+  point.state_sel[state] = index;
+}
+
+std::string DatapathBuilder::resolve_point(MuxPoint& point,
+                                           ControlPlan& plan) {
+  if (point.sources.empty()) {
+    // Port never fed (e.g. din of a read-only memory): tie to zero.
+    return const_wire(0);
+  }
+  if (point.sources.size() == 1) {
+    return source_wire(point.sources.front());
+  }
+  std::string name = "mx" + std::to_string(mux_counter_++) + "_" +
+                     point.owner + "_" + point.port;
+  std::uint32_t inputs = static_cast<std::uint32_t>(point.sources.size());
+  ir::Unit unit;
+  unit.name = name;
+  unit.kind = ir::UnitKind::kMux;
+  unit.width = point.width;
+  unit.mux_inputs = inputs;
+  for (std::uint32_t i = 0; i < inputs; ++i) {
+    unit.ports["in" + std::to_string(i)] = source_wire(point.sources[i]);
+  }
+  std::string sel = "c_sel_" + name;
+  unit.ports["sel"] = wire(sel, ir::select_width(inputs));
+  datapath_.control_wires.push_back(sel);
+  unit.ports["out"] = wire(name + "_out", point.width);
+  datapath_.units.push_back(std::move(unit));
+  for (const auto& [state, index] : point.state_sel) {
+    plan.set(state, sel, index);
+  }
+  return name + "_out";
+}
+
+ir::Datapath DatapathBuilder::finalize(ControlPlan& plan,
+                                       const std::string& done_wire) {
+  FTI_ASSERT(!finalized_, "DatapathBuilder::finalize called twice");
+  finalized_ = true;
+
+  wire(done_wire, 1);
+  datapath_.control_wires.push_back(done_wire);
+
+  // Resolve every steering point first (this may add mux units and their
+  // select control wires).
+  std::map<std::string, std::string> resolved;  // owner.port -> wire
+  for (MuxPoint& point : points_) {
+    resolved[point.owner + "." + point.port] = resolve_point(point, plan);
+  }
+
+  // Registers: bind d, create enables.
+  for (auto& [reg, unit] : reg_units_) {
+    auto it = resolved.find("r_" + reg + ".d");
+    if (it == resolved.end()) {
+      // Never written (can happen for a declared-but-unused variable):
+      // feed it its own output so the unit is well-formed.
+      unit.ports["d"] = unit.ports["q"];
+    } else {
+      unit.ports["d"] = it->second;
+    }
+    const auto write_states = reg_write_states_.find(reg);
+    std::string en = "c_en_" + reg;
+    unit.ports["en"] = wire(en, 1);
+    datapath_.control_wires.push_back(en);
+    if (write_states != reg_write_states_.end()) {
+      for (std::size_t state : write_states->second) {
+        plan.set(state, en, 1);
+      }
+    }
+    datapath_.units.push_back(std::move(unit));
+  }
+  reg_units_.clear();
+
+  // Shared FUs and SRAM ports: bind inputs.
+  for (auto& [name, unit] : fu_units_) {
+    if (unit.kind == ir::UnitKind::kBinOp) {
+      auto a = resolved.find(name + ".a");
+      auto b = resolved.find(name + ".b");
+      unit.ports["a"] = a != resolved.end() ? a->second : const_wire(0);
+      unit.ports["b"] = b != resolved.end() ? b->second : const_wire(0);
+    } else if (unit.kind == ir::UnitKind::kUnOp) {
+      auto a = resolved.find(name + ".a");
+      unit.ports["a"] = a != resolved.end() ? a->second : const_wire(0);
+    } else if (unit.kind == ir::UnitKind::kMemPort) {
+      auto addr = resolved.find(name + ".addr");
+      unit.ports["addr"] =
+          addr != resolved.end() ? addr->second : const_wire(0);
+    }
+    datapath_.units.push_back(std::move(unit));
+  }
+  fu_units_.clear();
+
+  // Truncate stages of written memports got their input via points_
+  // ("mp_<array>_trunc.a"); patch the ones already pushed into units.
+  // const_wire() may append a unit, which would invalidate the iteration
+  // below -- materialise the zero fallback first if anyone needs it.
+  bool needs_zero = false;
+  for (const ir::Unit& unit : datapath_.units) {
+    if (unit.kind == ir::UnitKind::kUnOp && !unit.has_port("a") &&
+        resolved.find(unit.name + ".a") == resolved.end()) {
+      needs_zero = true;
+    }
+  }
+  std::string zero_wire = needs_zero ? const_wire(0) : "";
+  for (ir::Unit& unit : datapath_.units) {
+    if (unit.kind == ir::UnitKind::kUnOp && !unit.has_port("a")) {
+      auto it = resolved.find(unit.name + ".a");
+      unit.ports["a"] = it != resolved.end() ? it->second : zero_wire;
+    }
+  }
+
+  // Memory write enables.
+  for (const auto& [array, states] : mem_write_states_) {
+    for (std::size_t state : states) {
+      plan.set(state, "c_we_" + array, 1);
+    }
+  }
+  return std::move(datapath_);
+}
+
+std::size_t FsmBuilder::add_state() {
+  ir::State state;
+  state.name = "s" + std::to_string(fsm_.states.size());
+  fsm_.states.push_back(std::move(state));
+  return fsm_.states.size() - 1;
+}
+
+void FsmBuilder::add_transition(std::size_t from, ir::Guard guard,
+                                std::size_t to) {
+  FTI_ASSERT(from < fsm_.states.size() && to < fsm_.states.size(),
+             "transition endpoints out of range");
+  fsm_.states[from].transitions.push_back(
+      {std::move(guard), fsm_.states[to].name});
+}
+
+ir::Fsm FsmBuilder::finalize(const ControlPlan& plan,
+                             const std::string& done_wire,
+                             std::size_t done_state) {
+  FTI_ASSERT(!fsm_.states.empty(), "FSM without states");
+  fsm_.initial = fsm_.states.front().name;
+  fsm_.done_wire = done_wire;
+  for (std::size_t i = 0; i < fsm_.states.size(); ++i) {
+    fsm_.states[i].controls = plan.assigns_for(i);
+  }
+  fsm_.states[done_state].controls.push_back({done_wire, 1});
+  return std::move(fsm_);
+}
+
+}  // namespace fti::compiler

@@ -1,0 +1,204 @@
+// Construction helpers for the hardware generator.
+//
+// DatapathBuilder accumulates registers, functional units, memory ports
+// and constants while the scheduler walks the program, recording *who
+// feeds what in which FSM state*.  finalize() then materialises the
+// steering logic: a port fed from one source is wired directly; a port fed
+// from several sources gets a mux whose select becomes a control wire, and
+// the per-state select/enable values are handed to the FSM via the
+// ControlPlan.  This mirrors the binder/mux-generation stage of Nenya.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fti/compiler/ast.hpp"
+#include "fti/ir/datapath.hpp"
+#include "fti/ir/fsm.hpp"
+
+namespace fti::compiler {
+
+/// Per-state control values collected during datapath construction.
+/// Only nonzero values are stored (the FSM's Moore outputs default to 0).
+class ControlPlan {
+ public:
+  void set(std::size_t state, const std::string& wire, std::uint64_t value);
+
+  /// Control assignments for one state, in deterministic (wire) order.
+  std::vector<ir::ControlAssign> assigns_for(std::size_t state) const;
+
+ private:
+  std::map<std::size_t, std::map<std::string, std::uint64_t>> by_state_;
+};
+
+/// A value source feeding a unit port: either a register/unit output wire
+/// or a literal routed through a shared constant unit.
+struct Source {
+  enum class Kind { kWire, kConst };
+  Kind kind = Kind::kWire;
+  std::string wire;          // kWire
+  std::uint64_t value = 0;   // kConst
+
+  static Source of_wire(std::string wire_name) {
+    return {Kind::kWire, std::move(wire_name), 0};
+  }
+  static Source of_const(std::uint64_t value) {
+    return {Kind::kConst, "", value};
+  }
+  friend bool operator==(const Source& a, const Source& b) {
+    return a.kind == b.kind && a.wire == b.wire && a.value == b.value;
+  }
+};
+
+/// Handle for a shared functional-unit instance.
+struct FuHandle {
+  std::string unit_name;
+  std::string out_wire;  ///< 32-bit result wire (comparators: widened)
+};
+
+class DatapathBuilder {
+ public:
+  explicit DatapathBuilder(std::string name);
+
+  static constexpr std::uint32_t kWordWidth = 32;
+
+  // -- registers ----------------------------------------------------------
+
+  /// Register for a program variable (idempotent).  Returns the register
+  /// id ("v_<var>") used with reg_q_wire / add_reg_write.
+  std::string ensure_var_reg(const std::string& var);
+
+  /// Fresh temporary register; returns its id (pass to reg_q_wire etc.).
+  std::string new_temp();
+
+  /// Output wire of register `reg` ("r_<reg>_q").
+  std::string reg_q_wire(const std::string& reg);
+
+  /// Declares that `reg` is written from `source` while the FSM is in
+  /// `state`.  The enable and (if needed) d-input mux are derived from the
+  /// set of such writes at finalize time.
+  void add_reg_write(const std::string& reg, std::size_t state,
+                     const Source& source);
+
+  // -- constants ----------------------------------------------------------
+
+  /// Wire carrying the 32-bit literal `value` (one unit per distinct value).
+  std::string const_wire(std::uint64_t value);
+
+  // -- functional units ---------------------------------------------------
+
+  /// Shared FU instance `index` of a binary operation class.  Created on
+  /// first use; comparisons get a widening stage so out_wire is 32 bits.
+  /// `latency` > 0 creates a pipelined unit (kBinOp only, non-comparison).
+  FuHandle ensure_binop_fu(ops::BinOp op, std::size_t index,
+                           std::uint32_t latency = 0);
+  FuHandle ensure_unop_fu(ops::UnOp op, std::size_t index);
+
+  /// Declares that FU port `port` ("a"/"b") is fed from `source` in `state`.
+  void add_fu_input(const FuHandle& fu, const std::string& port,
+                    std::size_t state, const Source& source);
+
+  // -- memory ports -------------------------------------------------------
+
+  /// Memory ports for array parameter `param` (idempotent).  Declares the
+  /// pool memory (with optional power-up contents) and either one classic
+  /// read-write port (read_ports == 1) or a 1-write/N-read port set, with
+  /// a dout extend stage per read path and one din truncate stage.
+  void ensure_memport(const Param& param,
+                      std::vector<std::uint64_t> init = {},
+                      unsigned read_ports = 1);
+
+  /// Read access on read port `port` during `state`.
+  void add_mem_read(const std::string& array, std::size_t state,
+                    const Source& addr, std::size_t port = 0);
+
+  /// Write access: addr/din driven and we asserted during `state`.
+  void add_mem_write(const std::string& array, std::size_t state,
+                     const Source& addr, const Source& din);
+
+  /// 32-bit value wire of read port `port`'s extend stage.
+  std::string mem_value_wire(const std::string& array,
+                             std::size_t port = 0);
+
+  // -- status logic (guard evaluation) -------------------------------------
+
+  /// Dedicated comparator computing `op(a, b)`; its 1-bit output is
+  /// declared as a status wire.  Deduplicated on (op, a, b).
+  std::string add_status_compare(ops::BinOp op, const Source& a,
+                                 const Source& b);
+
+  // -- finalisation --------------------------------------------------------
+
+  /// Builds the datapath, materialising muxes/enables, and fills `plan`
+  /// with the control values every state must assert.  `done_wire` is
+  /// created as a 1-bit control wire.  Call once.
+  ir::Datapath finalize(ControlPlan& plan, const std::string& done_wire);
+
+ private:
+  struct MuxPoint {
+    std::string owner;  ///< unit whose port this feeds
+    std::string port;
+    std::uint32_t width;
+    std::vector<Source> sources;  ///< distinct, first-use order
+    std::map<std::size_t, std::size_t> state_sel;  ///< state -> source idx
+  };
+
+  std::string wire(const std::string& name, std::uint32_t width);
+  std::string source_wire(const Source& source);
+  MuxPoint& mux_point(const std::string& owner, const std::string& port,
+                      std::uint32_t width);
+  void add_mux_source(MuxPoint& point, std::size_t state,
+                      const Source& source);
+  /// Resolves a mux point into a direct connection or a mux unit; returns
+  /// the wire to bind to the owner's port.
+  std::string resolve_point(MuxPoint& point, ControlPlan& plan);
+
+  ir::Datapath datapath_;
+  std::set<std::string> wire_names_;
+  std::map<std::string, std::string> var_regs_;   // var -> reg id
+  std::set<std::string> regs_;                    // all reg ids
+  std::map<std::uint64_t, std::string> consts_;   // value -> wire
+  std::map<std::string, ir::Unit> reg_units_;     // reg id -> unit (d open)
+  std::map<std::string, std::set<std::size_t>> reg_write_states_;
+  std::map<std::string, ir::Unit> fu_units_;      // fu name -> unit
+  struct MemPorts {
+    Param param;
+    unsigned read_ports;  // 1 = shared read-write port
+  };
+  std::map<std::string, MemPorts> memports_;
+  std::map<std::string, std::set<std::size_t>> mem_write_states_;
+  std::vector<MuxPoint> points_;
+  std::map<std::string, std::size_t> point_index_;  // owner.port -> index
+  std::map<std::string, std::string> status_cache_;  // cmp key -> wire
+  std::size_t temp_counter_ = 0;
+  std::size_t cmp_counter_ = 0;
+  std::size_t mux_counter_ = 0;
+  bool finalized_ = false;
+};
+
+/// FSM assembly with explicit state indices; states are named s<N>.
+class FsmBuilder {
+ public:
+  explicit FsmBuilder(std::string name) { fsm_.name = std::move(name); }
+
+  /// Appends a state, returns its index.
+  std::size_t add_state();
+
+  /// Adds a guarded transition; transitions fire in insertion order.
+  void add_transition(std::size_t from, ir::Guard guard, std::size_t to);
+
+  std::size_t state_count() const { return fsm_.states.size(); }
+
+  /// Merges the control plan into the states and returns the FSM.
+  /// `done_state` gets `done_wire = 1` appended.
+  ir::Fsm finalize(const ControlPlan& plan, const std::string& done_wire,
+                   std::size_t done_state);
+
+ private:
+  ir::Fsm fsm_;
+};
+
+}  // namespace fti::compiler

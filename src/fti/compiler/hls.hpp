@@ -1,0 +1,62 @@
+// Nenya-mini: compiles a kernel program into the datapath / FSM / RTG IR
+// the test infrastructure verifies -- the stand-in for the Galadriel &
+// Nenya compiler whose outputs the paper's flow consumes.
+//
+// Pipeline per temporal partition (split at `stage;` boundaries):
+//   AST -> micro-op runs (consecutive assignments form one dataflow graph)
+//       -> resource-constrained list scheduling (schedule.hpp)
+//       -> binding (per-step FU instance assignment)
+//       -> datapath construction with mux/enable steering (builder.hpp)
+//       -> Moore FSM, one state per control step plus branch/join states.
+// Scalar parameters are bound to literals; array parameters become shared
+// SRAMs, the only channel between partitions (checked by sema).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fti/compiler/ast.hpp"
+#include "fti/compiler/schedule.hpp"
+#include "fti/ir/rtg.hpp"
+
+namespace fti::compiler {
+
+struct CompileOptions {
+  Resources resources;
+  /// Values for every scalar parameter (workload constants).
+  std::map<std::string, std::int64_t> scalar_args;
+  /// Power-up contents for array parameters (ROM tables): baked into the
+  /// emitted <memory> declarations so the XML file set is self-contained.
+  std::map<std::string, std::vector<std::uint64_t>> rom_contents;
+  /// Overrides the design name (defaults to the kernel name).
+  std::string design_name;
+};
+
+/// Per-configuration generation statistics (feeds the Table I columns).
+struct ConfigStats {
+  std::string node;
+  std::size_t fsm_states = 0;
+  std::size_t units = 0;       ///< all datapath units
+  std::size_t operators = 0;   ///< functional units + memory ports
+  std::size_t registers = 0;
+  std::size_t muxes = 0;
+  std::size_t micro_ops = 0;   ///< scheduled micro-operations
+};
+
+struct CompileResult {
+  ir::Design design;
+  std::vector<ConfigStats> stats;
+};
+
+/// Compiles a checked program.  Throws CompileError / IrError.
+CompileResult compile_program(const Program& program,
+                              const CompileOptions& options = {});
+
+/// Parses and compiles source text.
+CompileResult compile_source(std::string_view source,
+                             const CompileOptions& options = {});
+
+}  // namespace fti::compiler

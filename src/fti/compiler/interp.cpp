@@ -1,0 +1,207 @@
+#include "fti/compiler/interp.hpp"
+
+#include "fti/compiler/sema.hpp"
+#include "fti/util/error.hpp"
+
+namespace fti::compiler {
+namespace {
+
+constexpr std::uint32_t kWordWidth = 32;
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, mem::MemoryPool& pool,
+              const InterpOptions& options)
+      : program_(program), pool_(pool), options_(options) {
+    info_ = check_program(program);
+    for (const auto& [name, param] : info_.arrays) {
+      images_.emplace(name, &pool_.create(name, param.array_size,
+                                          width_of(param.type)));
+    }
+    for (const std::string& name : info_.scalar_params) {
+      auto it = options_.scalar_args.find(name);
+      if (it == options_.scalar_args.end()) {
+        throw util::CompileError("scalar parameter '" + name +
+                                 "' has no bound value");
+      }
+      vars_[name] = sim::Bits(kWordWidth,
+                              static_cast<std::uint64_t>(it->second));
+    }
+    for (const std::string& name : info_.locals) {
+      vars_[name] = sim::Bits(kWordWidth, 0);
+    }
+  }
+
+  InterpStats run() {
+    for (const auto& stmt : program_.body) {
+      exec(*stmt);
+    }
+    return stats_;
+  }
+
+ private:
+  void tick(int line) {
+    if (++stats_.statements > options_.max_statements) {
+      throw util::SimError("golden model exceeded " +
+                           std::to_string(options_.max_statements) +
+                           " statements near line " + std::to_string(line) +
+                           " -- non-terminating input?");
+    }
+  }
+
+  sim::Bits load(const std::string& array, std::uint64_t index, int line) {
+    const Param& param = info_.arrays.at(array);
+    if (index >= param.array_size) {
+      throw util::SimError("golden model: '" + array + "[" +
+                           std::to_string(index) + "]' out of bounds (size " +
+                           std::to_string(param.array_size) + ") at line " +
+                           std::to_string(line));
+    }
+    ++stats_.loads;
+    sim::Bits raw = images_.at(array)->read_bits(index);
+    // Width adaptation mirrors the datapath's extend unit on the memory
+    // port: short is sign-extended, byte zero-extended.
+    return is_signed(param.type) ? raw.sign_extended(kWordWidth)
+                                 : raw.resized(kWordWidth);
+  }
+
+  void store(const std::string& array, std::uint64_t index,
+             const sim::Bits& value, int line) {
+    const Param& param = info_.arrays.at(array);
+    if (index >= param.array_size) {
+      throw util::SimError("golden model: '" + array + "[" +
+                           std::to_string(index) +
+                           "]' out of bounds (size " +
+                           std::to_string(param.array_size) + ") at line " +
+                           std::to_string(line));
+    }
+    ++stats_.stores;
+    images_.at(array)->write(index, value.u());
+  }
+
+  sim::Bits eval(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        return sim::Bits(kWordWidth, static_cast<std::uint64_t>(expr.value));
+      case ExprKind::kVarRef:
+        return vars_.at(expr.name);
+      case ExprKind::kArrayRef:
+        return load(expr.name, eval(*expr.a).u(), expr.line);
+      case ExprKind::kUnary: {
+        sim::Bits a = eval(*expr.a);
+        ++stats_.operations;
+        if (expr.is_lnot) {
+          return sim::Bits(kWordWidth, a.is_zero() ? 1 : 0);
+        }
+        return ops::eval_unop(expr.un, a, kWordWidth);
+      }
+      case ExprKind::kBinary: {
+        sim::Bits a = eval(*expr.a);
+        sim::Bits b = eval(*expr.b);
+        ++stats_.operations;
+        if (expr.is_land) {
+          return sim::Bits(kWordWidth,
+                           (!a.is_zero() && !b.is_zero()) ? 1 : 0);
+        }
+        if (expr.is_lor) {
+          return sim::Bits(kWordWidth,
+                           (!a.is_zero() || !b.is_zero()) ? 1 : 0);
+        }
+        sim::Bits result = ops::eval_binop(expr.bin, a, b, kWordWidth);
+        // Comparisons naturally produce one bit; widen to the word.
+        return result.width() == kWordWidth ? result
+                                            : result.resized(kWordWidth);
+      }
+      case ExprKind::kCall: {
+        sim::Bits a = eval(*expr.a);
+        ++stats_.operations;
+        if (expr.name == "abs") {
+          return ops::eval_unop(ops::UnOp::kAbs, a, kWordWidth);
+        }
+        sim::Bits b = eval(*expr.b);
+        return ops::eval_binop(
+            expr.name == "min" ? ops::BinOp::kMin : ops::BinOp::kMax, a, b,
+            kWordWidth);
+      }
+    }
+    FTI_ASSERT(false, "unhandled ExprKind");
+  }
+
+  bool truthy(const Expr& expr) { return !eval(expr).is_zero(); }
+
+  void exec(const Stmt& stmt) {
+    tick(stmt.line);
+    switch (stmt.kind) {
+      case StmtKind::kDecl:
+        vars_[stmt.name] = stmt.value != nullptr ? eval(*stmt.value)
+                                                 : sim::Bits(kWordWidth, 0);
+        break;
+      case StmtKind::kAssign: {
+        sim::Bits value = eval(*stmt.value);
+        if (stmt.target_is_array) {
+          store(stmt.name, eval(*stmt.index).u(), value, stmt.line);
+        } else {
+          vars_[stmt.name] = value;
+        }
+        break;
+      }
+      case StmtKind::kIf:
+        if (truthy(*stmt.cond)) {
+          for (const auto& child : stmt.body) {
+            exec(*child);
+          }
+        } else {
+          for (const auto& child : stmt.else_body) {
+            exec(*child);
+          }
+        }
+        break;
+      case StmtKind::kFor:
+        if (stmt.init != nullptr) {
+          exec(*stmt.init);
+        }
+        while (truthy(*stmt.cond)) {
+          tick(stmt.line);
+          for (const auto& child : stmt.body) {
+            exec(*child);
+          }
+          if (stmt.step != nullptr) {
+            exec(*stmt.step);
+          }
+        }
+        break;
+      case StmtKind::kWhile:
+        while (truthy(*stmt.cond)) {
+          tick(stmt.line);
+          for (const auto& child : stmt.body) {
+            exec(*child);
+          }
+        }
+        break;
+      case StmtKind::kBlock:
+        for (const auto& child : stmt.body) {
+          exec(*child);
+        }
+        break;
+      case StmtKind::kStage:
+        break;  // partition boundary: a no-op for sequential execution
+    }
+  }
+
+  const Program& program_;
+  mem::MemoryPool& pool_;
+  InterpOptions options_;
+  SemaInfo info_;
+  std::map<std::string, mem::MemoryImage*> images_;
+  std::map<std::string, sim::Bits> vars_;
+  InterpStats stats_;
+};
+
+}  // namespace
+
+InterpStats run_program(const Program& program, mem::MemoryPool& pool,
+                        const InterpOptions& options) {
+  return Interpreter(program, pool, options).run();
+}
+
+}  // namespace fti::compiler

@@ -1,0 +1,42 @@
+// Reference interpreter -- the golden model.
+//
+// In the paper the memory/stimulus files "are used when executing the Java
+// input algorithm" and the simulated outputs are compared against it.
+// Here the same AST that the hardware generator consumes is interpreted
+// over the same MemoryPool type, using the *same* operator semantics
+// (ops::eval_binop / eval_unop at 32 bits), so any divergence between
+// interpretation and simulation is a compiler or simulator bug, never a
+// semantics gap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fti/compiler/ast.hpp"
+#include "fti/mem/storage.hpp"
+
+namespace fti::compiler {
+
+struct InterpOptions {
+  /// Values bound to scalar parameters; every scalar param must appear.
+  std::map<std::string, std::int64_t> scalar_args;
+  /// Abort with SimError after this many executed statements (guards
+  /// against non-terminating inputs -- the golden model's watchdog).
+  std::uint64_t max_statements = 500'000'000;
+};
+
+struct InterpStats {
+  std::uint64_t statements = 0;
+  std::uint64_t operations = 0;  ///< arithmetic/logic ops evaluated
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+};
+
+/// Executes the program over `pool`.  Array parameters bind to pool images
+/// of the declared shape (created when absent).  Locals start at zero, the
+/// same power-on value the datapath registers use.
+InterpStats run_program(const Program& program, mem::MemoryPool& pool,
+                        const InterpOptions& options = {});
+
+}  // namespace fti::compiler

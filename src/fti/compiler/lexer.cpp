@@ -1,0 +1,232 @@
+#include "fti/compiler/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "fti/util/error.hpp"
+#include "fti/util/strings.hpp"
+
+namespace fti::compiler {
+namespace {
+
+const std::map<std::string, TokKind, std::less<>>& keywords() {
+  static const std::map<std::string, TokKind, std::less<>> kKeywords = {
+      {"kernel", TokKind::kKernel},   {"int", TokKind::kIntType},
+      {"short", TokKind::kShortType}, {"byte", TokKind::kByteType},
+      {"if", TokKind::kIf},           {"else", TokKind::kElse},
+      {"for", TokKind::kFor},         {"while", TokKind::kWhile},
+      {"stage", TokKind::kStage},
+  };
+  return kKeywords;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t pos = 0;
+  int line = 1;
+  auto fail = [&line](const std::string& message) -> void {
+    throw util::CompileError("line " + std::to_string(line) + ": " + message);
+  };
+  auto push = [&tokens, &line](TokKind kind) {
+    tokens.push_back({kind, "", 0, line});
+  };
+  while (pos < source.size()) {
+    char c = source[pos];
+    if (c == '\n') {
+      ++line;
+      ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '/') {
+      while (pos < source.size() && source[pos] != '\n') {
+        ++pos;
+      }
+      continue;
+    }
+    if (c == '/' && pos + 1 < source.size() && source[pos + 1] == '*') {
+      pos += 2;
+      for (;;) {
+        if (pos + 1 >= source.size()) {
+          fail("unterminated block comment");
+        }
+        if (source[pos] == '*' && source[pos + 1] == '/') {
+          pos += 2;
+          break;
+        }
+        if (source[pos] == '\n') {
+          ++line;
+        }
+        ++pos;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+              source[pos] == '_')) {
+        ident.push_back(source[pos++]);
+      }
+      auto it = keywords().find(ident);
+      if (it != keywords().end()) {
+        push(it->second);
+      } else {
+        tokens.push_back({TokKind::kIdent, std::move(ident), 0, line});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      bool hex = c == '0' && pos + 1 < source.size() &&
+                 (source[pos + 1] == 'x' || source[pos + 1] == 'X');
+      if (hex) {
+        digits = "0x";
+        pos += 2;
+        while (pos < source.size() &&
+               std::isxdigit(static_cast<unsigned char>(source[pos]))) {
+          digits.push_back(source[pos++]);
+        }
+      } else {
+        while (pos < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[pos]))) {
+          digits.push_back(source[pos++]);
+        }
+      }
+      std::int64_t value = 0;
+      try {
+        value = util::parse_i64(digits);
+      } catch (const util::Error& e) {
+        fail(e.what());
+      }
+      tokens.push_back({TokKind::kInt, digits, value, line});
+      continue;
+    }
+    auto two = [&source, &pos](char a, char b) {
+      return source[pos] == a && pos + 1 < source.size() &&
+             source[pos + 1] == b;
+    };
+    if (two('<', '<')) {
+      push(TokKind::kShl);
+      pos += 2;
+      continue;
+    }
+    if (two('>', '>')) {
+      push(TokKind::kShr);
+      pos += 2;
+      continue;
+    }
+    if (two('=', '=')) {
+      push(TokKind::kEq);
+      pos += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokKind::kNe);
+      pos += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokKind::kLe);
+      pos += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokKind::kGe);
+      pos += 2;
+      continue;
+    }
+    if (two('&', '&')) {
+      push(TokKind::kAndAnd);
+      pos += 2;
+      continue;
+    }
+    if (two('|', '|')) {
+      push(TokKind::kOrOr);
+      pos += 2;
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokKind::kLParen); break;
+      case ')': push(TokKind::kRParen); break;
+      case '{': push(TokKind::kLBrace); break;
+      case '}': push(TokKind::kRBrace); break;
+      case '[': push(TokKind::kLBracket); break;
+      case ']': push(TokKind::kRBracket); break;
+      case ',': push(TokKind::kComma); break;
+      case ';': push(TokKind::kSemicolon); break;
+      case '=': push(TokKind::kAssign); break;
+      case '+': push(TokKind::kPlus); break;
+      case '-': push(TokKind::kMinus); break;
+      case '*': push(TokKind::kStar); break;
+      case '/': push(TokKind::kSlash); break;
+      case '%': push(TokKind::kPercent); break;
+      case '&': push(TokKind::kAmp); break;
+      case '|': push(TokKind::kPipe); break;
+      case '^': push(TokKind::kCaret); break;
+      case '~': push(TokKind::kTilde); break;
+      case '!': push(TokKind::kBang); break;
+      case '<': push(TokKind::kLt); break;
+      case '>': push(TokKind::kGt); break;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+    ++pos;
+  }
+  tokens.push_back({TokKind::kEnd, "", 0, line});
+  return tokens;
+}
+
+const char* to_string(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd: return "<end>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kKernel: return "'kernel'";
+    case TokKind::kIntType: return "'int'";
+    case TokKind::kShortType: return "'short'";
+    case TokKind::kByteType: return "'byte'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kFor: return "'for'";
+    case TokKind::kWhile: return "'while'";
+    case TokKind::kStage: return "'stage'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemicolon: return "';'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kAmp: return "'&'";
+    case TokKind::kPipe: return "'|'";
+    case TokKind::kCaret: return "'^'";
+    case TokKind::kTilde: return "'~'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kShl: return "'<<'";
+    case TokKind::kShr: return "'>>'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+}  // namespace fti::compiler

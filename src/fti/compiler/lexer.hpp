@@ -1,0 +1,74 @@
+// Lexer for the Nenya-mini kernel language -- the C/Java-like subset our
+// stand-in compiler accepts (the paper's flow starts from Java sources; the
+// infrastructure only depends on the compiler's XML outputs, so a compact
+// imperative language exercises the identical downstream path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fti::compiler {
+
+enum class TokKind {
+  kEnd,
+  kIdent,
+  kInt,
+  // keywords
+  kKernel,
+  kIntType,
+  kShortType,
+  kByteType,
+  kIf,
+  kElse,
+  kFor,
+  kWhile,
+  kStage,
+  // punctuation
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kAssign,  // '='
+  // operators
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        // identifier spelling
+  std::int64_t value = 0;  // integer literal value
+  int line = 0;
+};
+
+/// Tokenizes the whole input; throws CompileError on bad characters.
+/// Supports // line and /* block */ comments, decimal and 0x literals.
+std::vector<Token> tokenize(std::string_view source);
+
+const char* to_string(TokKind kind);
+
+}  // namespace fti::compiler

@@ -1,0 +1,196 @@
+#include "fti/compiler/schedule.hpp"
+
+#include <algorithm>
+
+#include "fti/util/error.hpp"
+
+namespace fti::compiler {
+
+std::string fu_class_of(const MicroOp& op, const Resources& resources) {
+  switch (op.kind) {
+    case MicroOp::Kind::kBin:
+      return std::string(ops::to_string(op.bin));
+    case MicroOp::Kind::kUn:
+      return std::string(ops::to_string(op.un));
+    case MicroOp::Kind::kLoad:
+      return resources.read_ports_for(op.array) > 1 ? "memr:" + op.array
+                                                    : "mem:" + op.array;
+    case MicroOp::Kind::kStore:
+      return resources.read_ports_for(op.array) > 1 ? "memw:" + op.array
+                                                    : "mem:" + op.array;
+    case MicroOp::Kind::kCopy:
+      return "";
+  }
+  return "";
+}
+
+std::string fu_class_of(const MicroOp& op) {
+  return fu_class_of(op, Resources{});
+}
+
+unsigned Resources::read_ports_for(const std::string& array) const {
+  auto it = memory_read_ports.find(array);
+  unsigned ports =
+      it != memory_read_ports.end() ? it->second : default_memory_read_ports;
+  return ports == 0 ? 1 : ports;
+}
+
+unsigned Resources::limit_for(const std::string& fu_class) const {
+  if (fu_class.rfind("mem:", 0) == 0 || fu_class.rfind("memw:", 0) == 0) {
+    return 1;  // single shared port / single write port
+  }
+  if (fu_class.rfind("memr:", 0) == 0) {
+    return read_ports_for(fu_class.substr(5));
+  }
+  auto it = limits.find(fu_class);
+  unsigned limit = it != limits.end() ? it->second : default_limit;
+  return limit == 0 ? 1 : limit;
+}
+
+unsigned Resources::latency_for(const std::string& fu_class) const {
+  if (fu_class.empty() || fu_class.rfind("mem:", 0) == 0 ||
+      fu_class.rfind("memr:", 0) == 0 || fu_class.rfind("memw:", 0) == 0) {
+    return 0;
+  }
+  auto it = latencies.find(fu_class);
+  if (it == latencies.end()) {
+    return 0;
+  }
+  // Comparisons stay combinational: their outputs feed status logic.
+  try {
+    if (ops::is_comparison(ops::binop_from_string(fu_class))) {
+      return 0;
+    }
+  } catch (const util::Error&) {
+    // Unary classes parse as UnOp names; they are combinational too but a
+    // configured latency would be harmless -- keep it at 0 regardless.
+    return 0;
+  }
+  return it->second;
+}
+
+ScheduleResult schedule(const std::vector<MicroOp>& ops,
+                        const Resources& resources) {
+  const std::size_t n = ops.size();
+  ScheduleResult result;
+  result.ops.resize(n);
+  if (n == 0) {
+    return result;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t pred : ops[i].preds_delay1) {
+      if (pred >= i) {
+        throw util::IrError("micro-op dependence is not topological");
+      }
+    }
+    for (std::size_t pred : ops[i].preds_delay0) {
+      if (pred >= i) {
+        throw util::IrError("micro-op dependence is not topological");
+      }
+    }
+  }
+
+  // Per-op write-back distance: a latency-L producer's dependants start
+  // at least L+1 steps after it.
+  std::vector<std::size_t> wb_delay(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wb_delay[i] = resources.latency_for(fu_class_of(ops[i], resources)) + 1;
+  }
+
+  // Priority: longest path to any sink counting write-back edges (the
+  // number of steps this op necessarily stands before the end of the run).
+  std::vector<std::size_t> priority(n, 0);
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> succs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t pred : ops[i].preds_delay1) {
+      succs[pred].push_back({i, wb_delay[pred]});
+    }
+    for (std::size_t pred : ops[i].preds_delay0) {
+      succs[pred].push_back({i, 0});
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    for (const auto& [succ, delay] : succs[i]) {
+      priority[i] = std::max(priority[i], priority[succ] + delay);
+    }
+  }
+
+  std::vector<bool> placed(n, false);
+  std::size_t remaining = n;
+  std::size_t step = 0;
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&priority](std::size_t a, std::size_t b) {
+                     return priority[a] > priority[b];
+                   });
+
+  while (remaining > 0) {
+    std::map<std::string, std::size_t> used_this_step;
+    bool placed_any = false;
+    for (std::size_t i : order) {
+      if (placed[i]) {
+        continue;
+      }
+      bool ready = true;
+      for (std::size_t pred : ops[i].preds_delay1) {
+        if (!placed[pred] ||
+            result.ops[pred].step + wb_delay[pred] > step) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        for (std::size_t pred : ops[i].preds_delay0) {
+          if (!placed[pred] || result.ops[pred].step > step) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      std::string fu_class = fu_class_of(ops[i], resources);
+      std::size_t fu_index = 0;
+      if (!fu_class.empty()) {
+        std::size_t used = used_this_step[fu_class];
+        if (used >= resources.limit_for(fu_class)) {
+          continue;  // class exhausted this step
+        }
+        fu_index = used;
+        used_this_step[fu_class] = used + 1;
+        result.fu_peak[fu_class] =
+            std::max(result.fu_peak[fu_class], used + 1);
+      }
+      result.ops[i] = {step, fu_index};
+      placed[i] = true;
+      --remaining;
+      placed_any = true;
+    }
+    if (!placed_any && remaining > 0) {
+      // Nothing became ready this step; dependencies force the next step.
+      // (Always terminates: preds are topological, so the op whose preds
+      // are all placed becomes ready once `step` passes their steps.)
+      ++step;
+      continue;
+    }
+    ++step;
+  }
+  // step_count is the highest used start step + 1; writeback_count also
+  // covers the drain steps of in-flight multi-cycle results.
+  std::size_t max_step = 0;
+  std::size_t max_wb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_step = std::max(max_step, result.ops[i].step);
+    max_wb = std::max(max_wb, result.ops[i].step + wb_delay[i] - 1);
+  }
+  result.step_count = max_step + 1;
+  result.writeback_count = max_wb + 1;
+  return result;
+}
+
+}  // namespace fti::compiler

@@ -1,0 +1,107 @@
+// Resource-constrained list scheduler for straight-line micro-operations.
+//
+// A "run" of consecutive assignments becomes one dataflow graph of
+// micro-ops; the scheduler packs them into control steps subject to
+// functional-unit limits (so the binder can share adders/multipliers) and
+// one access per memory port per step.  Dependencies carry a minimum step
+// distance: 1 for true dependencies (the producer's result registers at
+// the end of its step) and 0 for anti dependencies (a register may be
+// overwritten in the same step its old value is read -- the reader sees
+// the pre-step value).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/ops/alu.hpp"
+
+namespace fti::compiler {
+
+/// Operand of a micro-op: a literal or a register (variable or temp).
+struct ValRef {
+  enum class Kind { kConst, kReg };
+  Kind kind = Kind::kConst;
+  std::uint64_t cval = 0;  // kConst (already masked to 32 bits)
+  std::string reg;         // kReg: register id
+
+  static ValRef of_const(std::uint64_t value) {
+    return {Kind::kConst, value, ""};
+  }
+  static ValRef of_reg(std::string reg_id) {
+    return {Kind::kReg, 0, std::move(reg_id)};
+  }
+};
+
+struct MicroOp {
+  enum class Kind { kBin, kUn, kLoad, kStore, kCopy };
+  Kind kind = Kind::kCopy;
+  ops::BinOp bin{};   // kBin
+  ops::UnOp un{};     // kUn
+  ValRef a;           // operand / load address / store address / copy src
+  ValRef b;           // second operand / store value
+  std::string dst;    // destination register id ("" for store)
+  std::string array;  // kLoad / kStore
+  /// step(this) >= step(pred) + latency(pred) + 1 (result write-back)
+  std::vector<std::size_t> preds_delay1;
+  /// step(this) >= step(pred) (anti dependence)
+  std::vector<std::size_t> preds_delay0;
+};
+
+struct Resources;
+
+/// Functional-unit class a micro-op occupies ("add", "mul", ...).  Memory
+/// accesses occupy "mem:<array>" when the array has a single read-write
+/// port, or "memr:<array>" / "memw:<array>" when the array is configured
+/// with multiple read ports (1-write/N-read memory).  Copies occupy no FU
+/// and return "".
+std::string fu_class_of(const MicroOp& op, const Resources& resources);
+
+/// Shared-port convention (read_ports == 1 for every array).
+std::string fu_class_of(const MicroOp& op);
+
+struct Resources {
+  /// Per-class instance limits; classes not listed use default_limit.
+  /// Memory port classes are always limited to 1 (single-port SRAMs).
+  std::map<std::string, unsigned> limits;
+  unsigned default_limit = 2;
+  /// Per-class pipeline latency (0 = combinational).  Ignored for
+  /// comparison classes, memory ports and copies.  A latency-L producer's
+  /// consumers start at least L+1 steps later; since the units are
+  /// initiation-interval-1 pipelines, the instance itself can start a new
+  /// operation every step.
+  std::map<std::string, unsigned> latencies;
+  /// Read ports per array (default default_memory_read_ports).  1 keeps
+  /// the classic single read-write SRAM port; N >= 2 builds a
+  /// 1-write/N-read memory, letting N loads issue in one step.
+  std::map<std::string, unsigned> memory_read_ports;
+  unsigned default_memory_read_ports = 1;
+
+  unsigned read_ports_for(const std::string& array) const;
+  unsigned limit_for(const std::string& fu_class) const;
+  unsigned latency_for(const std::string& fu_class) const;
+};
+
+struct ScheduledOp {
+  std::size_t step = 0;
+  std::size_t fu_index = 0;  ///< instance within the op's FU class
+};
+
+struct ScheduleResult {
+  std::vector<ScheduledOp> ops;  ///< parallel to the input vector
+  /// Steps in which operations *start*.
+  std::size_t step_count = 0;
+  /// Steps including multi-cycle write-back drain: every result has been
+  /// committed by the end of step writeback_count - 1.
+  std::size_t writeback_count = 0;
+  /// Peak concurrent instances used per FU class.
+  std::map<std::string, std::size_t> fu_peak;
+};
+
+/// List scheduling by longest-path-to-sink priority.  Throws IrError when
+/// the dependence graph is malformed (cyclic or dangling).
+ScheduleResult schedule(const std::vector<MicroOp>& ops,
+                        const Resources& resources);
+
+}  // namespace fti::compiler

@@ -1,0 +1,35 @@
+// Semantic analysis: symbol resolution and the structural rules the
+// hardware generator depends on.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "fti/compiler/ast.hpp"
+
+namespace fti::compiler {
+
+struct SemaInfo {
+  /// Array parameters by name (they become SRAMs).
+  std::map<std::string, Param> arrays;
+  /// Scalar parameters (bound to constants at compile time).
+  std::set<std::string> scalar_params;
+  /// Local variables (become 32-bit datapath registers).
+  std::set<std::string> locals;
+};
+
+/// Verifies the program:
+///  * identifiers resolve; locals are declared before use, never twice,
+///    and do not shadow parameters;
+///  * arrays are always indexed, scalars never are;
+///  * assignment targets are locals or array elements (scalar parameters
+///    are read-only workload constants);
+///  * every local read inside a temporal partition is also assigned inside
+///    that partition (partitions communicate through memories only --
+///    the RTG model of the paper);
+///  * builtin calls (min/max/abs) have the right arity.
+/// Throws CompileError; returns the symbol table on success.
+SemaInfo check_program(const Program& program);
+
+}  // namespace fti::compiler

@@ -1,0 +1,159 @@
+#include "fti/cosim/cpu.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::cosim {
+
+CpuInsn& CpuProgram::append(CpuOp op) {
+  CpuInsn insn;
+  insn.op = op;
+  insns_.push_back(insn);
+  return insns_.back();
+}
+
+CpuProgram& CpuProgram::ldi(int rd, std::int64_t imm) {
+  CpuInsn& insn = append(CpuOp::kLdi);
+  insn.rd = rd;
+  insn.imm = imm;
+  return *this;
+}
+
+CpuProgram& CpuProgram::mov(int rd, int ra) {
+  CpuInsn& insn = append(CpuOp::kMov);
+  insn.rd = rd;
+  insn.ra = ra;
+  return *this;
+}
+
+CpuProgram& CpuProgram::alu(ops::BinOp op, int rd, int ra, int rb) {
+  CpuInsn& insn = append(CpuOp::kAlu);
+  insn.alu = op;
+  insn.rd = rd;
+  insn.ra = ra;
+  insn.rb = rb;
+  return *this;
+}
+
+CpuProgram& CpuProgram::alu_imm(ops::BinOp op, int rd, int ra,
+                                std::int64_t imm) {
+  CpuInsn& insn = append(CpuOp::kAluImm);
+  insn.alu = op;
+  insn.rd = rd;
+  insn.ra = ra;
+  insn.imm = imm;
+  return *this;
+}
+
+CpuProgram& CpuProgram::load(int rd, const std::string& array, int ra_addr) {
+  CpuInsn& insn = append(CpuOp::kLoad);
+  insn.rd = rd;
+  insn.ra = ra_addr;
+  insn.array = array;
+  return *this;
+}
+
+CpuProgram& CpuProgram::store(const std::string& array, int ra_addr,
+                              int rb_value) {
+  CpuInsn& insn = append(CpuOp::kStore);
+  insn.ra = ra_addr;
+  insn.rb = rb_value;
+  insn.array = array;
+  return *this;
+}
+
+CpuProgram& CpuProgram::branch_if(ops::BinOp cmp, int ra, int rb,
+                                  const std::string& label) {
+  CpuInsn& insn = append(CpuOp::kBranch);
+  insn.alu = cmp;
+  insn.ra = ra;
+  insn.rb = rb;
+  insn.label = label;
+  return *this;
+}
+
+CpuProgram& CpuProgram::jump(const std::string& label) {
+  CpuInsn& insn = append(CpuOp::kJump);
+  insn.label = label;
+  return *this;
+}
+
+CpuProgram& CpuProgram::label(const std::string& name) {
+  auto [it, inserted] = labels_.emplace(name, insns_.size());
+  (void)it;
+  if (!inserted) {
+    throw util::IrError("cpu label '" + name + "' defined twice");
+  }
+  return *this;
+}
+
+CpuProgram& CpuProgram::run_accel(const std::string& node) {
+  CpuInsn& insn = append(CpuOp::kRun);
+  insn.node = node;
+  return *this;
+}
+
+CpuProgram& CpuProgram::halt() {
+  append(CpuOp::kHalt);
+  return *this;
+}
+
+std::size_t CpuProgram::resolve(const std::string& name) const {
+  auto it = labels_.find(name);
+  if (it == labels_.end()) {
+    throw util::IrError("cpu label '" + name + "' is not defined");
+  }
+  return it->second;
+}
+
+void CpuProgram::validate() const {
+  auto check_reg = [](int reg, const char* what) {
+    if (reg < 0 || static_cast<std::size_t>(reg) >= kRegisterCount) {
+      throw util::IrError(std::string("cpu register ") + what +
+                          " out of range: r" + std::to_string(reg));
+    }
+  };
+  for (const CpuInsn& insn : insns_) {
+    switch (insn.op) {
+      case CpuOp::kLdi:
+        check_reg(insn.rd, "rd");
+        break;
+      case CpuOp::kMov:
+        check_reg(insn.rd, "rd");
+        check_reg(insn.ra, "ra");
+        break;
+      case CpuOp::kAlu:
+        check_reg(insn.rd, "rd");
+        check_reg(insn.ra, "ra");
+        check_reg(insn.rb, "rb");
+        break;
+      case CpuOp::kAluImm:
+        check_reg(insn.rd, "rd");
+        check_reg(insn.ra, "ra");
+        break;
+      case CpuOp::kLoad:
+        check_reg(insn.rd, "rd");
+        check_reg(insn.ra, "ra");
+        break;
+      case CpuOp::kStore:
+        check_reg(insn.ra, "ra");
+        check_reg(insn.rb, "rb");
+        break;
+      case CpuOp::kBranch:
+        check_reg(insn.ra, "ra");
+        check_reg(insn.rb, "rb");
+        if (!ops::is_comparison(insn.alu)) {
+          throw util::IrError("cpu branch condition must be a comparison");
+        }
+        resolve(insn.label);
+        break;
+      case CpuOp::kJump:
+        resolve(insn.label);
+        break;
+      case CpuOp::kRun:
+      case CpuOp::kHalt:
+        break;
+    }
+  }
+}
+
+}  // namespace fti::cosim

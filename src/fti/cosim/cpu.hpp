@@ -1,0 +1,90 @@
+// Microprocessor model for hardware/software co-simulation.
+//
+// "Further work will focus on functional simulation of a microprocessor
+// tightly coupled to reconfigurable hardware components."  (paper §3)
+//
+// The CPU is a small load/store machine with sixteen 32-bit registers.
+// It shares the MemoryPool with the reconfigurable fabric (the SRAMs are
+// the coupling interface) and controls reconfiguration itself: the RUN
+// instruction loads a named configuration onto the fabric and blocks until
+// its FSM raises done -- the processor replaces the static RTG walk as the
+// sequencer, which is exactly what a host program on a CPU+FPGA platform
+// does.
+//
+// ALU semantics are ops::eval_binop at 32 bits, the same functions the
+// fabric's operator components use, so mixed software/hardware algorithms
+// stay bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/ops/alu.hpp"
+
+namespace fti::cosim {
+
+inline constexpr std::size_t kRegisterCount = 16;
+
+enum class CpuOp {
+  kLdi,     ///< rd = imm
+  kMov,     ///< rd = ra
+  kAlu,     ///< rd = alu(ra, rb)
+  kAluImm,  ///< rd = alu(ra, imm)
+  kLoad,    ///< rd = array[ra]            (2 cycles: bus access)
+  kStore,   ///< array[ra] = rb            (2 cycles)
+  kBranch,  ///< if cmp(ra, rb) goto label
+  kJump,    ///< goto label
+  kRun,     ///< reconfigure fabric to `node`, run until done
+  kHalt,    ///< stop
+};
+
+struct CpuInsn {
+  CpuOp op = CpuOp::kHalt;
+  ops::BinOp alu{};  // kAlu / kAluImm / kBranch (comparison)
+  int rd = 0;
+  int ra = 0;
+  int rb = 0;
+  std::int64_t imm = 0;
+  std::string array;   // kLoad / kStore
+  std::string label;   // kBranch / kJump target
+  std::string node;    // kRun: configuration name ("" = whole RTG)
+};
+
+/// Program under construction; a tiny structured assembler.
+class CpuProgram {
+ public:
+  CpuProgram& ldi(int rd, std::int64_t imm);
+  CpuProgram& mov(int rd, int ra);
+  CpuProgram& alu(ops::BinOp op, int rd, int ra, int rb);
+  CpuProgram& alu_imm(ops::BinOp op, int rd, int ra, std::int64_t imm);
+  CpuProgram& load(int rd, const std::string& array, int ra_addr);
+  CpuProgram& store(const std::string& array, int ra_addr, int rb_value);
+  /// Branches to `label` when cmp(ra, rb) holds; cmp must be a comparison.
+  CpuProgram& branch_if(ops::BinOp cmp, int ra, int rb,
+                        const std::string& label);
+  CpuProgram& jump(const std::string& label);
+  /// Defines a label at the current position.
+  CpuProgram& label(const std::string& name);
+  /// Loads configuration `node` onto the fabric and runs it to completion
+  /// ("" runs the design's whole RTG sequence).
+  CpuProgram& run_accel(const std::string& node = "");
+  CpuProgram& halt();
+
+  const std::vector<CpuInsn>& instructions() const { return insns_; }
+
+  /// Resolves a label to its instruction index; throws IrError if unknown.
+  std::size_t resolve(const std::string& name) const;
+
+  /// Checks register indices, label references and comparison ops.
+  void validate() const;
+
+ private:
+  CpuInsn& append(CpuOp op);
+
+  std::vector<CpuInsn> insns_;
+  std::map<std::string, std::size_t> labels_;
+};
+
+}  // namespace fti::cosim

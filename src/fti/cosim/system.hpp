@@ -1,0 +1,67 @@
+// CPU + reconfigurable-fabric co-simulation.
+//
+// The system couples the CpuProgram to a compiled ir::Design through the
+// shared MemoryPool, at transaction level: CPU instructions execute with
+// simple cycle costs, and a RUN instruction hands control to the
+// cycle-accurate event-driven simulation of the requested configuration
+// (an explicit reconfiguration) until its FSM raises done.  Total system
+// time is cpu_cycles + fabric_cycles -- the processor is stalled while
+// the fabric computes, the "tightly coupled" model of the paper's outlook.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <string>
+
+#include "fti/cosim/cpu.hpp"
+#include "fti/elab/rtg_exec.hpp"
+#include "fti/ir/rtg.hpp"
+#include "fti/mem/storage.hpp"
+
+namespace fti::cosim {
+
+struct CoSimOptions {
+  /// Cycle cost of one CPU instruction / one bus (load/store) access.
+  std::uint64_t cycles_per_insn = 1;
+  std::uint64_t cycles_per_bus_access = 2;
+  /// Extra cycles charged per reconfiguration (bitstream-load stand-in).
+  std::uint64_t cycles_per_reconfiguration = 100;
+  /// Abort after this many executed CPU instructions (runaway guard).
+  std::uint64_t max_instructions = 10'000'000;
+  elab::RtgRunOptions fabric;
+};
+
+struct CoSimResult {
+  std::array<std::uint64_t, kRegisterCount> registers{};
+  std::uint64_t cpu_cycles = 0;
+  std::uint64_t fabric_cycles = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  bool halted = false;  ///< false when max_instructions hit
+
+  std::uint64_t total_cycles() const {
+    return cpu_cycles + fabric_cycles;
+  }
+};
+
+class CoSimSystem {
+ public:
+  /// The design is the fabric's configuration library; memories referenced
+  /// by both the CPU program and the design live in `pool`.
+  CoSimSystem(const ir::Design& design, mem::MemoryPool& pool)
+      : design_(design), pool_(pool) {}
+
+  /// Executes `program` to completion (HALT) or until the instruction
+  /// budget runs out.  Throws IrError for malformed programs, SimError for
+  /// runtime faults (bad memory access, fabric that never finishes).
+  CoSimResult run(const CpuProgram& program,
+                  const CoSimOptions& options = {});
+
+ private:
+  const ir::Design& design_;
+  mem::MemoryPool& pool_;
+};
+
+}  // namespace fti::cosim

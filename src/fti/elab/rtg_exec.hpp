@@ -1,0 +1,72 @@
+// RTG executor -- "Java code that controls the execution of the simulation
+// through the set of temporal partitions" (paper §2), as a C++ driver.
+//
+// Each RTG node is elaborated into a fresh netlist, simulated until its FSM
+// raises done, then torn down; the shared MemoryPool carries data to the
+// next partition.  Per-partition statistics feed the Table I rows (FDCT2
+// reports one simulation-time entry per configuration).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fti/elab/elaborator.hpp"
+#include "fti/ir/rtg.hpp"
+#include "fti/mem/storage.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::elab {
+
+struct PartitionRun {
+  std::string node;
+  std::uint64_t cycles = 0;  ///< clock cycles the partition executed
+  sim::KernelStats stats;
+  double wall_seconds = 0.0;
+  sim::Kernel::StopReason reason = sim::Kernel::StopReason::kIdle;
+  /// Control-unit coverage of this partition's run.
+  FsmCoverage coverage;
+};
+
+struct RtgRunResult {
+  std::vector<PartitionRun> partitions;
+  /// True when every partition finished by raising done.
+  bool completed = false;
+
+  std::uint64_t total_cycles() const;
+  std::uint64_t total_events() const;
+  double total_wall_seconds() const;
+};
+
+struct RtgRunOptions {
+  ElabOptions elab;
+  /// Per-partition cycle budget before giving up (0 = unlimited -- then a
+  /// design that never raises done runs forever, so leave this set).
+  std::uint64_t max_cycles_per_partition = 50'000'000;
+  /// Called after each partition is elaborated and before it runs, so
+  /// callers can attach probes and assertions.  NOTE: anything added to
+  /// the netlist is destroyed when the partition is torn down -- read the
+  /// instrumentation back in on_partition_done, not after run_design.
+  std::function<void(const std::string& node, ElaboratedConfig&)>
+      on_elaborated;
+  /// Called after a partition finished but BEFORE its netlist is torn
+  /// down: the last chance to harvest probes, assertions and net values.
+  std::function<void(const std::string& node, ElaboratedConfig&,
+                     const PartitionRun&)>
+      on_partition_done;
+  /// Tracer (e.g. a VcdWriter) installed on ONE partition's kernel: the
+  /// node named by `trace_node`, or the first partition when empty.  One
+  /// partition only, because a tracer watches nets by identity and each
+  /// partition owns a fresh netlist.
+  sim::Tracer* tracer = nullptr;
+  std::string trace_node;
+};
+
+/// Runs `design` to completion over `pool`.  Throws SimError for in-run
+/// failures (assertions, bad memory writes); a partition that exhausts its
+/// cycle budget yields completed == false instead of throwing, so the
+/// harness can report a precise "did not converge" verdict.
+RtgRunResult run_design(const ir::Design& design, mem::MemoryPool& pool,
+                        const RtgRunOptions& options = {});
+
+}  // namespace fti::elab

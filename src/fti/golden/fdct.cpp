@@ -1,0 +1,263 @@
+#include "fti/golden/fdct.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::golden {
+namespace {
+
+// 13-bit fixed-point DCT constants (jfdctint).
+constexpr std::int32_t kFix0298631336 = 2446;
+constexpr std::int32_t kFix0390180644 = 3196;
+constexpr std::int32_t kFix0541196100 = 4433;
+constexpr std::int32_t kFix0765366865 = 6270;
+constexpr std::int32_t kFix0899976223 = 7373;
+constexpr std::int32_t kFix1175875602 = 9633;
+constexpr std::int32_t kFix1501321110 = 12299;
+constexpr std::int32_t kFix1847759065 = 15137;
+constexpr std::int32_t kFix1961570560 = 16069;
+constexpr std::int32_t kFix2053119869 = 16819;
+constexpr std::int32_t kFix2562915447 = 20995;
+constexpr std::int32_t kFix3072711026 = 25172;
+
+/// Emits the straight-line 8-point butterfly.  `x(k)` names the loaded
+/// inputs; results are stored via `store(k, value_expr)`.  `descale` is 11
+/// for the row pass (CONST_BITS - PASS1_BITS) and 15 for the column pass;
+/// the even DC/Nyquist terms shift by `even_shift` with `even_up` choosing
+/// between "<<" (pass 1) and rounded ">>" (pass 2).
+std::string butterfly(bool pass1) {
+  const int descale = pass1 ? 11 : 15;
+  const int round_add = 1 << (descale - 1);
+  std::string s;
+  auto line = [&s](const std::string& text) { s += "    " + text + "\n"; };
+  line("int t0 = x0 + x7;");
+  line("int t7 = x0 - x7;");
+  line("int t1 = x1 + x6;");
+  line("int t6 = x1 - x6;");
+  line("int t2 = x2 + x5;");
+  line("int t5 = x2 - x5;");
+  line("int t3 = x3 + x4;");
+  line("int t4 = x3 - x4;");
+  line("int t10 = t0 + t3;");
+  line("int t13 = t0 - t3;");
+  line("int t11 = t1 + t2;");
+  line("int t12 = t1 - t2;");
+  if (pass1) {
+    line("int y0 = (t10 + t11) << 2;");
+    line("int y4 = (t10 - t11) << 2;");
+  } else {
+    line("int y0 = (t10 + t11 + 2) >> 2;");
+    line("int y4 = (t10 - t11 + 2) >> 2;");
+  }
+  line("int z1 = (t12 + t13) * " + std::to_string(kFix0541196100) + ";");
+  line("int y2 = (z1 + t13 * " + std::to_string(kFix0765366865) + " + " +
+       std::to_string(round_add) + ") >> " + std::to_string(descale) + ";");
+  line("int y6 = (z1 - t12 * " + std::to_string(kFix1847759065) + " + " +
+       std::to_string(round_add) + ") >> " + std::to_string(descale) + ";");
+  line("int z1o = t4 + t7;");
+  line("int z2 = t5 + t6;");
+  line("int z3 = t4 + t6;");
+  line("int z4 = t5 + t7;");
+  line("int z5 = (z3 + z4) * " + std::to_string(kFix1175875602) + ";");
+  line("int t4m = t4 * " + std::to_string(kFix0298631336) + ";");
+  line("int t5m = t5 * " + std::to_string(kFix2053119869) + ";");
+  line("int t6m = t6 * " + std::to_string(kFix3072711026) + ";");
+  line("int t7m = t7 * " + std::to_string(kFix1501321110) + ";");
+  line("int z1m = 0 - z1o * " + std::to_string(kFix0899976223) + ";");
+  line("int z2m = 0 - z2 * " + std::to_string(kFix2562915447) + ";");
+  line("int z3m = 0 - z3 * " + std::to_string(kFix1961570560) + ";");
+  line("int z4m = 0 - z4 * " + std::to_string(kFix0390180644) + ";");
+  line("z3m = z3m + z5;");
+  line("z4m = z4m + z5;");
+  line("int y7 = (t4m + z1m + z3m + " + std::to_string(round_add) + ") >> " +
+       std::to_string(descale) + ";");
+  line("int y5 = (t5m + z2m + z4m + " + std::to_string(round_add) + ") >> " +
+       std::to_string(descale) + ";");
+  line("int y3 = (t6m + z2m + z3m + " + std::to_string(round_add) + ") >> " +
+       std::to_string(descale) + ";");
+  line("int y1 = (t7m + z1m + z4m + " + std::to_string(round_add) + ") >> " +
+       std::to_string(descale) + ";");
+  return s;
+}
+
+/// Appends `suffix` to every pass-local identifier (the kernel language
+/// has one flat scope, so the two passes need distinct local names).
+std::string suffix_locals(const std::string& text, const std::string& suffix) {
+  static const char* kLocals[] = {
+      "x0", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "y0", "y1", "y2",
+      "y3", "y4", "y5", "y6", "y7", "t0", "t1", "t2", "t3", "t4", "t5",
+      "t6", "t7", "t10", "t11", "t12", "t13", "t4m", "t5m", "t6m", "t7m",
+      "z1", "z2", "z3", "z4", "z5", "z1o", "z1m", "z2m", "z3m", "z4m",
+      "base"};
+  auto is_word = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  };
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_word(text[i]) && (i == 0 || !is_word(text[i - 1]))) {
+      std::size_t end = i;
+      while (end < text.size() && is_word(text[end])) {
+        ++end;
+      }
+      std::string word = text.substr(i, end - i);
+      bool hit = false;
+      for (const char* local : kLocals) {
+        if (word == local) {
+          hit = true;
+          break;
+        }
+      }
+      out += word;
+      if (hit) {
+        out += suffix;
+      }
+      i = end;
+      continue;
+    }
+    out.push_back(text[i++]);
+  }
+  return out;
+}
+
+std::string pass_loop(bool pass1, const std::string& src,
+                      const std::string& dst) {
+  // Row pass: element k of the line sits at base + k (base = b*64 + i*8).
+  // Column pass: element k sits at base + 8k (base = b*64 + i).
+  std::string s;
+  s += "  for (b = 0; b < nblocks; b = b + 1) {\n";
+  s += "    for (i = 0; i < 8; i = i + 1) {\n";
+  s += pass1 ? "    int base = b * 64 + i * 8;\n"
+             : "    int base = b * 64 + i;\n";
+  for (int k = 0; k < 8; ++k) {
+    s += "    int x" + std::to_string(k) + " = " + src + "[base + " +
+         std::to_string(k) + (pass1 ? "" : " * 8") + "];\n";
+  }
+  s += butterfly(pass1);
+  for (int k = 0; k < 8; ++k) {
+    s += "    " + dst + "[base + " + std::to_string(k) +
+         (pass1 ? "" : " * 8") + "] = y" + std::to_string(k) + ";\n";
+  }
+  s += "    }\n";
+  s += "  }\n";
+  return suffix_locals(s, pass1 ? "_a" : "_b");
+}
+
+// -- reference implementation ------------------------------------------------
+
+/// 32-bit wrapping arithmetic helpers (the kernel language's semantics).
+std::int32_t w_add(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) +
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t w_sub(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) -
+                                   static_cast<std::uint32_t>(b));
+}
+std::int32_t w_mul(std::int32_t a, std::int32_t b) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(a) *
+                                   static_cast<std::uint32_t>(b));
+}
+
+void dct_1d(const std::int32_t x[8], std::int32_t y[8], bool pass1) {
+  const int descale = pass1 ? 11 : 15;
+  const std::int32_t round_add = 1 << (descale - 1);
+  std::int32_t t0 = w_add(x[0], x[7]), t7 = w_sub(x[0], x[7]);
+  std::int32_t t1 = w_add(x[1], x[6]), t6 = w_sub(x[1], x[6]);
+  std::int32_t t2 = w_add(x[2], x[5]), t5 = w_sub(x[2], x[5]);
+  std::int32_t t3 = w_add(x[3], x[4]), t4 = w_sub(x[3], x[4]);
+  std::int32_t t10 = w_add(t0, t3), t13 = w_sub(t0, t3);
+  std::int32_t t11 = w_add(t1, t2), t12 = w_sub(t1, t2);
+  if (pass1) {
+    y[0] = w_add(t10, t11) << 2;
+    y[4] = w_sub(t10, t11) << 2;
+  } else {
+    y[0] = w_add(w_add(t10, t11), 2) >> 2;
+    y[4] = w_add(w_sub(t10, t11), 2) >> 2;
+  }
+  std::int32_t z1 = w_mul(w_add(t12, t13), kFix0541196100);
+  y[2] = w_add(w_add(z1, w_mul(t13, kFix0765366865)), round_add) >> descale;
+  y[6] = w_add(w_sub(z1, w_mul(t12, kFix1847759065)), round_add) >> descale;
+  std::int32_t z1o = w_add(t4, t7);
+  std::int32_t z2 = w_add(t5, t6);
+  std::int32_t z3 = w_add(t4, t6);
+  std::int32_t z4 = w_add(t5, t7);
+  std::int32_t z5 = w_mul(w_add(z3, z4), kFix1175875602);
+  std::int32_t t4m = w_mul(t4, kFix0298631336);
+  std::int32_t t5m = w_mul(t5, kFix2053119869);
+  std::int32_t t6m = w_mul(t6, kFix3072711026);
+  std::int32_t t7m = w_mul(t7, kFix1501321110);
+  std::int32_t z1m = w_sub(0, w_mul(z1o, kFix0899976223));
+  std::int32_t z2m = w_sub(0, w_mul(z2, kFix2562915447));
+  std::int32_t z3m = w_sub(0, w_mul(z3, kFix1961570560));
+  std::int32_t z4m = w_sub(0, w_mul(z4, kFix0390180644));
+  z3m = w_add(z3m, z5);
+  z4m = w_add(z4m, z5);
+  y[7] = w_add(w_add(w_add(t4m, z1m), z3m), round_add) >> descale;
+  y[5] = w_add(w_add(w_add(t5m, z2m), z4m), round_add) >> descale;
+  y[3] = w_add(w_add(w_add(t6m, z2m), z3m), round_add) >> descale;
+  y[1] = w_add(w_add(w_add(t7m, z1m), z4m), round_add) >> descale;
+}
+
+std::int32_t sext16(std::uint64_t word) {
+  return static_cast<std::int32_t>(
+      static_cast<std::int16_t>(word & 0xFFFF));
+}
+
+}  // namespace
+
+std::string fdct_source(std::size_t blocks, bool two_stage) {
+  FTI_ASSERT(blocks > 0, "fdct needs at least one block");
+  std::size_t pixels = blocks * kBlockPixels;
+  std::string n = std::to_string(pixels);
+  std::string s;
+  s += "// integer 8x8 FDCT over " + std::to_string(blocks) +
+       " block(s), " + (two_stage ? "two" : "one") + " configuration(s)\n";
+  s += "kernel fdct(byte in[" + n + "], short tmp[" + n + "], short out[" +
+       n + "], int nblocks) {\n";
+  s += "  int b;\n  int i;\n";
+  s += pass_loop(/*pass1=*/true, "in", "tmp");
+  if (two_stage) {
+    s += "  stage;\n";
+  }
+  s += pass_loop(/*pass1=*/false, "tmp", "out");
+  s += "}\n";
+  return s;
+}
+
+void fdct_reference(const std::vector<std::uint64_t>& input,
+                    std::vector<std::uint64_t>& scratch,
+                    std::vector<std::uint64_t>& output, std::size_t blocks) {
+  std::size_t pixels = blocks * kBlockPixels;
+  FTI_ASSERT(input.size() >= pixels, "input image too small");
+  scratch.assign(pixels, 0);
+  output.assign(pixels, 0);
+  std::int32_t x[8];
+  std::int32_t y[8];
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::size_t base = b * 64 + i * 8;
+      for (std::size_t k = 0; k < 8; ++k) {
+        x[k] = static_cast<std::int32_t>(input[base + k] & 0xFF);
+      }
+      dct_1d(x, y, /*pass1=*/true);
+      for (std::size_t k = 0; k < 8; ++k) {
+        scratch[base + k] = static_cast<std::uint64_t>(y[k]) & 0xFFFF;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::size_t base = b * 64 + i;
+      for (std::size_t k = 0; k < 8; ++k) {
+        x[k] = sext16(scratch[base + k * 8]);
+      }
+      dct_1d(x, y, /*pass1=*/false);
+      for (std::size_t k = 0; k < 8; ++k) {
+        output[base + k * 8] = static_cast<std::uint64_t>(y[k]) & 0xFFFF;
+      }
+    }
+  }
+}
+
+}  // namespace fti::golden

@@ -1,0 +1,38 @@
+// Fast DCT workload -- the paper's headline benchmark.
+//
+// "The FDCT performs 8x8 DCT blocks over an input image. ... Both
+// implementations use three SRAMs to store input, output, and intermediate
+// images." (paper §3)
+//
+// fdct_source() generates the Nenya-mini kernel (the "Java input
+// algorithm" analogue): a separable integer 8x8 DCT using the classic
+// 13-bit fixed-point butterfly (jfdctint-style), row pass into a scratch
+// image, column pass into the output image.  The two-configuration variant
+// inserts a `stage;` between the passes, so the compiler emits two
+// temporal partitions communicating through the scratch SRAM -- exactly
+// the paper's FDCT2.
+//
+// fdct_reference() is an independently written C++ implementation of the
+// same integer math, used to cross-check the interpreter in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fti::golden {
+
+/// Pixels per 8x8 block.
+inline constexpr std::size_t kBlockPixels = 64;
+
+/// Kernel source for `blocks` 8x8 blocks (image size = blocks * 64).
+/// Array params: byte in[N], short tmp[N], short out[N]; scalar: nblocks.
+std::string fdct_source(std::size_t blocks, bool two_stage);
+
+/// Reference FDCT over raw memory words: `input` holds 8-bit pixels,
+/// `scratch`/`output` are filled with 16-bit masked results.
+void fdct_reference(const std::vector<std::uint64_t>& input,
+                    std::vector<std::uint64_t>& scratch,
+                    std::vector<std::uint64_t>& output, std::size_t blocks);
+
+}  // namespace fti::golden

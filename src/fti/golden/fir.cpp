@@ -1,0 +1,53 @@
+#include "fti/golden/fir.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::golden {
+
+std::string fir_source(std::size_t samples, std::size_t taps) {
+  FTI_ASSERT(samples > 0 && taps > 0, "fir needs samples and taps");
+  std::string nx = std::to_string(samples + taps - 1);
+  std::string nh = std::to_string(taps);
+  std::string ny = std::to_string(samples);
+  std::string s;
+  s += "// " + std::to_string(taps) + "-tap FIR over " +
+       std::to_string(samples) + " samples\n";
+  s += "kernel fir(short x[" + nx + "], short h[" + nh + "], short y[" +
+       ny + "], int n, int taps) {\n";
+  s += "  int i;\n  int k;\n";
+  s += "  for (i = 0; i < n; i = i + 1) {\n";
+  s += "    int acc = 0;\n";
+  s += "    for (k = 0; k < taps; k = k + 1) {\n";
+  s += "      acc = acc + h[k] * x[i + k];\n";
+  s += "    }\n";
+  s += "    y[i] = acc >> 8;\n";
+  s += "  }\n";
+  s += "}\n";
+  return s;
+}
+
+void fir_reference(const std::vector<std::uint64_t>& x,
+                   const std::vector<std::uint64_t>& h,
+                   std::vector<std::uint64_t>& y, std::size_t samples,
+                   std::size_t taps) {
+  FTI_ASSERT(x.size() >= samples + taps - 1, "fir input too small");
+  FTI_ASSERT(h.size() >= taps, "fir coefficients too small");
+  auto sext16 = [](std::uint64_t word) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(word & 0xFFFF));
+  };
+  y.assign(samples, 0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::uint32_t acc = 0;
+    for (std::size_t k = 0; k < taps; ++k) {
+      acc += static_cast<std::uint32_t>(sext16(h[k])) *
+             static_cast<std::uint32_t>(sext16(x[i + k]));
+    }
+    // ">> 8" in the kernel is arithmetic on the wrapped 32-bit value.
+    std::int32_t wide = static_cast<std::int32_t>(acc);
+    y[i] = static_cast<std::uint64_t>(wide >> 8) & 0xFFFF;
+  }
+  (void)taps;
+}
+
+}  // namespace fti::golden

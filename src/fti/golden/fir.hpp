@@ -1,0 +1,24 @@
+// FIR filter workload -- an additional streaming kernel exercising
+// multiply-accumulate loops with a coefficient memory (used by examples
+// and the property-test corpus; not part of Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fti::golden {
+
+/// Kernel source: y[i] = sum_{k<taps} h[k] * x[i+k] over `samples` outputs.
+/// Params: short x[samples+taps-1], short h[taps], short y[samples];
+/// scalars: n (= samples), taps.
+std::string fir_source(std::size_t samples, std::size_t taps);
+
+/// Reference over raw 16-bit memory words (wrapping 32-bit accumulate,
+/// result masked to 16 bits -- the kernel semantics).
+void fir_reference(const std::vector<std::uint64_t>& x,
+                   const std::vector<std::uint64_t>& h,
+                   std::vector<std::uint64_t>& y, std::size_t samples,
+                   std::size_t taps);
+
+}  // namespace fti::golden

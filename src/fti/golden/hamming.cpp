@@ -1,0 +1,97 @@
+#include "fti/golden/hamming.hpp"
+
+#include "fti/golden/rng.hpp"
+#include "fti/util/error.hpp"
+
+namespace fti::golden {
+
+std::string hamming_source(std::size_t words) {
+  FTI_ASSERT(words > 0, "hamming needs at least one codeword");
+  std::string n = std::to_string(words);
+  std::string s;
+  s += "// Hamming(7,4) decoder over " + n + " codewords\n";
+  s += "kernel hamming(byte code[" + n + "], byte data[" + n + "], int n) {\n";
+  s += "  int i;\n";
+  s += "  for (i = 0; i < n; i = i + 1) {\n";
+  s += "    int c = code[i];\n";
+  s += "    int b1 = c & 1;\n";
+  s += "    int b2 = (c >> 1) & 1;\n";
+  s += "    int b3 = (c >> 2) & 1;\n";
+  s += "    int b4 = (c >> 3) & 1;\n";
+  s += "    int b5 = (c >> 4) & 1;\n";
+  s += "    int b6 = (c >> 5) & 1;\n";
+  s += "    int b7 = (c >> 6) & 1;\n";
+  s += "    int s1 = b1 ^ b3 ^ b5 ^ b7;\n";
+  s += "    int s2 = b2 ^ b3 ^ b6 ^ b7;\n";
+  s += "    int s3 = b4 ^ b5 ^ b6 ^ b7;\n";
+  s += "    int syn = s1 | (s2 << 1) | (s3 << 2);\n";
+  s += "    int fixed = c;\n";
+  s += "    if (syn != 0) {\n";
+  s += "      fixed = c ^ (1 << (syn - 1));\n";
+  s += "    }\n";
+  s += "    data[i] = ((fixed >> 2) & 1) | (((fixed >> 4) & 1) << 1)\n";
+  s += "            | (((fixed >> 5) & 1) << 2) | (((fixed >> 6) & 1) << 3);\n";
+  s += "  }\n";
+  s += "}\n";
+  return s;
+}
+
+std::uint8_t hamming_encode(std::uint8_t nibble) {
+  std::uint8_t d1 = nibble & 1;         // -> position 3
+  std::uint8_t d2 = (nibble >> 1) & 1;  // -> position 5
+  std::uint8_t d3 = (nibble >> 2) & 1;  // -> position 6
+  std::uint8_t d4 = (nibble >> 3) & 1;  // -> position 7
+  std::uint8_t p1 = d1 ^ d2 ^ d4;       // covers 1,3,5,7
+  std::uint8_t p2 = d1 ^ d3 ^ d4;       // covers 2,3,6,7
+  std::uint8_t p3 = d2 ^ d3 ^ d4;       // covers 4,5,6,7
+  return static_cast<std::uint8_t>(p1 | (p2 << 1) | (d1 << 2) | (p3 << 3) |
+                                   (d2 << 4) | (d3 << 5) | (d4 << 6));
+}
+
+std::uint8_t hamming_decode(std::uint8_t codeword) {
+  auto bit = [codeword](int position) {  // 1-indexed
+    return (codeword >> (position - 1)) & 1;
+  };
+  int s1 = bit(1) ^ bit(3) ^ bit(5) ^ bit(7);
+  int s2 = bit(2) ^ bit(3) ^ bit(6) ^ bit(7);
+  int s3 = bit(4) ^ bit(5) ^ bit(6) ^ bit(7);
+  int syndrome = s1 | (s2 << 1) | (s3 << 2);
+  std::uint8_t fixed = codeword;
+  if (syndrome != 0) {
+    fixed = static_cast<std::uint8_t>(fixed ^ (1u << (syndrome - 1)));
+  }
+  return static_cast<std::uint8_t>(((fixed >> 2) & 1) |
+                                   (((fixed >> 4) & 1) << 1) |
+                                   (((fixed >> 5) & 1) << 2) |
+                                   (((fixed >> 6) & 1) << 3));
+}
+
+void hamming_reference(const std::vector<std::uint64_t>& code,
+                       std::vector<std::uint64_t>& data) {
+  data.assign(code.size(), 0);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    data[i] = hamming_decode(static_cast<std::uint8_t>(code[i] & 0x7F));
+  }
+}
+
+std::vector<std::uint64_t> make_codewords(std::size_t words,
+                                          std::uint64_t seed,
+                                          std::size_t error_stride) {
+  // Two independent streams so the payload nibbles are identical for any
+  // error_stride -- corrupting a workload must not change its data.
+  Rng data_rng(seed);
+  Rng error_rng(seed * 0x9E3779B9 + 17);
+  std::vector<std::uint64_t> out(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint8_t encoded =
+        hamming_encode(static_cast<std::uint8_t>(data_rng.below(16)));
+    if (error_stride != 0 && i % error_stride == 0) {
+      encoded = static_cast<std::uint8_t>(encoded ^
+                                          (1u << error_rng.below(7)));
+    }
+    out[i] = encoded;
+  }
+  return out;
+}
+
+}  // namespace fti::golden

@@ -1,0 +1,34 @@
+// Hamming(7,4) decoder -- the paper's second workload.
+//
+// Codewords use the standard layout with parity bits at positions 1, 2, 4
+// (1-indexed).  The decoder computes the syndrome, corrects the flagged
+// single-bit error and extracts the four data bits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fti::golden {
+
+/// Kernel source decoding `words` codewords.
+/// Params: byte code[words], byte data[words]; scalar: n.
+std::string hamming_source(std::size_t words);
+
+/// Encodes a 4-bit nibble into a 7-bit codeword.
+std::uint8_t hamming_encode(std::uint8_t nibble);
+
+/// Decodes one codeword (correcting at most one flipped bit).
+std::uint8_t hamming_decode(std::uint8_t codeword);
+
+/// Reference decode over raw memory words.
+void hamming_reference(const std::vector<std::uint64_t>& code,
+                       std::vector<std::uint64_t>& data);
+
+/// Deterministic workload: encodes pseudo-random nibbles and flips one bit
+/// in every `error_stride`-th codeword (0 = no errors).
+std::vector<std::uint64_t> make_codewords(std::size_t words,
+                                          std::uint64_t seed,
+                                          std::size_t error_stride);
+
+}  // namespace fti::golden

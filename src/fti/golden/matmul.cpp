@@ -1,0 +1,50 @@
+#include "fti/golden/matmul.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::golden {
+
+std::string matmul_source(std::size_t n) {
+  FTI_ASSERT(n > 0, "matmul needs n > 0");
+  std::string cells = std::to_string(n * n);
+  std::string s;
+  s += "// " + std::to_string(n) + "x" + std::to_string(n) +
+       " matrix multiply\n";
+  s += "kernel matmul(short a[" + cells + "], short b[" + cells +
+       "], short c[" + cells + "], int n) {\n";
+  s += "  int i;\n  int j;\n  int k;\n";
+  s += "  for (i = 0; i < n; i = i + 1) {\n";
+  s += "    for (j = 0; j < n; j = j + 1) {\n";
+  s += "      int acc = 0;\n";
+  s += "      for (k = 0; k < n; k = k + 1) {\n";
+  s += "        acc = acc + a[i * n + k] * b[k * n + j];\n";
+  s += "      }\n";
+  s += "      c[i * n + j] = acc;\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "}\n";
+  return s;
+}
+
+void matmul_reference(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b,
+                      std::vector<std::uint64_t>& c, std::size_t n) {
+  FTI_ASSERT(a.size() >= n * n && b.size() >= n * n, "matrix too small");
+  auto sext16 = [](std::uint64_t word) {
+    return static_cast<std::int32_t>(
+        static_cast<std::int16_t>(word & 0xFFFF));
+  };
+  c.assign(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::uint32_t acc = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += static_cast<std::uint32_t>(sext16(a[i * n + k])) *
+               static_cast<std::uint32_t>(sext16(b[k * n + j]));
+      }
+      c[i * n + j] = acc & 0xFFFF;
+    }
+  }
+}
+
+}  // namespace fti::golden

@@ -1,0 +1,22 @@
+// Dense matrix multiply -- an additional workload exercising nested loops
+// with multi-dimensional indexing and pipelined multipliers; used by tests
+// and the ablation bench (not part of Table I).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fti::golden {
+
+/// Kernel source computing c = a * b for n x n matrices (row-major).
+/// Params: short a[n*n], short b[n*n], short c[n*n]; scalar: n.
+std::string matmul_source(std::size_t n);
+
+/// Reference over raw 16-bit memory words with the kernel's wrapping
+/// semantics (32-bit accumulate, result masked to 16 bits).
+void matmul_reference(const std::vector<std::uint64_t>& a,
+                      const std::vector<std::uint64_t>& b,
+                      std::vector<std::uint64_t>& c, std::size_t n);
+
+}  // namespace fti::golden

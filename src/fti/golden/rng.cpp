@@ -1,0 +1,40 @@
+#include "fti/golden/rng.hpp"
+
+namespace fti::golden {
+
+std::uint64_t Rng::next() {
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1D;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  return bound == 0 ? 0 : next() % bound;
+}
+
+std::vector<std::uint64_t> Rng::sequence(std::size_t count,
+                                         std::uint64_t bound) {
+  std::vector<std::uint64_t> out(count);
+  for (auto& value : out) {
+    value = below(bound);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> make_test_image(std::size_t pixels) {
+  std::vector<std::uint64_t> image(pixels);
+  for (std::size_t i = 0; i < pixels; ++i) {
+    std::size_t x = i % 64;
+    std::size_t y = i / 64;
+    image[i] = (2 * x + 3 * y + ((x / 8 + y / 8) % 2) * 31) % 256;
+  }
+  return image;
+}
+
+std::vector<std::uint64_t> make_random_image(std::size_t pixels,
+                                             std::uint64_t seed) {
+  return Rng(seed).sequence(pixels, 256);
+}
+
+}  // namespace fti::golden

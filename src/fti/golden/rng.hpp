@@ -1,0 +1,37 @@
+// Deterministic pseudo-random generator for workload data.  Not std::rand
+// so that every platform reproduces the exact same stimulus files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fti::golden {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15) {}
+
+  /// xorshift64*; full 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// `count` values, each in [0, bound).
+  std::vector<std::uint64_t> sequence(std::size_t count,
+                                      std::uint64_t bound);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Synthetic grayscale test image: diagonal gradient with a block pattern,
+/// values in [0, 255].  Deterministic; standing in for the input images of
+/// the paper's FDCT runs.
+std::vector<std::uint64_t> make_test_image(std::size_t pixels);
+
+/// Uniformly random image with the given seed.
+std::vector<std::uint64_t> make_random_image(std::size_t pixels,
+                                             std::uint64_t seed);
+
+}  // namespace fti::golden

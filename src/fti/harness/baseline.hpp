@@ -1,0 +1,39 @@
+// Naive cycle-accurate baseline simulator.
+//
+// The paper motivates its event-driven Java engine with prior results
+// showing software RTL simulation beating conventional HDL simulators
+// [2][3].  To reproduce that comparison without a commercial tool, this
+// baseline models the conventional strategy: every clock cycle, evaluate
+// EVERY combinational unit in repeated full sweeps until the netlist
+// settles, regardless of activity.  It produces bit-identical results to
+// the event kernel (same operator semantics), so the benchmark isolates
+// the scheduling strategy.
+#pragma once
+
+#include <cstdint>
+
+#include "fti/ir/rtg.hpp"
+#include "fti/mem/storage.hpp"
+
+namespace fti::harness {
+
+struct NaiveRunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t unit_evaluations = 0;
+  std::uint64_t sweeps = 0;
+  double wall_seconds = 0;
+  bool completed = false;
+};
+
+struct NaiveRunOptions {
+  std::uint64_t max_cycles_per_partition = 50'000'000;
+  /// Settle-sweep limit per cycle (combinational loop guard).
+  std::uint32_t max_sweeps = 1000;
+};
+
+/// Runs the whole design (all temporal partitions) over `pool`.
+NaiveRunStats run_design_naive(const ir::Design& design,
+                               mem::MemoryPool& pool,
+                               const NaiveRunOptions& options = {});
+
+}  // namespace fti::harness

@@ -1,0 +1,31 @@
+#include "fti/harness/metrics.hpp"
+
+#include "fti/codegen/verilog.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::harness {
+
+DesignMetrics compute_metrics(const ir::Design& design) {
+  DesignMetrics metrics;
+  metrics.design = design.name;
+  for (const std::string& node : design.rtg.nodes) {
+    const ir::Configuration& config = design.configuration(node);
+    ConfigMetrics row;
+    row.node = node;
+    row.lo_xml_fsm =
+        util::count_lines(xml::to_string(*ir::to_xml(config.fsm)));
+    row.lo_xml_datapath =
+        util::count_lines(xml::to_string(*ir::to_xml(config.datapath)));
+    row.lo_generated =
+        util::count_lines(codegen::configuration_to_verilog(config));
+    row.operators = config.datapath.operator_count();
+    row.units = config.datapath.units.size();
+    row.fsm_states = config.fsm.states.size();
+    metrics.configurations.push_back(std::move(row));
+  }
+  return metrics;
+}
+
+}  // namespace fti::harness

@@ -1,0 +1,33 @@
+// Table I metric extraction: lines of the XML descriptions, lines of the
+// generated executable description, and operator counts, per
+// configuration.  ("loJava FSM" in the paper counts the Java the flow
+// generates for the control units; our flow generates a table-driven
+// executor instead, so the emitted Verilog stands in as the generated
+// executable description -- the mapping is documented in EXPERIMENTS.md.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::harness {
+
+struct ConfigMetrics {
+  std::string node;
+  std::size_t lo_xml_fsm = 0;
+  std::size_t lo_xml_datapath = 0;
+  std::size_t lo_generated = 0;  ///< generated Verilog for the config
+  std::size_t operators = 0;     ///< functional units + memory ports
+  std::size_t units = 0;
+  std::size_t fsm_states = 0;
+};
+
+struct DesignMetrics {
+  std::string design;
+  std::vector<ConfigMetrics> configurations;
+};
+
+DesignMetrics compute_metrics(const ir::Design& design);
+
+}  // namespace fti::harness

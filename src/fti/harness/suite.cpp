@@ -1,0 +1,75 @@
+#include "fti/harness/suite.hpp"
+
+#include "fti/util/file_io.hpp"
+#include "fti/util/table.hpp"
+
+namespace fti::harness {
+
+bool SuiteReport::all_passed() const {
+  for (const SuiteRow& row : rows) {
+    if (!row.passed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SuiteReport::failures() const {
+  std::size_t count = 0;
+  for (const SuiteRow& row : rows) {
+    if (!row.passed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string SuiteReport::to_table() const {
+  util::TextTable table({"test", "verdict", "configs", "cycles", "events",
+                         "fsm cov", "sim(s)", "total(s)"});
+  for (const SuiteRow& row : rows) {
+    table.add_row({row.name, row.passed ? "PASS" : "FAIL",
+                   std::to_string(row.configurations),
+                   util::format_count(row.cycles),
+                   util::format_count(row.events),
+                   util::format_double(row.coverage_percent, 1) + "%",
+                   util::format_double(row.sim_seconds, 3),
+                   util::format_double(row.total_seconds, 3)});
+  }
+  return table.to_string();
+}
+
+SuiteReport TestSuite::run_all(
+    const VerifyOptions& options,
+    const std::function<void(const SuiteRow&)>& on_done) const {
+  SuiteReport report;
+  for (const TestCase& test : tests_) {
+    util::Stopwatch watch;
+    SuiteRow row;
+    row.name = test.name;
+    VerifyOutcome outcome = run_test_case(test, options);
+    row.passed = outcome.passed;
+    row.message = outcome.message;
+    row.cycles = outcome.run.total_cycles();
+    row.events = outcome.run.total_events();
+    row.configurations = outcome.run.partitions.size();
+    row.mismatches = outcome.mismatches;
+    if (!outcome.run.partitions.empty()) {
+      double sum = 0;
+      for (const auto& partition : outcome.run.partitions) {
+        sum += partition.coverage.percent();
+      }
+      row.coverage_percent =
+          sum / static_cast<double>(outcome.run.partitions.size());
+    }
+    row.sim_seconds = outcome.sim_seconds;
+    row.total_seconds = watch.seconds();
+    if (on_done) {
+      on_done(row);
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+}  // namespace fti::harness

@@ -1,0 +1,56 @@
+// Test-suite automation -- the role ANT plays in Figure 1.
+//
+// "Checking the overall test suite required long time efforts" is the
+// problem the paper solves; a TestSuite runs every registered case through
+// the full flow and renders one summary table, so a compiler change is
+// re-validated with a single call.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fti/harness/testcase.hpp"
+
+namespace fti::harness {
+
+struct SuiteRow {
+  std::string name;
+  bool passed = false;
+  std::string message;
+  std::uint64_t cycles = 0;
+  std::uint64_t events = 0;
+  std::size_t configurations = 0;
+  std::size_t mismatches = 0;
+  /// Aggregate FSM coverage over all partitions, percent [0,100].
+  double coverage_percent = 100.0;
+  double sim_seconds = 0;
+  double total_seconds = 0;
+};
+
+struct SuiteReport {
+  std::vector<SuiteRow> rows;
+
+  bool all_passed() const;
+  std::size_t failures() const;
+  /// Aligned text table (one row per test case).
+  std::string to_table() const;
+};
+
+class TestSuite {
+ public:
+  void add(TestCase test) { tests_.push_back(std::move(test)); }
+
+  std::size_t size() const { return tests_.size(); }
+
+  /// Runs every case; `on_done` (optional) observes each outcome as it
+  /// lands, for progress reporting.
+  SuiteReport run_all(
+      const VerifyOptions& options = {},
+      const std::function<void(const SuiteRow&)>& on_done = nullptr) const;
+
+ private:
+  std::vector<TestCase> tests_;
+};
+
+}  // namespace fti::harness

@@ -1,0 +1,36 @@
+// Directory-based regression suites -- "checking the overall test suite"
+// (paper §1) as a file-system convention, so a compiler change is
+// re-validated by pointing the tool at a directory:
+//
+//   suite/
+//     fdct.k              one kernel file per test case
+//     fdct.args           options: one per line (see below)
+//     fdct.in.dat         initial contents of array "in" (mem file format)
+//     hamming.k
+//     ...
+//
+// NAME.args lines:
+//   scalar=VALUE          bind a scalar parameter
+//   !check ARRAY          compare only these arrays (repeatable)
+//   !rom                  embed the inputs into the XML (<init>)
+//   !max-cycles N         per-partition cycle budget
+//   !limit CLASS=N        FU resource limit
+//   !latency CLASS=N      FU pipeline depth
+//   !read-ports N         memory read ports (all arrays)
+//   # comment
+#pragma once
+
+#include <filesystem>
+
+#include "fti/harness/suite.hpp"
+
+namespace fti::harness {
+
+/// Builds one TestCase from NAME.k plus its sidecar files.
+TestCase load_test_case(const std::filesystem::path& kernel_path);
+
+/// Loads every *.k file in `dir` (sorted by name) into a suite.
+/// Throws IoError when the directory holds no test cases.
+TestSuite load_suite_dir(const std::filesystem::path& dir);
+
+}  // namespace fti::harness

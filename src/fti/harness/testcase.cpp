@@ -1,0 +1,224 @@
+#include "fti/harness/testcase.hpp"
+
+#include "fti/codegen/dot.hpp"
+#include "fti/codegen/hds.hpp"
+#include "fti/codegen/verilog.hpp"
+#include "fti/codegen/systemc.hpp"
+#include "fti/codegen/vhdl.hpp"
+#include "fti/compiler/parser.hpp"
+#include "fti/compiler/sema.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/mem/memfile.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/xml/parser.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::harness {
+
+void load_inputs(mem::MemoryPool& pool, const std::string& name,
+                 const std::vector<std::uint64_t>& values) {
+  mem::MemoryImage& image = pool.get(name);
+  if (values.size() > image.depth()) {
+    throw util::IoError("input for '" + name + "' has " +
+                        std::to_string(values.size()) +
+                        " words but the memory holds " +
+                        std::to_string(image.depth()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    image.write(i, values[i]);
+  }
+}
+
+namespace {
+
+/// Creates pool images for every array parameter and fills the declared
+/// inputs, so golden and simulated runs start from identical memory.
+void prime_pool(const compiler::Program& program,
+                const compiler::SemaInfo& sema, const TestCase& test,
+                mem::MemoryPool& pool, bool load_values) {
+  (void)program;
+  for (const auto& [name, param] : sema.arrays) {
+    pool.create(name, param.array_size, compiler::width_of(param.type));
+  }
+  for (const auto& [name, values] : test.inputs) {
+    if (sema.arrays.find(name) == sema.arrays.end()) {
+      throw util::IoError("test case feeds unknown array '" + name + "'");
+    }
+    if (load_values) {
+      load_inputs(pool, name, values);
+    }
+  }
+}
+
+FlowArtifacts collect_artifacts(const ir::Design& design,
+                                const TestCase& test,
+                                const VerifyOptions& options) {
+  FlowArtifacts artifacts;
+  artifacts.lo_source = util::count_lines(test.source);
+  for (const std::string& node : design.rtg.nodes) {
+    const ir::Configuration& config = design.configuration(node);
+    artifacts.lo_xml_datapath +=
+        util::count_lines(xml::to_string(*ir::to_xml(config.datapath)));
+    artifacts.lo_xml_fsm +=
+        util::count_lines(xml::to_string(*ir::to_xml(config.fsm)));
+  }
+  artifacts.lo_xml_rtg =
+      util::count_lines(xml::to_string(*ir::to_xml(design.rtg)));
+  if (!options.generate_artifacts) {
+    return artifacts;
+  }
+  std::string hds = codegen::design_to_hds(design);
+  std::string vhdl = codegen::design_to_vhdl(design);
+  std::string verilog = codegen::design_to_verilog(design);
+  std::string systemc = codegen::design_to_systemc(design);
+  std::string dot;
+  for (const std::string& node : design.rtg.nodes) {
+    const ir::Configuration& config = design.configuration(node);
+    dot += codegen::datapath_to_dot(config.datapath);
+    dot += codegen::fsm_to_dot(config.fsm);
+  }
+  dot += codegen::rtg_to_dot(design.rtg);
+  artifacts.lo_hds = util::count_lines(hds);
+  artifacts.lo_vhdl = util::count_lines(vhdl);
+  artifacts.lo_verilog = util::count_lines(verilog);
+  artifacts.lo_systemc = util::count_lines(systemc);
+  artifacts.lo_dot = util::count_lines(dot);
+  if (!options.emit_dir.empty()) {
+    util::write_file(options.emit_dir / (test.name + ".hds"), hds);
+    util::write_file(options.emit_dir / (test.name + ".vhdl"), vhdl);
+    util::write_file(options.emit_dir / (test.name + ".v"), verilog);
+    util::write_file(options.emit_dir / (test.name + ".sc.cpp"), systemc);
+    util::write_file(options.emit_dir / (test.name + ".dot"), dot);
+  }
+  return artifacts;
+}
+
+}  // namespace
+
+VerifyOutcome run_test_case(const TestCase& test,
+                            const VerifyOptions& options) {
+  VerifyOutcome outcome;
+  util::Stopwatch watch;
+
+  // 1. Compile.
+  compiler::Program program = compiler::parse_program(test.source);
+  compiler::SemaInfo sema = compiler::check_program(program);
+  compiler::CompileOptions compile_options;
+  compile_options.resources = test.resources;
+  compile_options.scalar_args = test.scalar_args;
+  if (test.embed_inputs) {
+    // Bake the inputs into the <memory> declarations: the XML file set is
+    // then self-contained and elaboration applies them as power-up state.
+    compile_options.rom_contents = test.inputs;
+  }
+  outcome.compiled = compiler::compile_program(program, compile_options);
+  outcome.compile_seconds = watch.seconds();
+
+  // 2. XML round-trip (the simulator consumes the re-parsed design).
+  ir::Design design;
+  if (!options.emit_dir.empty()) {
+    auto paths = ir::save_design_files(outcome.compiled.design,
+                                       options.emit_dir / test.name);
+    design = ir::load_design_files(paths.front());
+  } else {
+    std::string serialized =
+        xml::to_string(*ir::to_xml(outcome.compiled.design));
+    design = ir::design_from_xml(*xml::parse(serialized));
+    // The round-trip must be lossless: re-serialising the parsed design
+    // must reproduce the exact document.
+    std::string reserialized = xml::to_string(*ir::to_xml(design));
+    if (reserialized != serialized) {
+      throw util::XmlError("XML round-trip of design '" + design.name +
+                           "' is not stable");
+    }
+  }
+  outcome.artifacts = collect_artifacts(design, test, options);
+
+  // 3. Golden run.
+  watch.reset();
+  mem::MemoryPool golden_pool;
+  prime_pool(program, sema, test, golden_pool, /*load_values=*/true);
+  compiler::InterpOptions interp_options;
+  interp_options.scalar_args = test.scalar_args;
+  outcome.golden_stats =
+      compiler::run_program(program, golden_pool, interp_options);
+  outcome.golden_seconds = watch.seconds();
+
+  // 4. Simulated run.
+  watch.reset();
+  mem::MemoryPool sim_pool;
+  // With embedded inputs elaboration itself applies the power-up contents.
+  if (!test.embed_inputs) {
+    prime_pool(program, sema, test, sim_pool, /*load_values=*/true);
+  }
+  elab::RtgRunOptions run_options;
+  run_options.max_cycles_per_partition = test.max_cycles;
+  outcome.run = elab::run_design(design, sim_pool, run_options);
+  outcome.sim_seconds = watch.seconds();
+  if (!outcome.run.completed) {
+    outcome.passed = false;
+    outcome.message =
+        "simulation did not complete: partition '" +
+        outcome.run.partitions.back().node + "' stopped with reason '" +
+        sim::to_string(outcome.run.partitions.back().reason) + "'";
+    if (!options.emit_dir.empty()) {
+      util::write_file(options.emit_dir / (test.name + ".verdict"),
+                       outcome.message + "\n");
+    }
+    return outcome;
+  }
+
+  // 5. Compare memory contents ("a simple comparison of data content is
+  //    performed to verify results").
+  std::vector<std::string> arrays = test.check_arrays;
+  if (arrays.empty()) {
+    for (const auto& [name, param] : sema.arrays) {
+      (void)param;
+      arrays.push_back(name);
+    }
+  }
+  for (const std::string& array : arrays) {
+    const mem::MemoryImage& expected = golden_pool.get(array);
+    if (!sim_pool.contains(array)) {
+      // The design never referenced this array (possible with embedded
+      // inputs, where only referenced memories exist): its contents are
+      // the unchanged initial values.
+      const auto& param = sema.arrays.at(array);
+      sim_pool.create(array, param.array_size,
+                      compiler::width_of(param.type));
+      auto values = test.inputs.find(array);
+      if (values != test.inputs.end()) {
+        load_inputs(sim_pool, array, values->second);
+      }
+    }
+    const mem::MemoryImage& actual = sim_pool.get(array);
+    for (std::size_t i = 0; i < expected.depth(); ++i) {
+      if (expected.words()[i] != actual.words()[i]) {
+        if (outcome.mismatches == 0) {
+          outcome.message = "memory '" + array + "' word " +
+                            std::to_string(i) + ": golden " +
+                            std::to_string(expected.words()[i]) +
+                            " != simulated " +
+                            std::to_string(actual.words()[i]);
+        }
+        ++outcome.mismatches;
+      }
+    }
+  }
+  outcome.passed = outcome.mismatches == 0;
+  if (!options.emit_dir.empty()) {
+    for (const std::string& array : arrays) {
+      mem::save_mem_file(sim_pool.get(array),
+                         options.emit_dir / (test.name + "." + array +
+                                             ".dat"));
+    }
+    util::write_file(options.emit_dir / (test.name + ".verdict"),
+                     (outcome.passed ? "PASS" : "FAIL: " + outcome.message) +
+                         "\n");
+  }
+  return outcome;
+}
+
+}  // namespace fti::harness

@@ -1,0 +1,90 @@
+// One automated functional test of a compiler-generated design -- the
+// complete flow of Figure 1:
+//
+//   kernel source --compile--> datapath/fsm/rtg IR
+//                 --serialize--> XML --parse--> IR      (round-trip, always)
+//                 --translate--> dot / hds / VHDL / Verilog artefacts
+//   memory files  --> golden interpreter run  --> expected memory contents
+//   memory files  --> elaborate + event-driven simulation --> actual
+//   compare memory contents --> verdict
+//
+// The XML round-trip is not optional decoration: the simulator consumes
+// the re-parsed design, so the serializers are under test on every run,
+// exactly as the XSLT path is in the paper's infrastructure.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/compiler/interp.hpp"
+#include "fti/elab/rtg_exec.hpp"
+
+namespace fti::harness {
+
+struct TestCase {
+  std::string name;
+  std::string source;
+  std::map<std::string, std::int64_t> scalar_args;
+  compiler::Resources resources;
+  /// Initial contents per array parameter (shorter vectors fill a prefix).
+  std::map<std::string, std::vector<std::uint64_t>> inputs;
+  /// Arrays compared after the run; empty means every array parameter.
+  std::vector<std::string> check_arrays;
+  /// When true, the inputs are baked into the design's <memory init=...>
+  /// declarations instead of being loaded into the simulation pool, so the
+  /// emitted XML file set is fully self-contained.  The golden model still
+  /// receives the same initial memories.
+  bool embed_inputs = false;
+  std::uint64_t max_cycles = 50'000'000;
+};
+
+struct VerifyOptions {
+  /// Directory for on-disk artefacts (XML file set, dot, hds, VHDL,
+  /// Verilog, memory files).  Empty keeps the round-trip in memory.
+  std::filesystem::path emit_dir;
+  /// Skip generating HDL/dot artefact text (saves time in tight loops).
+  bool generate_artifacts = true;
+};
+
+/// Line counts of every artefact the flow produced (Table I's "lines of
+/// description" columns).
+struct FlowArtifacts {
+  std::size_t lo_source = 0;
+  std::size_t lo_xml_datapath = 0;  ///< summed over configurations
+  std::size_t lo_xml_fsm = 0;
+  std::size_t lo_xml_rtg = 0;
+  std::size_t lo_hds = 0;
+  std::size_t lo_vhdl = 0;
+  std::size_t lo_verilog = 0;
+  std::size_t lo_systemc = 0;
+  std::size_t lo_dot = 0;
+};
+
+struct VerifyOutcome {
+  bool passed = false;
+  std::string message;  ///< empty when passed; first failure otherwise
+  compiler::CompileResult compiled;
+  elab::RtgRunResult run;
+  compiler::InterpStats golden_stats;
+  FlowArtifacts artifacts;
+  std::size_t mismatches = 0;
+  double compile_seconds = 0;
+  double golden_seconds = 0;
+  double sim_seconds = 0;
+};
+
+/// Runs the full flow.  Infrastructure errors (bad source, malformed IR)
+/// propagate as exceptions; *functional* failures (mismatched memory, a
+/// partition that never finished) come back as passed == false.
+VerifyOutcome run_test_case(const TestCase& test,
+                            const VerifyOptions& options = {});
+
+/// Loads `values` into the pool image `name` (prefix fill, bounds-checked).
+void load_inputs(mem::MemoryPool& pool, const std::string& name,
+                 const std::vector<std::uint64_t>& values);
+
+}  // namespace fti::harness

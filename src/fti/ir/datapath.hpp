@@ -1,0 +1,118 @@
+// Datapath intermediate representation -- the object model of the
+// compiler's datapath.xml dialect.
+//
+// A datapath is a sea of typed wires connected by units (functional units,
+// registers, muxes, constants and memory ports).  The control unit (FSM)
+// drives the wires listed as <control> and reads the ones listed as
+// <status>; a global clock is implicit and attached by the elaborator.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/ops/alu.hpp"
+
+namespace fti::ir {
+
+struct Wire {
+  std::string name;
+  std::uint32_t width = 32;
+};
+
+/// Requirement on the shared memory pool: the named SRAM must exist with
+/// this shape while the configuration executes.  `init` (optional) gives
+/// the memory's power-up contents (a ROM table); it is applied exactly
+/// once, by whichever configuration first creates the memory -- later
+/// partitions see whatever earlier ones computed, never a reset.
+struct MemoryDecl {
+  std::string name;
+  std::size_t depth = 0;
+  std::uint32_t width = 32;
+  std::vector<std::uint64_t> init;
+};
+
+enum class UnitKind {
+  kBinOp,     ///< two-input functional unit (ports a, b, out)
+  kUnOp,      ///< one-input functional unit (ports a, out)
+  kRegister,  ///< clocked register (ports d, q; optional en, rst)
+  kMux,       ///< n-input multiplexer (ports in0..inN-1, sel, out)
+  kConst,     ///< literal driver (port out)
+  kMemPort,   ///< SRAM access port (see MemMode for the port sets)
+};
+
+/// Access mode of a kMemPort unit.  All ports of one memory share its
+/// storage; at most one write-capable port per memory is allowed, so
+/// write conflicts cannot arise.
+enum class MemMode {
+  kReadWrite,  ///< ports addr, din, dout, we (the classic single port)
+  kRead,       ///< ports addr, dout
+  kWrite,      ///< ports addr, din, we
+};
+
+std::string_view to_string(MemMode mode);
+MemMode mem_mode_from_string(std::string_view name);
+
+std::string_view to_string(UnitKind kind);
+
+struct Unit {
+  std::string name;
+  UnitKind kind = UnitKind::kBinOp;
+  std::uint32_t width = 32;       ///< data width of the unit
+  ops::BinOp binop{};             ///< valid when kind == kBinOp
+  ops::UnOp unop{};               ///< valid when kind == kUnOp
+  std::uint64_t value = 0;        ///< valid when kind == kConst
+  /// kBinOp only: pipeline stages (0 = combinational).  A latency-L unit
+  /// samples its operands on every rising edge and presents the sampled
+  /// result L edges later (initiation interval 1).
+  std::uint32_t latency = 0;
+  std::uint64_t reset_value = 0;  ///< valid when kind == kRegister
+  std::uint32_t mux_inputs = 0;   ///< valid when kind == kMux
+  std::string memory;             ///< valid when kind == kMemPort
+  MemMode mem_mode = MemMode::kReadWrite;  ///< valid when kind == kMemPort
+  /// port name -> wire name
+  std::map<std::string, std::string> ports;
+
+  const std::string& port(std::string_view port_name) const;
+  bool has_port(std::string_view port_name) const;
+};
+
+struct Datapath {
+  std::string name;
+  std::vector<Wire> wires;
+  std::vector<MemoryDecl> memories;
+  std::vector<Unit> units;
+  /// Wires driven by the control unit (write side of the FSM interface).
+  std::vector<std::string> control_wires;
+  /// One-bit wires read by the control unit (transition guards).
+  std::vector<std::string> status_wires;
+
+  const Wire* find_wire(std::string_view wire_name) const;
+  const Wire& wire(std::string_view wire_name) const;
+  const Unit* find_unit(std::string_view unit_name) const;
+  const MemoryDecl* find_memory(std::string_view memory_name) const;
+
+  bool is_control(std::string_view wire_name) const;
+  bool is_status(std::string_view wire_name) const;
+
+  /// Functional units (binary + unary FUs + memory ports): the paper's
+  /// Table I "operators" column counts the functional units of a datapath.
+  std::size_t operator_count() const;
+  std::size_t count_kind(UnitKind kind) const;
+};
+
+/// Structural checks: unique names, ports reference existing wires with the
+/// right widths, single driver per wire, required ports present, memports
+/// reference declared memories.  Throws IrError with a precise message.
+void validate(const Datapath& datapath);
+
+/// Width a mux select wire must have to address `inputs` inputs.
+std::uint32_t select_width(std::uint32_t inputs);
+
+/// The wire width each port of `unit` must have; used by validation and by
+/// the elaborator.  Returns 0 when any width is accepted (memport addr).
+std::uint32_t expected_port_width(const Unit& unit, std::string_view port,
+                                  const Datapath& datapath);
+
+}  // namespace fti::ir

@@ -1,0 +1,71 @@
+// Control-unit (FSM) intermediate representation -- the object model of the
+// compiler's fsm.xml dialect.
+//
+// Moore machine: each state asserts a set of control-wire values (anything
+// unlisted is zero), and transitions are guarded by conjunctions of status
+// literals.  Transitions are tried in document order; when none fires the
+// machine stays in its state (which makes "wait until" states natural).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fti/ir/datapath.hpp"
+
+namespace fti::ir {
+
+/// One conjunct of a transition guard: status wire == expected level.
+struct GuardLiteral {
+  std::string status;
+  bool expected = true;
+};
+
+/// Conjunction of literals; an empty guard is always true.
+struct Guard {
+  std::vector<GuardLiteral> literals;
+
+  bool always() const { return literals.empty(); }
+};
+
+/// Parses "a & !b & c"; "" and "1" mean always-true.  Throws IrError.
+Guard parse_guard(std::string_view text);
+
+/// Renders back to the dialect syntax ("1" for always-true).
+std::string to_string(const Guard& guard);
+
+struct ControlAssign {
+  std::string wire;
+  std::uint64_t value = 0;
+};
+
+struct Transition {
+  Guard guard;
+  std::string target;
+};
+
+struct State {
+  std::string name;
+  std::vector<ControlAssign> controls;
+  std::vector<Transition> transitions;
+};
+
+struct Fsm {
+  std::string name;
+  std::string initial;
+  /// Control wire raised in final states; the harness runs until it rises.
+  std::string done_wire = "done";
+  std::vector<State> states;
+
+  const State* find_state(std::string_view state_name) const;
+  const State& state(std::string_view state_name) const;
+  std::size_t state_index(std::string_view state_name) const;
+};
+
+/// Checks the FSM against its datapath: initial/target states exist,
+/// assigned wires are declared control wires, guard literals are declared
+/// status wires, the done wire is a 1-bit control wire.
+void validate(const Fsm& fsm, const Datapath& datapath);
+
+}  // namespace fti::ir

@@ -1,0 +1,141 @@
+#include "fti/ir/rtg.hpp"
+
+#include <map>
+#include <set>
+
+#include "fti/util/error.hpp"
+
+namespace fti::ir {
+
+bool Rtg::has_node(std::string_view node_name) const {
+  for (const std::string& node : nodes) {
+    if (node == node_name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Rtg::successor(std::string_view node_name) const {
+  for (const RtgEdge& edge : edges) {
+    if (edge.from == node_name) {
+      return edge.to;
+    }
+  }
+  return "";
+}
+
+const Configuration& Design::configuration(std::string_view node_name) const {
+  auto it = configurations.find(std::string(node_name));
+  if (it == configurations.end()) {
+    throw util::IrError("design '" + name + "' has no configuration '" +
+                        std::string(node_name) + "'");
+  }
+  return it->second;
+}
+
+std::vector<MemoryDecl> Design::memory_requirements() const {
+  std::vector<MemoryDecl> out;
+  std::set<std::string> seen;
+  for (const std::string& node : rtg.nodes) {
+    const Configuration& config = configuration(node);
+    for (const MemoryDecl& memory : config.datapath.memories) {
+      if (seen.insert(memory.name).second) {
+        out.push_back(memory);
+      }
+    }
+  }
+  return out;
+}
+
+void validate(const Design& design) {
+  auto err = [&design](const std::string& message) {
+    throw util::IrError("design '" + design.name + "': " + message);
+  };
+
+  if (design.rtg.nodes.empty()) {
+    err("RTG has no nodes");
+  }
+  std::set<std::string> node_names;
+  for (const std::string& node : design.rtg.nodes) {
+    if (!node_names.insert(node).second) {
+      err("duplicate RTG node '" + node + "'");
+    }
+    if (design.configurations.find(node) == design.configurations.end()) {
+      err("RTG node '" + node + "' has no configuration");
+    }
+  }
+  for (const auto& [config_name, config] : design.configurations) {
+    if (node_names.find(config_name) == node_names.end()) {
+      err("configuration '" + config_name + "' is not an RTG node");
+    }
+    (void)config;
+  }
+  if (!design.rtg.has_node(design.rtg.initial)) {
+    err("RTG initial node '" + design.rtg.initial + "' does not exist");
+  }
+  std::set<std::string> sources;
+  for (const RtgEdge& edge : design.rtg.edges) {
+    if (!design.rtg.has_node(edge.from) || !design.rtg.has_node(edge.to)) {
+      err("RTG edge " + edge.from + " -> " + edge.to +
+          " references an unknown node");
+    }
+    if (!sources.insert(edge.from).second) {
+      err("RTG node '" + edge.from +
+          "' has more than one successor (the dialect is sequential)");
+    }
+  }
+  // Cycle check: walking from the initial node must terminate.
+  std::set<std::string> visited;
+  std::string current = design.rtg.initial;
+  while (!current.empty()) {
+    if (!visited.insert(current).second) {
+      err("RTG contains a cycle through '" + current + "'");
+    }
+    current = design.rtg.successor(current);
+  }
+
+  // Memories shared between configurations must agree in shape.
+  std::map<std::string, MemoryDecl> shapes;
+  for (const std::string& node : design.rtg.nodes) {
+    const Configuration& config = design.configuration(node);
+    validate(config.datapath);
+    validate(config.fsm, config.datapath);
+    for (const MemoryDecl& memory : config.datapath.memories) {
+      auto [it, inserted] = shapes.emplace(memory.name, memory);
+      if (!inserted) {
+        if (it->second.depth != memory.depth ||
+            it->second.width != memory.width) {
+          err("memory '" + memory.name +
+              "' declared with different shapes across configurations");
+        }
+        // Initial contents are power-up state; two partitions insisting on
+        // different tables is a contradiction.
+        if (!it->second.init.empty() && !memory.init.empty() &&
+            it->second.init != memory.init) {
+          err("memory '" + memory.name +
+              "' declared with different init contents across "
+              "configurations");
+        }
+        if (it->second.init.empty()) {
+          it->second.init = memory.init;
+        }
+      }
+    }
+  }
+}
+
+Design make_single_design(std::string name, Configuration configuration) {
+  Design design;
+  design.name = std::move(name);
+  std::string node = configuration.datapath.name.empty()
+                         ? "main"
+                         : configuration.datapath.name;
+  design.rtg.name = design.name + "_rtg";
+  design.rtg.initial = node;
+  design.rtg.nodes = {node};
+  design.configurations.emplace(node, std::move(configuration));
+  return design;
+}
+
+}  // namespace fti::ir

@@ -1,0 +1,69 @@
+// Reconfiguration Transition Graph and the complete compiler output.
+//
+// "the RTG is used when the compiler maps the input algorithm onto
+// multiple configurations (temporal partitions)" (paper §2).  Nodes are
+// configurations (a datapath plus its control unit); edges define the
+// execution order.  A Design bundles the RTG with its configurations --
+// the unit the test infrastructure verifies.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/ir/datapath.hpp"
+#include "fti/ir/fsm.hpp"
+
+namespace fti::ir {
+
+/// One temporal partition: a datapath and the FSM controlling it.
+struct Configuration {
+  Datapath datapath;
+  Fsm fsm;
+};
+
+struct RtgEdge {
+  std::string from;
+  std::string to;
+};
+
+struct Rtg {
+  std::string name;
+  std::string initial;
+  std::vector<std::string> nodes;
+  std::vector<RtgEdge> edges;
+
+  bool has_node(std::string_view node_name) const;
+
+  /// Successor of `node_name`, or "" when the node is terminal.  The RTG
+  /// dialect allows at most one outgoing edge per node (the compiler's
+  /// temporal partitions execute in sequence, paper §3).
+  std::string successor(std::string_view node_name) const;
+};
+
+/// The full design under test.  Single-configuration designs carry a
+/// one-node RTG with no edges.
+struct Design {
+  std::string name;
+  Rtg rtg;
+  std::map<std::string, Configuration> configurations;
+
+  const Configuration& configuration(std::string_view node_name) const;
+
+  /// Union of memory requirements across configurations; the harness
+  /// builds the MemoryPool from this.
+  std::vector<MemoryDecl> memory_requirements() const;
+
+  /// Number of configurations (Table I: FDCT1 has one row, FDCT2 two).
+  std::size_t configuration_count() const { return configurations.size(); }
+};
+
+/// Checks the RTG (initial node exists, edges reference nodes, at most one
+/// successor per node, no cycles) and every configuration, plus shape
+/// agreement for memories shared across configurations.
+void validate(const Design& design);
+
+/// Builds a single-configuration design.
+Design make_single_design(std::string name, Configuration configuration);
+
+}  // namespace fti::ir

@@ -1,0 +1,376 @@
+#include "fti/ir/serde.hpp"
+
+#include "fti/util/error.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/xml/parser.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::ir {
+namespace {
+
+void expect_name(const xml::Element& element, std::string_view name) {
+  if (element.name() != name) {
+    throw util::XmlError("expected <" + std::string(name) + "> but found <" +
+                         element.name() + "> (line " +
+                         std::to_string(element.line()) + ")");
+  }
+}
+
+UnitKind kind_from_attr(const std::string& kind, ops::BinOp& binop,
+                        ops::UnOp& unop) {
+  if (kind == "register") {
+    return UnitKind::kRegister;
+  }
+  if (kind == "mux") {
+    return UnitKind::kMux;
+  }
+  if (kind == "const") {
+    return UnitKind::kConst;
+  }
+  if (kind == "memport") {
+    return UnitKind::kMemPort;
+  }
+  // Functional units are named by their operation ("add", "ltu", "neg"...).
+  try {
+    binop = ops::binop_from_string(kind);
+    return UnitKind::kBinOp;
+  } catch (const util::XmlError&) {
+  }
+  unop = ops::unop_from_string(kind);  // throws with a useful message
+  return UnitKind::kUnOp;
+}
+
+std::string kind_to_attr(const Unit& unit) {
+  switch (unit.kind) {
+    case UnitKind::kBinOp:
+      return std::string(ops::to_string(unit.binop));
+    case UnitKind::kUnOp:
+      return std::string(ops::to_string(unit.unop));
+    default:
+      return std::string(to_string(unit.kind));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> to_xml(const Datapath& datapath) {
+  auto root = xml::make_element("datapath");
+  root->set_attr("name", datapath.name);
+  for (const Wire& wire : datapath.wires) {
+    root->add_child("wire")
+        .set_attr("name", wire.name)
+        .set_attr("width", static_cast<std::uint64_t>(wire.width));
+  }
+  for (const MemoryDecl& memory : datapath.memories) {
+    xml::Element& element = root->add_child("memory");
+    element.set_attr("name", memory.name)
+        .set_attr("depth", static_cast<std::uint64_t>(memory.depth))
+        .set_attr("width", static_cast<std::uint64_t>(memory.width));
+    if (!memory.init.empty()) {
+      std::string words;
+      for (std::size_t i = 0; i < memory.init.size(); ++i) {
+        if (i > 0) {
+          words += i % 16 == 0 ? "\n" : " ";
+        }
+        words += std::to_string(memory.init[i]);
+      }
+      element.add_child("init").add_text(std::move(words));
+    }
+  }
+  for (const Unit& unit : datapath.units) {
+    xml::Element& element = root->add_child("unit");
+    element.set_attr("name", unit.name).set_attr("kind", kind_to_attr(unit));
+    if (unit.kind != UnitKind::kMemPort) {
+      element.set_attr("width", static_cast<std::uint64_t>(unit.width));
+    }
+    if (unit.latency != 0) {
+      element.set_attr("latency", static_cast<std::uint64_t>(unit.latency));
+    }
+    switch (unit.kind) {
+      case UnitKind::kConst:
+        element.set_attr("value", unit.value);
+        break;
+      case UnitKind::kRegister:
+        if (unit.reset_value != 0) {
+          element.set_attr("reset", unit.reset_value);
+        }
+        break;
+      case UnitKind::kMux:
+        element.set_attr("inputs",
+                         static_cast<std::uint64_t>(unit.mux_inputs));
+        break;
+      case UnitKind::kMemPort:
+        element.set_attr("memory", unit.memory);
+        if (unit.mem_mode != MemMode::kReadWrite) {
+          element.set_attr("mode", std::string(to_string(unit.mem_mode)));
+        }
+        break;
+      default:
+        break;
+    }
+    for (const auto& [port_name, wire_name] : unit.ports) {
+      element.add_child("port")
+          .set_attr("name", port_name)
+          .set_attr("wire", wire_name);
+    }
+  }
+  for (const std::string& control : datapath.control_wires) {
+    root->add_child("control").set_attr("wire", control);
+  }
+  for (const std::string& status : datapath.status_wires) {
+    root->add_child("status").set_attr("wire", status);
+  }
+  return root;
+}
+
+Datapath datapath_from_xml(const xml::Element& element) {
+  expect_name(element, "datapath");
+  Datapath datapath;
+  datapath.name = element.attr("name");
+  for (const xml::Element* child : element.children()) {
+    const std::string& tag = child->name();
+    if (tag == "wire") {
+      datapath.wires.push_back(
+          {child->attr("name"),
+           static_cast<std::uint32_t>(child->attr_u64("width"))});
+    } else if (tag == "memory") {
+      MemoryDecl memory;
+      memory.name = child->attr("name");
+      memory.depth = static_cast<std::size_t>(child->attr_u64("depth"));
+      memory.width = static_cast<std::uint32_t>(child->attr_u64("width"));
+      if (const xml::Element* init = child->find_child("init")) {
+        for (const std::string& token :
+             util::split_whitespace(init->text())) {
+          try {
+            memory.init.push_back(util::parse_u64(token));
+          } catch (const util::Error& e) {
+            throw util::XmlError("memory '" + memory.name +
+                                 "' init: " + e.what());
+          }
+        }
+      }
+      datapath.memories.push_back(std::move(memory));
+    } else if (tag == "unit") {
+      Unit unit;
+      unit.name = child->attr("name");
+      unit.kind = kind_from_attr(child->attr("kind"), unit.binop, unit.unop);
+      unit.width = static_cast<std::uint32_t>(child->attr_u64_or("width", 32));
+      unit.latency =
+          static_cast<std::uint32_t>(child->attr_u64_or("latency", 0));
+      switch (unit.kind) {
+        case UnitKind::kConst:
+          unit.value = child->attr_u64("value");
+          break;
+        case UnitKind::kRegister:
+          unit.reset_value = child->attr_u64_or("reset", 0);
+          break;
+        case UnitKind::kMux:
+          unit.mux_inputs =
+              static_cast<std::uint32_t>(child->attr_u64("inputs"));
+          break;
+        case UnitKind::kMemPort:
+          unit.memory = child->attr("memory");
+          unit.mem_mode = mem_mode_from_string(child->attr_or("mode", "rw"));
+          break;
+        default:
+          break;
+      }
+      for (const xml::Element* port : child->children("port")) {
+        auto [it, inserted] =
+            unit.ports.emplace(port->attr("name"), port->attr("wire"));
+        (void)it;
+        if (!inserted) {
+          throw util::XmlError("unit '" + unit.name +
+                               "' declares port '" + port->attr("name") +
+                               "' twice (line " +
+                               std::to_string(port->line()) + ")");
+        }
+      }
+      datapath.units.push_back(std::move(unit));
+    } else if (tag == "control") {
+      datapath.control_wires.push_back(child->attr("wire"));
+    } else if (tag == "status") {
+      datapath.status_wires.push_back(child->attr("wire"));
+    } else {
+      throw util::XmlError("unexpected <" + tag + "> in <datapath> (line " +
+                           std::to_string(child->line()) + ")");
+    }
+  }
+  return datapath;
+}
+
+std::unique_ptr<xml::Element> to_xml(const Fsm& fsm) {
+  auto root = xml::make_element("fsm");
+  root->set_attr("name", fsm.name)
+      .set_attr("initial", fsm.initial)
+      .set_attr("done", fsm.done_wire);
+  for (const State& state : fsm.states) {
+    xml::Element& element = root->add_child("state");
+    element.set_attr("name", state.name);
+    for (const ControlAssign& assign : state.controls) {
+      element.add_child("set")
+          .set_attr("wire", assign.wire)
+          .set_attr("value", assign.value);
+    }
+    for (const Transition& transition : state.transitions) {
+      xml::Element& next = element.add_child("next");
+      next.set_attr("target", transition.target);
+      if (!transition.guard.always()) {
+        next.set_attr("when", to_string(transition.guard));
+      }
+    }
+  }
+  return root;
+}
+
+Fsm fsm_from_xml(const xml::Element& element) {
+  expect_name(element, "fsm");
+  Fsm fsm;
+  fsm.name = element.attr("name");
+  fsm.initial = element.attr("initial");
+  fsm.done_wire = element.attr_or("done", "done");
+  for (const xml::Element* state_element : element.children()) {
+    if (state_element->name() != "state") {
+      throw util::XmlError("unexpected <" + state_element->name() +
+                           "> in <fsm> (line " +
+                           std::to_string(state_element->line()) + ")");
+    }
+    State state;
+    state.name = state_element->attr("name");
+    for (const xml::Element* child : state_element->children()) {
+      if (child->name() == "set") {
+        state.controls.push_back(
+            {child->attr("wire"), child->attr_u64("value")});
+      } else if (child->name() == "next") {
+        Transition transition;
+        transition.target = child->attr("target");
+        transition.guard = parse_guard(child->attr_or("when", ""));
+        state.transitions.push_back(std::move(transition));
+      } else {
+        throw util::XmlError("unexpected <" + child->name() +
+                             "> in <state> (line " +
+                             std::to_string(child->line()) + ")");
+      }
+    }
+    fsm.states.push_back(std::move(state));
+  }
+  return fsm;
+}
+
+std::unique_ptr<xml::Element> to_xml(const Rtg& rtg) {
+  auto root = xml::make_element("rtg");
+  root->set_attr("name", rtg.name).set_attr("initial", rtg.initial);
+  for (const std::string& node : rtg.nodes) {
+    root->add_child("node").set_attr("name", node);
+  }
+  for (const RtgEdge& edge : rtg.edges) {
+    root->add_child("edge")
+        .set_attr("from", edge.from)
+        .set_attr("to", edge.to);
+  }
+  return root;
+}
+
+Rtg rtg_from_xml(const xml::Element& element) {
+  expect_name(element, "rtg");
+  Rtg rtg;
+  rtg.name = element.attr("name");
+  rtg.initial = element.attr("initial");
+  for (const xml::Element* child : element.children()) {
+    if (child->name() == "node") {
+      rtg.nodes.push_back(child->attr("name"));
+    } else if (child->name() == "edge") {
+      rtg.edges.push_back({child->attr("from"), child->attr("to")});
+    } else {
+      throw util::XmlError("unexpected <" + child->name() + "> in <rtg>");
+    }
+  }
+  return rtg;
+}
+
+std::unique_ptr<xml::Element> to_xml(const Design& design) {
+  auto root = xml::make_element("design");
+  root->set_attr("name", design.name);
+  root->adopt_child(to_xml(design.rtg));
+  for (const std::string& node : design.rtg.nodes) {
+    const Configuration& config = design.configuration(node);
+    xml::Element& element = root->add_child("configuration");
+    element.set_attr("name", node);
+    element.adopt_child(to_xml(config.datapath));
+    element.adopt_child(to_xml(config.fsm));
+  }
+  return root;
+}
+
+Design design_from_xml(const xml::Element& element) {
+  expect_name(element, "design");
+  Design design;
+  design.name = element.attr("name");
+  design.rtg = rtg_from_xml(element.child("rtg"));
+  for (const xml::Element* config_element :
+       element.children("configuration")) {
+    Configuration config;
+    config.datapath = datapath_from_xml(config_element->child("datapath"));
+    config.fsm = fsm_from_xml(config_element->child("fsm"));
+    design.configurations.emplace(config_element->attr("name"),
+                                  std::move(config));
+  }
+  return design;
+}
+
+std::vector<std::filesystem::path> save_design_files(
+    const Design& design, const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> written;
+  // Like to_xml(rtg), but each node carries the file names holding its
+  // configuration -- the paper's separate datapath.xml / fsm.xml files.
+  auto rtg_element = xml::make_element("rtg");
+  rtg_element->set_attr("name", design.rtg.name)
+      .set_attr("initial", design.rtg.initial)
+      .set_attr("design", design.name);
+  for (const std::string& node : design.rtg.nodes) {
+    rtg_element->add_child("node")
+        .set_attr("name", node)
+        .set_attr("datapath", "datapath_" + node + ".xml")
+        .set_attr("fsm", "fsm_" + node + ".xml");
+  }
+  for (const RtgEdge& edge : design.rtg.edges) {
+    rtg_element->add_child("edge")
+        .set_attr("from", edge.from)
+        .set_attr("to", edge.to);
+  }
+  std::filesystem::path rtg_path = dir / "rtg.xml";
+  xml::write_file(*rtg_element, rtg_path);
+  written.push_back(rtg_path);
+  for (const std::string& node : design.rtg.nodes) {
+    const Configuration& config = design.configuration(node);
+    std::filesystem::path dp_path = dir / ("datapath_" + node + ".xml");
+    std::filesystem::path fsm_path = dir / ("fsm_" + node + ".xml");
+    xml::write_file(*to_xml(config.datapath), dp_path);
+    xml::write_file(*to_xml(config.fsm), fsm_path);
+    written.push_back(dp_path);
+    written.push_back(fsm_path);
+  }
+  return written;
+}
+
+Design load_design_files(const std::filesystem::path& rtg_path) {
+  auto rtg_element = xml::parse_file(rtg_path);
+  Design design;
+  design.rtg = rtg_from_xml(*rtg_element);
+  design.name = rtg_element->attr_or("design", design.rtg.name);
+  std::filesystem::path dir = rtg_path.parent_path();
+  for (const xml::Element* node : rtg_element->children("node")) {
+    const std::string& name = node->attr("name");
+    std::filesystem::path dp_path =
+        dir / node->attr_or("datapath", "datapath_" + name + ".xml");
+    std::filesystem::path fsm_path =
+        dir / node->attr_or("fsm", "fsm_" + name + ".xml");
+    Configuration config;
+    config.datapath = datapath_from_xml(*xml::parse_file(dp_path));
+    config.fsm = fsm_from_xml(*xml::parse_file(fsm_path));
+    design.configurations.emplace(name, std::move(config));
+  }
+  return design;
+}
+
+}  // namespace fti::ir

@@ -1,0 +1,38 @@
+// XML (de)serialisation of the IR -- the concrete datapath.xml / fsm.xml /
+// rtg.xml dialects of the paper's Figure 1.
+//
+// Two packagings are supported:
+//  * a single <design> document embedding everything (handy in tests), and
+//  * the paper's file set: rtg.xml whose <node> elements reference
+//    datapath_<node>.xml and fsm_<node>.xml files next to it.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "fti/ir/rtg.hpp"
+#include "fti/xml/node.hpp"
+
+namespace fti::ir {
+
+std::unique_ptr<xml::Element> to_xml(const Datapath& datapath);
+Datapath datapath_from_xml(const xml::Element& element);
+
+std::unique_ptr<xml::Element> to_xml(const Fsm& fsm);
+Fsm fsm_from_xml(const xml::Element& element);
+
+std::unique_ptr<xml::Element> to_xml(const Rtg& rtg);
+Rtg rtg_from_xml(const xml::Element& element);
+
+std::unique_ptr<xml::Element> to_xml(const Design& design);
+Design design_from_xml(const xml::Element& element);
+
+/// Writes rtg.xml plus datapath_<node>.xml / fsm_<node>.xml into `dir`.
+/// Returns the paths written (first entry is rtg.xml).
+std::vector<std::filesystem::path> save_design_files(
+    const Design& design, const std::filesystem::path& dir);
+
+/// Loads a design from the rtg.xml produced by save_design_files.
+Design load_design_files(const std::filesystem::path& rtg_path);
+
+}  // namespace fti::ir

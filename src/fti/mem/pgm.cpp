@@ -1,0 +1,139 @@
+#include "fti/mem/pgm.hpp"
+
+#include <cctype>
+
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/strings.hpp"
+
+namespace fti::mem {
+namespace {
+
+class PgmScanner {
+ public:
+  explicit PgmScanner(const std::string& text) : text_(text) {}
+
+  /// Next whitespace-delimited token, skipping '#' comments.
+  std::string next_token() {
+    skip_separators();
+    if (pos_ >= text_.size()) {
+      throw util::IoError("unexpected end of PGM data");
+    }
+    std::string token;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      token.push_back(text_[pos_++]);
+    }
+    return token;
+  }
+
+  std::uint64_t next_number() {
+    std::string token = next_token();
+    try {
+      return util::parse_u64(token);
+    } catch (const util::Error& e) {
+      throw util::IoError(std::string("PGM: ") + e.what());
+    }
+  }
+
+  /// For P5: position just past the single whitespace after maxval.
+  std::size_t binary_start() {
+    if (pos_ >= text_.size()) {
+      throw util::IoError("PGM: missing binary payload");
+    }
+    return pos_ + 1;  // exactly one whitespace byte separates header/pixels
+  }
+
+ private:
+  void skip_separators() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PgmImage parse_pgm(const std::string& text) {
+  PgmScanner scanner(text);
+  std::string magic = scanner.next_token();
+  if (magic != "P2" && magic != "P5") {
+    throw util::IoError("not a PGM image (magic '" + magic + "')");
+  }
+  PgmImage image;
+  image.width = static_cast<std::size_t>(scanner.next_number());
+  image.height = static_cast<std::size_t>(scanner.next_number());
+  std::uint64_t max_value = scanner.next_number();
+  if (image.width == 0 || image.height == 0) {
+    throw util::IoError("PGM with zero dimension");
+  }
+  if (max_value == 0 || max_value > 65535) {
+    throw util::IoError("PGM maxval out of range");
+  }
+  image.max_value = static_cast<std::uint16_t>(max_value);
+  std::size_t count = image.width * image.height;
+  image.pixels.reserve(count);
+  if (magic == "P2") {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t pixel = scanner.next_number();
+      if (pixel > max_value) {
+        throw util::IoError("PGM pixel exceeds maxval");
+      }
+      image.pixels.push_back(static_cast<std::uint16_t>(pixel));
+    }
+    return image;
+  }
+  if (max_value > 255) {
+    throw util::IoError("binary PGM with 16-bit samples not supported");
+  }
+  std::size_t start = scanner.binary_start();
+  if (start + count > text.size()) {
+    throw util::IoError("binary PGM payload truncated");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    image.pixels.push_back(
+        static_cast<std::uint8_t>(text[start + i]));
+  }
+  return image;
+}
+
+PgmImage load_pgm(const std::filesystem::path& path) {
+  return parse_pgm(util::read_file(path));
+}
+
+std::string to_pgm_text(const PgmImage& image) {
+  FTI_ASSERT(image.pixels.size() == image.width * image.height,
+             "PGM pixel count mismatch");
+  std::string out = "P2\n" + std::to_string(image.width) + " " +
+                    std::to_string(image.height) + "\n" +
+                    std::to_string(image.max_value) + "\n";
+  for (std::size_t y = 0; y < image.height; ++y) {
+    for (std::size_t x = 0; x < image.width; ++x) {
+      if (x > 0) {
+        out += ' ';
+      }
+      out += std::to_string(image.at(x, y));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void save_pgm(const PgmImage& image, const std::filesystem::path& path) {
+  util::write_file(path, to_pgm_text(image));
+}
+
+}  // namespace fti::mem

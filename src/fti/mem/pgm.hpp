@@ -1,0 +1,33 @@
+// PGM image reader/writer.  The paper notes the simulator's GUI can
+// "graphically show input/output data when dealing with image processing
+// algorithms"; the batch equivalent is dumping the FDCT input and output
+// memories as portable graymaps any viewer can open.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace fti::mem {
+
+struct PgmImage {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::uint16_t max_value = 255;
+  std::vector<std::uint16_t> pixels;  // row-major, width*height entries
+
+  std::uint16_t at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+};
+
+/// Parses P2 (ASCII) and P5 (binary, maxval <= 255) graymaps.
+PgmImage parse_pgm(const std::string& text);
+PgmImage load_pgm(const std::filesystem::path& path);
+
+/// Serializes as P2 (ASCII) -- diff-able and trivially inspectable.
+std::string to_pgm_text(const PgmImage& image);
+void save_pgm(const PgmImage& image, const std::filesystem::path& path);
+
+}  // namespace fti::mem

@@ -1,0 +1,110 @@
+#include "fti/mem/sram.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::mem {
+
+Sram::Sram(std::string name, MemoryImage& image, sim::Net& clock,
+           sim::Net& addr, sim::Net& din, sim::Net& we, sim::Net& dout)
+    : Component(std::move(name)), image_(image), clock_(clock), addr_(addr),
+      din_(din), we_(we), dout_(dout) {
+  FTI_ASSERT(din_.width() == image.width() && dout_.width() == image.width(),
+             "sram '" + this->name() + "' data width mismatch");
+  FTI_ASSERT(we_.width() == 1, "sram '" + this->name() + "' we must be 1 bit");
+  clock_.add_listener(this, sim::Listen::kRising);
+  addr_.add_listener(this);
+}
+
+void Sram::drive_dout(sim::Kernel& kernel) {
+  std::uint64_t address = addr_.u();
+  if (address >= image_.depth()) {
+    ++oob_reads_;
+    kernel.schedule(dout_, sim::Bits(dout_.width(), 0), 0);
+    return;
+  }
+  kernel.schedule(dout_, image_.read_bits(address), 0);
+}
+
+void Sram::initialize(sim::Kernel& kernel) { drive_dout(kernel); }
+
+void Sram::evaluate(sim::Kernel& kernel) {
+  if (kernel.rising(clock_) && !we_.value().is_zero()) {
+    std::uint64_t address = addr_.u();
+    if (address >= image_.depth()) {
+      throw util::SimError("sram '" + name() + "': write to address " +
+                           std::to_string(address) + " beyond depth " +
+                           std::to_string(image_.depth()) + " at t=" +
+                           std::to_string(kernel.now()));
+    }
+    image_.write(address, din_.u());
+    drive_dout(kernel);
+    return;
+  }
+  if (kernel.changed(addr_)) {
+    drive_dout(kernel);
+  }
+}
+
+MultiPortSram::MultiPortSram(std::string name, MemoryImage& image,
+                             sim::Net& clock,
+                             std::optional<WritePort> write,
+                             std::vector<ReadPort> reads)
+    : Component(std::move(name)), image_(image), clock_(clock),
+      write_(std::move(write)), reads_(std::move(reads)) {
+  if (write_) {
+    FTI_ASSERT(write_->addr != nullptr && write_->din != nullptr &&
+                   write_->we != nullptr,
+               "sram '" + this->name() + "' write port incomplete");
+    FTI_ASSERT(write_->din->width() == image.width(),
+               "sram '" + this->name() + "' din width mismatch");
+    write_->addr->add_listener(this);
+  }
+  for (const ReadPort& port : reads_) {
+    FTI_ASSERT(port.addr != nullptr && port.dout != nullptr,
+               "sram '" + this->name() + "' read port incomplete");
+    FTI_ASSERT(port.dout->width() == image.width(),
+               "sram '" + this->name() + "' dout width mismatch");
+    port.addr->add_listener(this);
+  }
+  clock_.add_listener(this, sim::Listen::kRising);
+}
+
+void MultiPortSram::drive(sim::Kernel& kernel, sim::Net& addr,
+                          sim::Net& dout) {
+  std::uint64_t address = addr.u();
+  if (address >= image_.depth()) {
+    ++oob_reads_;
+    kernel.schedule(dout, sim::Bits(dout.width(), 0), 0);
+    return;
+  }
+  kernel.schedule(dout, image_.read_bits(address), 0);
+}
+
+void MultiPortSram::drive_all(sim::Kernel& kernel) {
+  // Unchanged values are suppressed at commit, so re-driving every dout on
+  // any wake keeps the code simple without event inflation.
+  if (write_ && write_->dout != nullptr) {
+    drive(kernel, *write_->addr, *write_->dout);
+  }
+  for (const ReadPort& port : reads_) {
+    drive(kernel, *port.addr, *port.dout);
+  }
+}
+
+void MultiPortSram::initialize(sim::Kernel& kernel) { drive_all(kernel); }
+
+void MultiPortSram::evaluate(sim::Kernel& kernel) {
+  if (kernel.rising(clock_) && write_ && !write_->we->value().is_zero()) {
+    std::uint64_t address = write_->addr->u();
+    if (address >= image_.depth()) {
+      throw util::SimError("sram '" + name() + "': write to address " +
+                           std::to_string(address) + " beyond depth " +
+                           std::to_string(image_.depth()) + " at t=" +
+                           std::to_string(kernel.now()));
+    }
+    image_.write(address, write_->din->u());
+  }
+  drive_all(kernel);
+}
+
+}  // namespace fti::mem

@@ -1,0 +1,44 @@
+#include "fti/mem/stimulus.hpp"
+
+namespace fti::mem {
+
+StimulusDriver::StimulusDriver(std::string name, sim::Net& clock,
+                               sim::Net& out,
+                               std::vector<std::uint64_t> values)
+    : Component(std::move(name)), clock_(clock), out_(out),
+      values_(std::move(values)) {
+  clock_.add_listener(this, sim::Listen::kRising);
+}
+
+void StimulusDriver::initialize(sim::Kernel& kernel) {
+  std::uint64_t first = values_.empty() ? 0 : values_.front();
+  kernel.schedule(out_, sim::Bits(out_.width(), first), 0);
+  next_ = values_.empty() ? 0 : 1;
+}
+
+void StimulusDriver::evaluate(sim::Kernel& kernel) {
+  if (!kernel.rising(clock_)) {
+    return;
+  }
+  if (next_ < values_.size()) {
+    kernel.schedule(out_, sim::Bits(out_.width(), values_[next_]), 0);
+    ++next_;
+  }
+}
+
+OutputRecorder::OutputRecorder(std::string name, sim::Net& clock,
+                               sim::Net& data, sim::Net* valid)
+    : Component(std::move(name)), clock_(clock), data_(data), valid_(valid) {
+  clock_.add_listener(this, sim::Listen::kRising);
+}
+
+void OutputRecorder::evaluate(sim::Kernel& kernel) {
+  if (!kernel.rising(clock_)) {
+    return;
+  }
+  if (valid_ == nullptr || !valid_->value().is_zero()) {
+    samples_.push_back(data_.u());
+  }
+}
+
+}  // namespace fti::mem

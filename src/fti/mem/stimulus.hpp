@@ -1,0 +1,51 @@
+// Stimulus injection and response capture at the design boundary --
+// the file-driven I/O of the paper's flow for designs with streaming ports.
+#pragma once
+
+#include <vector>
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::mem {
+
+/// Drives `out` with values[k] during clock cycle k (applied right after
+/// the k-th rising edge).  After the list is exhausted it holds the last
+/// value (or zero when the list is empty).
+class StimulusDriver : public sim::Component {
+ public:
+  StimulusDriver(std::string name, sim::Net& clock, sim::Net& out,
+                 std::vector<std::uint64_t> values);
+
+  void initialize(sim::Kernel& kernel) override;
+  void evaluate(sim::Kernel& kernel) override;
+
+  /// True once every value has been presented.
+  bool exhausted() const { return next_ >= values_.size(); }
+
+ private:
+  sim::Net& clock_;
+  sim::Net& out_;
+  std::vector<std::uint64_t> values_;
+  std::size_t next_ = 0;
+};
+
+/// Samples `data` on each rising clock edge where `valid` (optional) is
+/// high; the collected sequence is compared against the golden output.
+class OutputRecorder : public sim::Component {
+ public:
+  OutputRecorder(std::string name, sim::Net& clock, sim::Net& data,
+                 sim::Net* valid = nullptr);
+
+  void evaluate(sim::Kernel& kernel) override;
+
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  sim::Net& clock_;
+  sim::Net& data_;
+  sim::Net* valid_;
+  std::vector<std::uint64_t> samples_;
+};
+
+}  // namespace fti::mem

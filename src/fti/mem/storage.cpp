@@ -1,0 +1,97 @@
+#include "fti/mem/storage.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::mem {
+
+MemoryImage::MemoryImage(std::string name, std::size_t depth,
+                         std::uint32_t width)
+    : name_(std::move(name)), width_(width), words_(depth, 0) {
+  FTI_ASSERT(depth > 0, "memory '" + name_ + "' has zero depth");
+  FTI_ASSERT(width >= 1 && width <= sim::Bits::kMaxWidth,
+             "memory '" + name_ + "' width out of range");
+}
+
+std::uint64_t MemoryImage::read(std::size_t address) const {
+  if (address >= words_.size()) {
+    throw util::SimError("memory '" + name_ + "': read address " +
+                         std::to_string(address) + " out of range (depth " +
+                         std::to_string(words_.size()) + ")");
+  }
+  ++reads_;
+  return words_[address];
+}
+
+void MemoryImage::write(std::size_t address, std::uint64_t value) {
+  if (address >= words_.size()) {
+    throw util::SimError("memory '" + name_ + "': write address " +
+                         std::to_string(address) + " out of range (depth " +
+                         std::to_string(words_.size()) + ")");
+  }
+  ++writes_;
+  words_[address] = value & sim::Bits::mask(width_);
+}
+
+void MemoryImage::fill(std::uint64_t value) {
+  for (auto& word : words_) {
+    word = value & sim::Bits::mask(width_);
+  }
+}
+
+void MemoryImage::load(const std::vector<std::uint64_t>& values) {
+  if (values.size() != words_.size()) {
+    throw util::IoError("memory '" + name_ + "': loading " +
+                        std::to_string(values.size()) + " words into depth " +
+                        std::to_string(words_.size()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    words_[i] = values[i] & sim::Bits::mask(width_);
+  }
+}
+
+MemoryImage& MemoryPool::create(const std::string& name, std::size_t depth,
+                                std::uint32_t width) {
+  auto it = images_.find(name);
+  if (it != images_.end()) {
+    if (it->second.depth() != depth || it->second.width() != width) {
+      throw util::IrError("memory '" + name +
+                          "' redeclared with a different shape");
+    }
+    return it->second;
+  }
+  auto [inserted, ok] =
+      images_.emplace(name, MemoryImage(name, depth, width));
+  FTI_ASSERT(ok, "pool emplace failed");
+  return inserted->second;
+}
+
+MemoryImage& MemoryPool::get(const std::string& name) {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    throw util::IrError("no memory named '" + name + "' in the pool");
+  }
+  return it->second;
+}
+
+const MemoryImage& MemoryPool::get(const std::string& name) const {
+  auto it = images_.find(name);
+  if (it == images_.end()) {
+    throw util::IrError("no memory named '" + name + "' in the pool");
+  }
+  return it->second;
+}
+
+bool MemoryPool::contains(const std::string& name) const {
+  return images_.find(name) != images_.end();
+}
+
+std::vector<std::string> MemoryPool::names() const {
+  std::vector<std::string> out;
+  out.reserve(images_.size());
+  for (const auto& [name, image] : images_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace fti::mem

@@ -1,0 +1,90 @@
+// Memory storage shared between the simulated design and the golden model.
+//
+// "Memory contents and I/O data are stored in files.  Those files are used
+// when executing the Java input algorithm.  After simulation, a simple
+// comparison of data content is performed to verify results." (paper §2)
+//
+// A MemoryImage is the raw storage; SRAM components reference an image, so
+// images outlive reconfiguration: under temporal partitioning the pool is
+// the communication channel between configurations (FDCT2's intermediate
+// image lives here between partitions).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/sim/bits.hpp"
+
+namespace fti::mem {
+
+class MemoryImage {
+ public:
+  MemoryImage(std::string name, std::size_t depth, std::uint32_t width);
+
+  const std::string& name() const { return name_; }
+  std::size_t depth() const { return words_.size(); }
+  std::uint32_t width() const { return width_; }
+
+  /// Bounds-checked accessors; throw SimError on out-of-range addresses
+  /// (an out-of-bounds memory access is precisely the kind of compiler bug
+  /// the infrastructure exists to expose).
+  std::uint64_t read(std::size_t address) const;
+  void write(std::size_t address, std::uint64_t value);
+
+  sim::Bits read_bits(std::size_t address) const {
+    return sim::Bits(width_, read(address));
+  }
+
+  /// Unchecked fill helpers for workload generators.
+  void fill(std::uint64_t value);
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Loads word `i` from `values[i]`; sizes must match exactly.
+  void load(const std::vector<std::uint64_t>& values);
+
+  std::uint64_t read_count() const { return reads_; }
+  std::uint64_t write_count() const { return writes_; }
+
+  friend bool operator==(const MemoryImage& a, const MemoryImage& b) {
+    return a.width_ == b.width_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t width_;
+  std::vector<std::uint64_t> words_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Named collection of memory images with stable addresses; SRAMs bind to
+/// entries by name.  Non-copyable so two configurations can never diverge.
+class MemoryPool {
+ public:
+  MemoryPool() = default;
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Creates an image; throws IrError if the name exists with a different
+  /// shape, returns the existing image when shapes agree (idempotent so
+  /// each temporal partition can declare the memories it touches).
+  MemoryImage& create(const std::string& name, std::size_t depth,
+                      std::uint32_t width);
+
+  /// Fetches an existing image; throws IrError when absent.
+  MemoryImage& get(const std::string& name);
+  const MemoryImage& get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return images_.size(); }
+
+ private:
+  std::map<std::string, MemoryImage> images_;
+};
+
+}  // namespace fti::mem

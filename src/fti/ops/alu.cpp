@@ -1,0 +1,255 @@
+#include "fti/ops/alu.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "fti/util/error.hpp"
+
+namespace fti::ops {
+
+using sim::Bits;
+
+sim::Bits eval_binop(BinOp op, const Bits& a, const Bits& b,
+                     std::uint32_t out_width) {
+  const std::uint64_t au = a.u();
+  const std::uint64_t bu = b.u();
+  const std::int64_t as = a.s();
+  const std::int64_t bs = b.s();
+  auto make = [out_width](std::uint64_t value) {
+    return Bits(out_width, value);
+  };
+  // Comparison results are 0/1 but still sized to the output net.
+  auto flag = [out_width](bool value) {
+    return Bits(out_width, value ? 1u : 0u);
+  };
+  switch (op) {
+    case BinOp::kAdd:
+      return make(au + bu);
+    case BinOp::kSub:
+      return make(au - bu);
+    case BinOp::kMul:
+      return make(au * bu);
+    case BinOp::kDiv: {
+      if (bs == 0) {
+        return make(~std::uint64_t{0});
+      }
+      // INT64_MIN / -1 overflows in C++; the masked result of the
+      // mathematically correct quotient is the dividend itself.
+      if (as == std::numeric_limits<std::int64_t>::min() && bs == -1) {
+        return make(static_cast<std::uint64_t>(as));
+      }
+      return make(static_cast<std::uint64_t>(as / bs));
+    }
+    case BinOp::kRem: {
+      if (bs == 0) {
+        return make(static_cast<std::uint64_t>(as));
+      }
+      if (as == std::numeric_limits<std::int64_t>::min() && bs == -1) {
+        return make(0);
+      }
+      return make(static_cast<std::uint64_t>(as % bs));
+    }
+    case BinOp::kAnd:
+      return make(au & bu);
+    case BinOp::kOr:
+      return make(au | bu);
+    case BinOp::kXor:
+      return make(au ^ bu);
+    case BinOp::kShl: {
+      std::uint64_t shift = bu;
+      return make(shift >= 64 ? 0 : au << shift);
+    }
+    case BinOp::kShr: {
+      std::uint64_t shift = bu;
+      return make(shift >= 64 ? 0 : au >> shift);
+    }
+    case BinOp::kAshr: {
+      std::uint64_t shift = std::min<std::uint64_t>(bu, 63);
+      return make(static_cast<std::uint64_t>(as >> shift));
+    }
+    case BinOp::kEq:
+      return flag(au == bu);
+    case BinOp::kNe:
+      return flag(au != bu);
+    case BinOp::kLt:
+      return flag(as < bs);
+    case BinOp::kLe:
+      return flag(as <= bs);
+    case BinOp::kGt:
+      return flag(as > bs);
+    case BinOp::kGe:
+      return flag(as >= bs);
+    case BinOp::kLtu:
+      return flag(au < bu);
+    case BinOp::kLeu:
+      return flag(au <= bu);
+    case BinOp::kGtu:
+      return flag(au > bu);
+    case BinOp::kGeu:
+      return flag(au >= bu);
+    case BinOp::kMin:
+      return make(static_cast<std::uint64_t>(std::min(as, bs)));
+    case BinOp::kMax:
+      return make(static_cast<std::uint64_t>(std::max(as, bs)));
+  }
+  FTI_ASSERT(false, "unhandled BinOp");
+}
+
+sim::Bits eval_unop(UnOp op, const Bits& a, std::uint32_t out_width) {
+  switch (op) {
+    case UnOp::kNot:
+      return Bits(out_width, ~a.u());
+    case UnOp::kNeg:
+      return Bits(out_width, ~a.u() + 1);
+    case UnOp::kAbs: {
+      std::int64_t value = a.s();
+      return Bits(out_width, static_cast<std::uint64_t>(
+                                 value < 0 ? -value : value));
+    }
+    case UnOp::kPass:
+      return Bits(out_width, a.u());
+    case UnOp::kSext:
+      return Bits(out_width, static_cast<std::uint64_t>(a.s()));
+  }
+  FTI_ASSERT(false, "unhandled UnOp");
+}
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kLtu:
+    case BinOp::kLeu:
+    case BinOp::kGtu:
+    case BinOp::kGeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+struct BinOpName {
+  BinOp op;
+  std::string_view name;
+};
+
+constexpr BinOpName kBinOpNames[] = {
+    {BinOp::kAdd, "add"},   {BinOp::kSub, "sub"},   {BinOp::kMul, "mul"},
+    {BinOp::kDiv, "div"},   {BinOp::kRem, "rem"},   {BinOp::kAnd, "and"},
+    {BinOp::kOr, "or"},     {BinOp::kXor, "xor"},   {BinOp::kShl, "shl"},
+    {BinOp::kShr, "shr"},   {BinOp::kAshr, "ashr"}, {BinOp::kEq, "eq"},
+    {BinOp::kNe, "ne"},     {BinOp::kLt, "lt"},     {BinOp::kLe, "le"},
+    {BinOp::kGt, "gt"},     {BinOp::kGe, "ge"},     {BinOp::kLtu, "ltu"},
+    {BinOp::kLeu, "leu"},   {BinOp::kGtu, "gtu"},   {BinOp::kGeu, "geu"},
+    {BinOp::kMin, "min"},   {BinOp::kMax, "max"},
+};
+
+struct UnOpName {
+  UnOp op;
+  std::string_view name;
+};
+
+constexpr UnOpName kUnOpNames[] = {
+    {UnOp::kNot, "not"},   {UnOp::kNeg, "neg"},   {UnOp::kAbs, "abs"},
+    {UnOp::kPass, "pass"}, {UnOp::kSext, "sext"},
+};
+
+}  // namespace
+
+std::string_view to_string(BinOp op) {
+  for (const auto& entry : kBinOpNames) {
+    if (entry.op == op) {
+      return entry.name;
+    }
+  }
+  FTI_ASSERT(false, "unnamed BinOp");
+}
+
+std::string_view to_string(UnOp op) {
+  for (const auto& entry : kUnOpNames) {
+    if (entry.op == op) {
+      return entry.name;
+    }
+  }
+  FTI_ASSERT(false, "unnamed UnOp");
+}
+
+BinOp binop_from_string(std::string_view name) {
+  for (const auto& entry : kBinOpNames) {
+    if (entry.name == name) {
+      return entry.op;
+    }
+  }
+  throw util::XmlError("unknown binary operator '" + std::string(name) + "'");
+}
+
+UnOp unop_from_string(std::string_view name) {
+  for (const auto& entry : kUnOpNames) {
+    if (entry.name == name) {
+      return entry.op;
+    }
+  }
+  throw util::XmlError("unknown unary operator '" + std::string(name) + "'");
+}
+
+const std::vector<BinOp>& all_binops() {
+  static const std::vector<BinOp> ops = [] {
+    std::vector<BinOp> out;
+    for (const auto& entry : kBinOpNames) {
+      out.push_back(entry.op);
+    }
+    return out;
+  }();
+  return ops;
+}
+
+const std::vector<UnOp>& all_unops() {
+  static const std::vector<UnOp> ops = [] {
+    std::vector<UnOp> out;
+    for (const auto& entry : kUnOpNames) {
+      out.push_back(entry.op);
+    }
+    return out;
+  }();
+  return ops;
+}
+
+BinaryOp::BinaryOp(std::string name, BinOp op, sim::Net& a, sim::Net& b,
+                   sim::Net& out, sim::Time delay)
+    : Component(std::move(name)), op_(op), a_(a), b_(b), out_(out),
+      delay_(delay) {
+  a_.add_listener(this);
+  b_.add_listener(this);
+}
+
+void BinaryOp::initialize(sim::Kernel& kernel) {
+  kernel.schedule(out_, eval_binop(op_, a_.value(), b_.value(), out_.width()),
+                  delay_);
+}
+
+void BinaryOp::evaluate(sim::Kernel& kernel) {
+  kernel.schedule(out_, eval_binop(op_, a_.value(), b_.value(), out_.width()),
+                  delay_);
+}
+
+UnaryOp::UnaryOp(std::string name, UnOp op, sim::Net& a, sim::Net& out,
+                 sim::Time delay)
+    : Component(std::move(name)), op_(op), a_(a), out_(out), delay_(delay) {
+  a_.add_listener(this);
+}
+
+void UnaryOp::initialize(sim::Kernel& kernel) {
+  kernel.schedule(out_, eval_unop(op_, a_.value(), out_.width()), delay_);
+}
+
+void UnaryOp::evaluate(sim::Kernel& kernel) {
+  kernel.schedule(out_, eval_unop(op_, a_.value(), out_.width()), delay_);
+}
+
+}  // namespace fti::ops

@@ -1,0 +1,35 @@
+#include "fti/ops/clock.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::ops {
+
+ClockGen::ClockGen(std::string name, sim::Net& out, sim::Time period,
+                   std::uint64_t max_cycles)
+    : Component(std::move(name)), out_(out), period_(period),
+      max_cycles_(max_cycles) {
+  FTI_ASSERT(period_ >= 2 && period_ % 2 == 0,
+             "clock '" + this->name() + "' period must be even and >= 2");
+  FTI_ASSERT(out_.width() == 1, "clock output must be one bit");
+  out_.add_listener(this);
+}
+
+void ClockGen::initialize(sim::Kernel& kernel) {
+  kernel.schedule(out_, sim::Bits::bit(true), period_ / 2);
+}
+
+void ClockGen::evaluate(sim::Kernel& kernel) {
+  if (!kernel.changed(out_)) {
+    return;
+  }
+  if (out_.value().bit_at(0)) {
+    ++cycles_;
+    if (max_cycles_ != 0 && cycles_ >= max_cycles_) {
+      return;  // let the event queue drain
+    }
+  }
+  kernel.schedule(out_, sim::Bits::bit(!out_.value().bit_at(0)),
+                  period_ / 2);
+}
+
+}  // namespace fti::ops

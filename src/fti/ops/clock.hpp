@@ -1,0 +1,35 @@
+// Free-running clock generator.  It wakes on its own output edge and
+// schedules the opposite edge half a period later; an optional cycle cap
+// lets idle-driven runs terminate without a watchdog.
+#pragma once
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::ops {
+
+class ClockGen : public sim::Component {
+ public:
+  static constexpr sim::Time kDefaultPeriod = 10;
+
+  /// `period` must be even and >= 2.  The output starts low; the first
+  /// rising edge occurs at period/2.
+  ClockGen(std::string name, sim::Net& out,
+           sim::Time period = kDefaultPeriod, std::uint64_t max_cycles = 0);
+
+  void initialize(sim::Kernel& kernel) override;
+  void evaluate(sim::Kernel& kernel) override;
+
+  /// Rising edges produced so far.
+  std::uint64_t cycles() const { return cycles_; }
+
+  sim::Time period() const { return period_; }
+
+ private:
+  sim::Net& out_;
+  sim::Time period_;
+  std::uint64_t max_cycles_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace fti::ops

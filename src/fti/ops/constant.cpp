@@ -1,0 +1,2 @@
+// Constant is header-only; this TU anchors the library target.
+#include "fti/ops/constant.hpp"

@@ -1,0 +1,29 @@
+// Constant driver: places a literal on a net at initialization.  The
+// compiler materialises every immediate operand through one of these.
+#pragma once
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::ops {
+
+class Constant : public sim::Component {
+ public:
+  Constant(std::string name, sim::Net& out, sim::Bits value)
+      : Component(std::move(name)), out_(out),
+        value_(value.resized(out.width())) {}
+
+  void initialize(sim::Kernel& kernel) override {
+    kernel.schedule(out_, value_, 0);
+  }
+
+  void evaluate(sim::Kernel& kernel) override { (void)kernel; }
+
+  const sim::Bits& value() const { return value_; }
+
+ private:
+  sim::Net& out_;
+  sim::Bits value_;
+};
+
+}  // namespace fti::ops

@@ -1,0 +1,30 @@
+#include "fti/ops/counter.hpp"
+
+namespace fti::ops {
+
+Counter::Counter(std::string name, sim::Net& clock, sim::Net& q,
+                 sim::Net* enable, sim::Net* clear, std::uint64_t step)
+    : Component(std::move(name)), clock_(clock), q_(q), enable_(enable),
+      clear_(clear), step_(step) {
+  clock_.add_listener(this, sim::Listen::kRising);
+}
+
+void Counter::initialize(sim::Kernel& kernel) {
+  kernel.schedule(q_, sim::Bits(q_.width(), 0), 0);
+}
+
+void Counter::evaluate(sim::Kernel& kernel) {
+  if (!kernel.rising(clock_)) {
+    return;
+  }
+  if (clear_ != nullptr && !clear_->value().is_zero()) {
+    count_ = 0;
+  } else if (enable_ == nullptr || !enable_->value().is_zero()) {
+    count_ += step_;
+  } else {
+    return;
+  }
+  kernel.schedule(q_, sim::Bits(q_.width(), count_), 0);
+}
+
+}  // namespace fti::ops

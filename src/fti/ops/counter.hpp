@@ -1,0 +1,30 @@
+// Up-counter with enable and synchronous clear; a convenience operator for
+// loop indices in hand-written netlists and for the operator-library tests.
+#pragma once
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::ops {
+
+class Counter : public sim::Component {
+ public:
+  /// Counts up by `step` on enabled rising clock edges; `clear` (optional)
+  /// returns it to zero and wins over enable.
+  Counter(std::string name, sim::Net& clock, sim::Net& q,
+          sim::Net* enable = nullptr, sim::Net* clear = nullptr,
+          std::uint64_t step = 1);
+
+  void initialize(sim::Kernel& kernel) override;
+  void evaluate(sim::Kernel& kernel) override;
+
+ private:
+  sim::Net& clock_;
+  sim::Net& q_;
+  sim::Net* enable_;
+  sim::Net* clear_;
+  std::uint64_t step_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace fti::ops

@@ -1,0 +1,36 @@
+#include "fti/ops/mux.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::ops {
+
+Mux::Mux(std::string name, std::vector<sim::Net*> inputs, sim::Net& select,
+         sim::Net& out)
+    : Component(std::move(name)), inputs_(std::move(inputs)),
+      select_(select), out_(out) {
+  FTI_ASSERT(!inputs_.empty(), "mux '" + this->name() + "' has no inputs");
+  for (sim::Net* input : inputs_) {
+    FTI_ASSERT(input != nullptr, "mux '" + this->name() + "' null input");
+    FTI_ASSERT(input->width() == out_.width(),
+               "mux '" + this->name() + "' width mismatch on input '" +
+                   input->name() + "'");
+    input->add_listener(this);
+  }
+  select_.add_listener(this);
+}
+
+void Mux::drive(sim::Kernel& kernel) {
+  std::uint64_t sel = select_.u();
+  if (sel >= inputs_.size()) {
+    ++out_of_range_;
+    kernel.schedule(out_, sim::Bits(out_.width(), 0), 0);
+    return;
+  }
+  kernel.schedule(out_, inputs_[sel]->value(), 0);
+}
+
+void Mux::initialize(sim::Kernel& kernel) { drive(kernel); }
+
+void Mux::evaluate(sim::Kernel& kernel) { drive(kernel); }
+
+}  // namespace fti::ops

@@ -1,0 +1,39 @@
+// N-input multiplexer.  The compiler's binder shares functional units
+// between operations, so every shared FU input and register data input is
+// fed through one of these, selected by the control unit.
+#pragma once
+
+#include <vector>
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::ops {
+
+class Mux : public sim::Component {
+ public:
+  /// `inputs` must be non-empty; all inputs and `out` share a width.
+  /// An out-of-range select drives zero (and is counted) rather than
+  /// trapping: selects settle over delta cycles and transient overshoot
+  /// must not kill the run -- registers only sample settled values.
+  Mux(std::string name, std::vector<sim::Net*> inputs, sim::Net& select,
+      sim::Net& out);
+
+  void initialize(sim::Kernel& kernel) override;
+  void evaluate(sim::Kernel& kernel) override;
+
+  std::size_t input_count() const { return inputs_.size(); }
+
+  /// Number of evaluations that saw an out-of-range select.
+  std::uint64_t out_of_range_count() const { return out_of_range_; }
+
+ private:
+  void drive(sim::Kernel& kernel);
+
+  std::vector<sim::Net*> inputs_;
+  sim::Net& select_;
+  sim::Net& out_;
+  std::uint64_t out_of_range_ = 0;
+};
+
+}  // namespace fti::ops

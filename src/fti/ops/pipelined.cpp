@@ -1,0 +1,36 @@
+#include "fti/ops/pipelined.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::ops {
+
+PipelinedBinaryOp::PipelinedBinaryOp(std::string name, BinOp op,
+                                     sim::Net& clock, sim::Net& a,
+                                     sim::Net& b, sim::Net& out,
+                                     std::uint32_t latency)
+    : Component(std::move(name)), op_(op), clock_(clock), a_(a), b_(b),
+      out_(out), latency_(latency) {
+  FTI_ASSERT(latency_ >= 1,
+             "pipelined FU '" + this->name() + "' needs latency >= 1");
+  // The sample pushed at edge E must retire onto `out` right after edge
+  // E + latency - 1 (so it is readable during the following state), which
+  // a push-then-pop queue of latency-1 pre-filled stages provides.
+  // Pipeline registers power up at zero, like every other register.
+  pipeline_.assign(latency_ - 1, sim::Bits(out_.width(), 0));
+  clock_.add_listener(this, sim::Listen::kRising);
+}
+
+void PipelinedBinaryOp::evaluate(sim::Kernel& kernel) {
+  if (!kernel.rising(clock_)) {
+    return;
+  }
+  // Sample pre-edge operands into the first stage; the oldest stage
+  // retires onto the output net.
+  pipeline_.push_back(
+      eval_binop(op_, a_.value(), b_.value(), out_.width()));
+  sim::Bits retired = pipeline_.front();
+  pipeline_.pop_front();
+  kernel.schedule(out_, retired, 0);
+}
+
+}  // namespace fti::ops

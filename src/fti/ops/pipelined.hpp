@@ -1,0 +1,40 @@
+// Pipelined binary functional unit.
+//
+// A combinational FU (BinaryOp) produces its result within the control
+// step that feeds it.  Real datapaths pipeline expensive operators
+// (multipliers, dividers); this component models an initiation-interval-1
+// pipeline with `latency` register stages: operands are sampled on every
+// rising clock edge and the sampled result appears on `out` exactly
+// `latency` edges later.  The compiler schedules consumers accordingly
+// (see Resources::latency_for), and because II = 1 the binder may start a
+// new operation on the same instance every step.
+#pragma once
+
+#include <deque>
+
+#include "fti/ops/alu.hpp"
+
+namespace fti::ops {
+
+class PipelinedBinaryOp : public sim::Component {
+ public:
+  /// `latency` >= 1 (a latency of 0 is just BinaryOp).
+  PipelinedBinaryOp(std::string name, BinOp op, sim::Net& clock, sim::Net& a,
+                    sim::Net& b, sim::Net& out, std::uint32_t latency);
+
+  void evaluate(sim::Kernel& kernel) override;
+
+  BinOp op() const { return op_; }
+  std::uint32_t latency() const { return latency_; }
+
+ private:
+  BinOp op_;
+  sim::Net& clock_;
+  sim::Net& a_;
+  sim::Net& b_;
+  sim::Net& out_;
+  std::uint32_t latency_;
+  std::deque<sim::Bits> pipeline_;
+};
+
+}  // namespace fti::ops

@@ -1,0 +1,17 @@
+#include "fti/sim/bits.hpp"
+
+namespace fti::sim {
+
+std::string Bits::to_string() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string digits;
+  std::uint64_t value = bits_;
+  std::uint32_t nibbles = (width_ + 3) / 4;
+  for (std::uint32_t i = 0; i < nibbles; ++i) {
+    digits.insert(digits.begin(), kHex[value & 0xF]);
+    value >>= 4;
+  }
+  return std::to_string(width_) + "'h" + digits;
+}
+
+}  // namespace fti::sim

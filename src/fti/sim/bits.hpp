@@ -1,0 +1,98 @@
+// Two-state bit-vector value type carried by every net.
+//
+// Functional testing per the paper checks value correctness of the
+// compiler's architectures, not X-propagation, so values are two-state and
+// capped at 64 bits -- wide enough for the 32-bit datapaths Galadriel &
+// Nenya emit, and small enough that the event kernel stays allocation-free
+// on the hot path (the paper's motivation is simulating millions of cycles
+// for image-sized data sets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+class Bits {
+ public:
+  static constexpr std::uint32_t kMaxWidth = 64;
+
+  /// Default: 1-bit zero, so fresh nets read as logic low.
+  constexpr Bits() = default;
+
+  /// Value is masked to `width` bits.
+  constexpr Bits(std::uint32_t width, std::uint64_t value)
+      : width_(width), bits_(value & mask(width)) {
+    // constexpr-friendly check; widths come from validated IR.
+    if (width == 0 || width > kMaxWidth) {
+      throw util::IrError("Bits width out of range");
+    }
+  }
+
+  /// Single control/status bit.
+  static constexpr Bits bit(bool value) {
+    return Bits(1, value ? 1u : 0u);
+  }
+
+  /// All-ones pattern of the given width.
+  static constexpr Bits ones(std::uint32_t width) {
+    return Bits(width, ~std::uint64_t{0});
+  }
+
+  constexpr std::uint32_t width() const { return width_; }
+
+  /// Unsigned interpretation.
+  constexpr std::uint64_t u() const { return bits_; }
+
+  /// Two's-complement interpretation (sign bit = bit width-1).
+  constexpr std::int64_t s() const {
+    if (width_ == 64) {
+      return static_cast<std::int64_t>(bits_);
+    }
+    std::uint64_t sign = std::uint64_t{1} << (width_ - 1);
+    if (bits_ & sign) {
+      return static_cast<std::int64_t>(bits_ | ~mask(width_));
+    }
+    return static_cast<std::int64_t>(bits_);
+  }
+
+  constexpr bool is_zero() const { return bits_ == 0; }
+
+  /// True when bit `index` (0 = LSB) is set; out-of-range reads as 0.
+  constexpr bool bit_at(std::uint32_t index) const {
+    return index < width_ && ((bits_ >> index) & 1u) != 0;
+  }
+
+  /// Same value, new width (zero-extend or truncate).
+  constexpr Bits resized(std::uint32_t new_width) const {
+    return Bits(new_width, bits_);
+  }
+
+  /// Same value sign-extended to `new_width` (>= width()).
+  constexpr Bits sign_extended(std::uint32_t new_width) const {
+    return Bits(new_width, static_cast<std::uint64_t>(s()));
+  }
+
+  friend constexpr bool operator==(const Bits& a, const Bits& b) {
+    return a.width_ == b.width_ && a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(const Bits& a, const Bits& b) {
+    return !(a == b);
+  }
+
+  static constexpr std::uint64_t mask(std::uint32_t width) {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << width) - 1);
+  }
+
+  /// Debug rendering: "8'h3a".
+  std::string to_string() const;
+
+ private:
+  std::uint32_t width_ = 1;
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace fti::sim

@@ -1,0 +1,43 @@
+// Component: the behavioural unit of simulation (one Hades "SimObject").
+//
+// A component declares which nets wake it (sensitivity), computes in
+// evaluate(), and produces outputs by scheduling net updates through the
+// kernel -- it never writes a net directly, which is what keeps event
+// ordering deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fti::sim {
+
+class Kernel;
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called once when the kernel starts, before any event is processed.
+  /// Components drive their initial outputs and self-schedule here
+  /// (constants, clock generators, reset drivers).
+  virtual void initialize(Kernel& kernel) { (void)kernel; }
+
+  /// Called whenever a net in the component's sensitivity list changes.
+  virtual void evaluate(Kernel& kernel) = 0;
+
+ private:
+  friend class Kernel;
+
+  std::string name_;
+  /// Kernel-internal: activation id that last enqueued this component,
+  /// deduplicating wakeups in O(1) per listener.
+  std::uint64_t wake_stamp_ = 0;
+};
+
+}  // namespace fti::sim

@@ -1,0 +1,147 @@
+#include "fti/sim/kernel.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+void Kernel::schedule(Net& net, const Bits& value, Time delay) {
+  Event event{now_ + delay, ++seq_, &net, value};
+  if (delay == 0) {
+    next_delta_.push_back(std::move(event));
+  } else {
+    queue_.push(std::move(event));
+  }
+}
+
+void Kernel::preset(Net& net, const Bits& value) {
+  FTI_ASSERT(!initialized_, "preset() after the run started");
+  net.preset(value);
+}
+
+void Kernel::request_stop(std::string reason) {
+  stop_requested_ = true;
+  stop_message_ = std::move(reason);
+}
+
+void Kernel::initialize_components() {
+  initialized_ = true;
+  stats_.timesteps = 1;
+  for (const auto& component : netlist_.components()) {
+    component->initialize(*this);
+  }
+}
+
+void Kernel::apply_batch(const std::vector<Event>& batch) {
+  ++activation_id_;
+  ++stats_.delta_cycles;
+  wake_list_.clear();
+  changed_nets_.clear();
+  for (const Event& event : batch) {
+    ++stats_.events;
+    if (event.net->commit(event.value, activation_id_)) {
+      changed_nets_.push_back(event.net);
+      bool rose = !event.net->prev_value().bit_at(0) &&
+                  event.net->value().bit_at(0);
+      // A component woken by several nets still evaluates once: the
+      // activation stamp deduplicates in O(1) per listener.
+      for (const ListenerRec& rec : event.net->listeners()) {
+        if ((rec.mode == Listen::kAny || rose) &&
+            rec.component->wake_stamp_ != activation_id_) {
+          rec.component->wake_stamp_ = activation_id_;
+          wake_list_.push_back(rec.component);
+        }
+      }
+    }
+  }
+}
+
+Kernel::StopReason Kernel::run(Time max_time, const Net* done_net) {
+  if (!initialized_) {
+    initialize_components();
+  }
+  stop_requested_ = false;
+  std::uint32_t deltas_this_step = 0;
+  std::vector<Event> batch;
+  for (;;) {
+    batch.clear();
+    if (!next_delta_.empty()) {
+      batch.swap(next_delta_);
+      ++deltas_this_step;
+      if (deltas_this_step > max_deltas_) {
+        throw util::SimError(
+            "delta-cycle limit exceeded at t=" + std::to_string(now_) +
+            " -- combinational loop in the design?");
+      }
+    } else {
+      if (queue_.empty()) {
+        stats_.end_time = now_;
+        if (tracer_ != nullptr) {
+          tracer_->on_finish(now_);
+        }
+        return StopReason::kIdle;
+      }
+      Time next_time = queue_.top().time;
+      if (next_time > max_time) {
+        now_ = max_time;
+        stats_.end_time = now_;
+        if (tracer_ != nullptr) {
+          tracer_->on_finish(now_);
+        }
+        return StopReason::kMaxTime;
+      }
+      if (next_time > now_) {
+        now_ = next_time;
+        ++stats_.timesteps;
+        deltas_this_step = 0;
+      }
+      // Events pop in (time, seq) order, so commits inside the batch apply
+      // in scheduling order -- deterministic last-writer-wins.
+      while (!queue_.empty() && queue_.top().time == next_time) {
+        batch.push_back(queue_.top());
+        queue_.pop();
+      }
+      ++deltas_this_step;
+    }
+
+    apply_batch(batch);
+    for (Component* component : wake_list_) {
+      ++stats_.evaluations;
+      component->evaluate(*this);
+    }
+    if (tracer_ != nullptr) {
+      for (const Net* net : changed_nets_) {
+        tracer_->on_change(now_, *net);
+      }
+    }
+    if (stop_requested_) {
+      stats_.end_time = now_;
+      if (tracer_ != nullptr) {
+        tracer_->on_finish(now_);
+      }
+      return StopReason::kStopped;
+    }
+    if (done_net != nullptr && !done_net->value().is_zero()) {
+      stats_.end_time = now_;
+      if (tracer_ != nullptr) {
+        tracer_->on_finish(now_);
+      }
+      return StopReason::kDoneNet;
+    }
+  }
+}
+
+const char* to_string(Kernel::StopReason reason) {
+  switch (reason) {
+    case Kernel::StopReason::kIdle:
+      return "idle";
+    case Kernel::StopReason::kDoneNet:
+      return "done";
+    case Kernel::StopReason::kMaxTime:
+      return "max-time";
+    case Kernel::StopReason::kStopped:
+      return "stopped";
+  }
+  return "?";
+}
+
+}  // namespace fti::sim

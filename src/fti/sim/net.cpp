@@ -1,0 +1,43 @@
+#include "fti/sim/net.hpp"
+
+#include <algorithm>
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+void Net::add_listener(Component* component, Listen mode) {
+  FTI_ASSERT(component != nullptr, "null listener on net " + name_);
+  for (ListenerRec& rec : listeners_) {
+    if (rec.component == component) {
+      if (mode == Listen::kAny) {
+        rec.mode = Listen::kAny;  // widen
+      }
+      return;
+    }
+  }
+  listeners_.push_back({component, mode});
+}
+
+bool Net::commit(const Bits& next, std::uint64_t activation_id) {
+  FTI_ASSERT(next.width() == value_.width(),
+             "width mismatch driving net " + name_ + ": driving " +
+                 std::to_string(next.width()) + " bits onto " +
+                 std::to_string(value_.width()));
+  if (next == value_) {
+    return false;
+  }
+  prev_ = value_;
+  value_ = next;
+  last_change_ = activation_id;
+  return true;
+}
+
+void Net::preset(const Bits& value) {
+  FTI_ASSERT(value.width() == value_.width(),
+             "width mismatch presetting net " + name_);
+  value_ = value;
+  prev_ = value;
+}
+
+}  // namespace fti::sim

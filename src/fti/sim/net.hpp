@@ -1,0 +1,91 @@
+// Net: a named, typed signal connecting components.
+//
+// Nets hold the current value plus the previous value and the id of the
+// kernel activation that last changed them, which is what lets clocked
+// components detect edges ("did this net rise in the delta that woke me?").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fti/sim/bits.hpp"
+
+namespace fti::sim {
+
+class Component;
+class Kernel;
+
+/// How a listener wants to be woken: on any value change, or only when
+/// bit 0 rises (clocked components -- skipping falling edges halves the
+/// wake traffic of every register in the design).
+enum class Listen { kAny, kRising };
+
+struct ListenerRec {
+  Component* component;
+  Listen mode;
+};
+
+class Net {
+ public:
+  Net(std::string name, std::uint32_t width, std::uint32_t id)
+      : name_(std::move(name)), id_(id), value_(width, 0), prev_(width, 0) {}
+
+  Net(const Net&) = delete;
+  Net& operator=(const Net&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint32_t id() const { return id_; }
+  std::uint32_t width() const { return value_.width(); }
+
+  const Bits& value() const { return value_; }
+  const Bits& prev_value() const { return prev_; }
+
+  /// Convenience unsigned read.
+  std::uint64_t u() const { return value_.u(); }
+  std::int64_t s() const { return value_.s(); }
+
+  /// Registers a component to be re-evaluated when this net changes
+  /// (mode kAny) or only on a 0->1 transition of bit 0 (mode kRising).
+  /// Duplicate registrations of the same component are collapsed, the
+  /// widest mode winning.
+  void add_listener(Component* component, Listen mode = Listen::kAny);
+
+  const std::vector<ListenerRec>& listeners() const { return listeners_; }
+
+  /// True when the last change to this net happened in activation `id`
+  /// and was a 0 -> 1 transition of bit 0.  Used for clock/enable edges.
+  bool rose_in(std::uint64_t activation_id) const {
+    return last_change_ == activation_id && !prev_.bit_at(0) &&
+           value_.bit_at(0);
+  }
+
+  bool fell_in(std::uint64_t activation_id) const {
+    return last_change_ == activation_id && prev_.bit_at(0) &&
+           !value_.bit_at(0);
+  }
+
+  bool changed_in(std::uint64_t activation_id) const {
+    return last_change_ == activation_id;
+  }
+
+ private:
+  friend class Kernel;
+
+  /// Kernel-only: commits a new value.  Returns false when nothing changed
+  /// (the fanout is then not activated).
+  bool commit(const Bits& next, std::uint64_t activation_id);
+
+  /// Kernel-only: sets the value directly without scheduling, used to load
+  /// initial state before time zero.
+  void preset(const Bits& value);
+
+  std::string name_;
+  std::uint32_t id_;
+  Bits value_;
+  Bits prev_;
+  std::uint64_t last_change_ = 0;
+  std::vector<ListenerRec> listeners_;
+};
+
+}  // namespace fti::sim

@@ -1,0 +1,39 @@
+#include "fti/sim/netlist.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+Net& Netlist::create_net(std::string name, std::uint32_t width) {
+  if (find_net(name) != nullptr) {
+    throw util::IrError("duplicate net name '" + name + "'");
+  }
+  auto net = std::make_unique<Net>(std::move(name), width,
+                                   static_cast<std::uint32_t>(nets_.size()));
+  Net& ref = *net;
+  nets_.push_back(std::move(net));
+  net_index_.emplace(ref.name(), &ref);
+  return ref;
+}
+
+Component& Netlist::adopt(std::unique_ptr<Component> component) {
+  FTI_ASSERT(component != nullptr, "adopting null component");
+  Component& ref = *component;
+  components_.push_back(std::move(component));
+  return ref;
+}
+
+Net* Netlist::find_net(std::string_view name) {
+  auto it = net_index_.find(std::string(name));
+  return it == net_index_.end() ? nullptr : it->second;
+}
+
+Net& Netlist::net(std::string_view name) {
+  Net* found = find_net(name);
+  if (found == nullptr) {
+    throw util::IrError("no net named '" + std::string(name) + "'");
+  }
+  return *found;
+}
+
+}  // namespace fti::sim

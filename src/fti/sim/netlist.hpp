@@ -1,0 +1,59 @@
+// Netlist: owns the nets and components of one elaborated configuration.
+//
+// Under temporal partitioning (the paper's RTG execution) each
+// configuration gets its own Netlist, torn down at a reconfiguration
+// boundary, while SRAM *storage* lives outside in a mem::MemoryPool so
+// that partitions can communicate through memory contents.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/net.hpp"
+
+namespace fti::sim {
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Creates a net; names must be unique within the netlist.
+  Net& create_net(std::string name, std::uint32_t width);
+
+  /// Adds a component; returns a reference with the concrete type.
+  template <typename T, typename... Args>
+  T& add_component(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    components_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Adds an already-constructed component.
+  Component& adopt(std::unique_ptr<Component> component);
+
+  /// Looks up a net by name; nullptr when absent.
+  Net* find_net(std::string_view name);
+
+  /// Looks up a net by name; throws IrError when absent.
+  Net& net(std::string_view name);
+
+  const std::vector<std::unique_ptr<Net>>& nets() const { return nets_; }
+  const std::vector<std::unique_ptr<Component>>& components() const {
+    return components_;
+  }
+
+  std::size_t net_count() const { return nets_.size(); }
+  std::size_t component_count() const { return components_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Net>> nets_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::unordered_map<std::string, Net*> net_index_;
+};
+
+}  // namespace fti::sim

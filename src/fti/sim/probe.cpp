@@ -1,0 +1,77 @@
+#include "fti/sim/probe.hpp"
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+Probe::Probe(std::string name, Net& net, std::size_t max_samples)
+    : Component(std::move(name)), net_(net), max_samples_(max_samples) {
+  net_.add_listener(this);
+}
+
+void Probe::evaluate(Kernel& kernel) {
+  if (!kernel.changed(net_)) {
+    return;
+  }
+  ++changes_;
+  if (max_samples_ != 0 && samples_.size() >= max_samples_) {
+    overflowed_ = true;
+    return;
+  }
+  samples_.push_back({kernel.now(), net_.value()});
+}
+
+NetAssertion::NetAssertion(std::string name, Net& net, Predicate predicate)
+    : Component(std::move(name)), net_(net), predicate_(std::move(predicate)) {
+  FTI_ASSERT(predicate_ != nullptr, "NetAssertion requires a predicate");
+  net_.add_listener(this);
+}
+
+void NetAssertion::evaluate(Kernel& kernel) {
+  if (!kernel.changed(net_)) {
+    return;
+  }
+  if (predicate_(net_.value())) {
+    return;
+  }
+  if (violations_ == 0) {
+    first_violation_ = kernel.now();
+  }
+  ++violations_;
+  if (throw_on_failure_) {
+    throw util::SimError("assertion '" + name() + "' failed on net '" +
+                         net_.name() + "' = " + net_.value().to_string() +
+                         " at t=" + std::to_string(kernel.now()));
+  }
+}
+
+Watchdog::Watchdog(std::string name, Net& trigger_net, Time timeout)
+    : Component(std::move(name)), trigger_(trigger_net), timeout_(timeout) {
+  trigger_.add_listener(this);
+}
+
+void Watchdog::initialize(Kernel& kernel) {
+  kernel.schedule(trigger_, Bits::bit(true), timeout_);
+}
+
+void Watchdog::evaluate(Kernel& kernel) {
+  if (kernel.rising(trigger_)) {
+    fired_ = true;
+    kernel.request_stop("watchdog '" + name() + "' expired at t=" +
+                        std::to_string(kernel.now()));
+  }
+}
+
+StopOnHigh::StopOnHigh(std::string name, Net& net)
+    : Component(std::move(name)), net_(net) {
+  net_.add_listener(this);
+}
+
+void StopOnHigh::evaluate(Kernel& kernel) {
+  if (kernel.changed(net_) && !net_.value().is_zero()) {
+    kernel.request_stop("net '" + net_.name() + "' went high at t=" +
+                        std::to_string(kernel.now()));
+  }
+}
+
+}  // namespace fti::sim

@@ -1,0 +1,95 @@
+// Test instrumentation components -- the "access to values on certain
+// connections, assertions, inclusion of probes and stop mechanisms" the
+// paper lists as requirements an FPGA implementation cannot easily offer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fti/sim/component.hpp"
+#include "fti/sim/kernel.hpp"
+#include "fti/sim/net.hpp"
+
+namespace fti::sim {
+
+/// Records every value a net takes, with its timestamp.
+class Probe : public Component {
+ public:
+  struct Sample {
+    Time time;
+    Bits value;
+  };
+
+  /// Attaches to `net`; keeps at most `max_samples` (0 = unlimited).
+  Probe(std::string name, Net& net, std::size_t max_samples = 0);
+
+  void evaluate(Kernel& kernel) override;
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t change_count() const { return changes_; }
+  bool overflowed() const { return overflowed_; }
+
+ private:
+  Net& net_;
+  std::size_t max_samples_;
+  std::size_t changes_ = 0;
+  bool overflowed_ = false;
+  std::vector<Sample> samples_;
+};
+
+/// Checks a predicate on every change of a net.  A violation either throws
+/// SimError (default -- the automated suite must fail) or, when
+/// `stop_on_failure(false)` was called, is recorded and the run continues.
+class NetAssertion : public Component {
+ public:
+  using Predicate = std::function<bool(const Bits&)>;
+
+  NetAssertion(std::string name, Net& net, Predicate predicate);
+
+  /// When false, violations are recorded instead of throwing.
+  void set_throw_on_failure(bool value) { throw_on_failure_ = value; }
+
+  void evaluate(Kernel& kernel) override;
+
+  std::size_t violation_count() const { return violations_; }
+  Time first_violation_time() const { return first_violation_; }
+
+ private:
+  Net& net_;
+  Predicate predicate_;
+  bool throw_on_failure_ = true;
+  std::size_t violations_ = 0;
+  Time first_violation_ = 0;
+};
+
+/// Stops the run when simulated time reaches `timeout` -- the safety net
+/// against designs whose done signal never rises.  Requires a dedicated
+/// 1-bit net to wake itself through.
+class Watchdog : public Component {
+ public:
+  Watchdog(std::string name, Net& trigger_net, Time timeout);
+
+  void initialize(Kernel& kernel) override;
+  void evaluate(Kernel& kernel) override;
+
+  bool fired() const { return fired_; }
+
+ private:
+  Net& trigger_;
+  Time timeout_;
+  bool fired_ = false;
+};
+
+/// Requests a kernel stop the moment `net` becomes nonzero.
+class StopOnHigh : public Component {
+ public:
+  StopOnHigh(std::string name, Net& net);
+
+  void evaluate(Kernel& kernel) override;
+
+ private:
+  Net& net_;
+};
+
+}  // namespace fti::sim

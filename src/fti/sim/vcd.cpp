@@ -1,0 +1,109 @@
+#include "fti/sim/vcd.hpp"
+
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+
+namespace fti::sim {
+
+VcdWriter::VcdWriter(std::string module_name)
+    : module_name_(std::move(module_name)) {}
+
+std::string VcdWriter::code_for(std::size_t index) {
+  // Printable identifier alphabet per the VCD spec: '!' (33) .. '~' (126).
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+void VcdWriter::watch(const Net& net) {
+  FTI_ASSERT(find_entry(net) == nullptr,
+             "net '" + net.name() + "' watched twice");
+  nets_.push_back({&net, net.name(), net.width(), code_for(nets_.size()),
+                   Bits(), false});
+}
+
+VcdWriter::Entry* VcdWriter::find_entry(const Net& net) {
+  for (auto& entry : nets_) {
+    if (entry.net == &net) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+void VcdWriter::emit_time(Time time) {
+  if (!time_emitted_ || time != last_time_) {
+    body_ += "#" + std::to_string(time) + "\n";
+    last_time_ = time;
+    time_emitted_ = true;
+  }
+}
+
+void VcdWriter::emit_value(std::string& out, const Bits& value,
+                           const std::string& code) {
+  if (value.width() == 1) {
+    out += value.bit_at(0) ? "1" : "0";
+    out += code;
+    out += "\n";
+    return;
+  }
+  out += "b";
+  for (std::uint32_t i = value.width(); i-- > 0;) {
+    out += value.bit_at(i) ? '1' : '0';
+  }
+  out += " ";
+  out += code;
+  out += "\n";
+}
+
+void VcdWriter::on_change(Time time, const Net& net) {
+  Entry* entry = find_entry(net);
+  if (entry == nullptr) {
+    return;  // not watched
+  }
+  if (entry->has_last && entry->last == net.value()) {
+    return;
+  }
+  emit_time(time);
+  emit_value(body_, net.value(), entry->code);
+  entry->last = net.value();
+  entry->has_last = true;
+}
+
+void VcdWriter::on_finish(Time time) {
+  if (!finished_) {
+    emit_time(time);
+    finished_ = true;
+  }
+}
+
+std::string VcdWriter::str() const {
+  std::string out;
+  out += "$date fti functional test run $end\n";
+  out += "$version fti vcd writer $end\n";
+  out += "$timescale 1ns $end\n";
+  out += "$scope module " + module_name_ + " $end\n";
+  for (const auto& entry : nets_) {
+    out += "$var wire " + std::to_string(entry.width) + " " + entry.code +
+           " " + entry.name + " $end\n";
+  }
+  out += "$upscope $end\n";
+  out += "$enddefinitions $end\n";
+  out += "$dumpvars\n";
+  for (const auto& entry : nets_) {
+    // Nets power up at zero; any change (including at t=0) is in the body.
+    emit_value(out, Bits(entry.width, 0), entry.code);
+  }
+  out += "$end\n";
+  out += body_;
+  return out;
+}
+
+void VcdWriter::write_file(const std::filesystem::path& path) const {
+  util::write_file(path, str());
+}
+
+}  // namespace fti::sim

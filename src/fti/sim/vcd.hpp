@@ -1,0 +1,58 @@
+// Value Change Dump writer.  Hades offers waveform viewing through its GUI;
+// in a batch C++ flow the equivalent is emitting standard VCD that any
+// waveform viewer (GTKWave etc.) can open.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fti/sim/kernel.hpp"
+
+namespace fti::sim {
+
+class VcdWriter : public Tracer {
+ public:
+  /// `module_name` labels the single scope in the dump.
+  explicit VcdWriter(std::string module_name = "design");
+
+  /// Registers a net before the simulation starts; its initial value is
+  /// recorded in the $dumpvars section.
+  void watch(const Net& net);
+
+  void on_change(Time time, const Net& net) override;
+  void on_finish(Time time) override;
+
+  /// Full VCD text (valid once the run finished or flush() was implied by
+  /// on_finish).
+  std::string str() const;
+
+  void write_file(const std::filesystem::path& path) const;
+
+  std::size_t watched_count() const { return nets_.size(); }
+
+ private:
+  struct Entry {
+    const Net* net;    // identity only; may dangle after netlist teardown
+    std::string name;  // snapshot: str() stays valid after the run
+    std::uint32_t width;
+    std::string code;  // short VCD identifier
+    Bits last;
+    bool has_last = false;
+  };
+
+  static std::string code_for(std::size_t index);
+  Entry* find_entry(const Net& net);
+  void emit_time(Time time);
+  static void emit_value(std::string& out, const Bits& value,
+                         const std::string& code);
+
+  std::string module_name_;
+  std::vector<Entry> nets_;
+  std::string body_;
+  Time last_time_ = 0;
+  bool time_emitted_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace fti::sim

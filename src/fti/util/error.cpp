@@ -1,0 +1,15 @@
+#include "fti/util/error.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace fti::util {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::cerr << "fti internal error at " << file << ":" << line << ": " << expr
+            << " -- " << message << std::endl;
+  std::abort();
+}
+
+}  // namespace fti::util

@@ -1,0 +1,71 @@
+// Error handling primitives shared by every fti subsystem.
+//
+// The infrastructure distinguishes two failure classes:
+//  * Error        -- malformed user input (bad XML, bad source program,
+//                    inconsistent IR).  Recoverable; reported to the caller.
+//  * logic errors -- broken internal invariants.  These abort via FTI_ASSERT
+//                    so that a corrupted simulation never "verifies" a design.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fti::util {
+
+/// Base exception for all recoverable fti errors.  Carries a `kind` tag so
+/// harness code can report which stage of the flow rejected the input.
+class Error : public std::runtime_error {
+ public:
+  Error(std::string kind, const std::string& message)
+      : std::runtime_error(kind + ": " + message), kind_(std::move(kind)) {}
+
+  const std::string& kind() const noexcept { return kind_; }
+
+ private:
+  std::string kind_;
+};
+
+/// Malformed XML text or an XML tree that violates a dialect's schema.
+class XmlError : public Error {
+ public:
+  explicit XmlError(const std::string& message) : Error("xml", message) {}
+};
+
+/// A structurally invalid IR (dangling net, unknown operator, ...).
+class IrError : public Error {
+ public:
+  explicit IrError(const std::string& message) : Error("ir", message) {}
+};
+
+/// Front-end rejection of a source program.
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& message)
+      : Error("compile", message) {}
+};
+
+/// Failures raised while a simulation is running (assertion components,
+/// watchdog expiry, X on a required control net, ...).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& message) : Error("sim", message) {}
+};
+
+/// File-system level problems (missing stimulus file, unwritable report).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& message) : Error("io", message) {}
+};
+
+/// Aborts with a readable message; used for internal invariants only.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace fti::util
+
+#define FTI_ASSERT(expr, message)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::fti::util::assert_fail(#expr, __FILE__, __LINE__, (message));   \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,55 @@
+#include "fti/util/file_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "fti/util/error.hpp"
+
+namespace fti::util {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("cannot open '" + path.string() + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw IoError("read failure on '" + path.string() + "'");
+  }
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::string& content) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw IoError("cannot create directory '" +
+                    path.parent_path().string() + "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("cannot open '" + path.string() + "' for writing");
+  }
+  out << content;
+  if (!out) {
+    throw IoError("write failure on '" + path.string() + "'");
+  }
+}
+
+std::filesystem::path scratch_dir(const std::string& tag) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "fti-work" / tag;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw IoError("cannot create scratch dir '" + dir.string() +
+                  "': " + ec.message());
+  }
+  return dir;
+}
+
+}  // namespace fti::util

@@ -1,0 +1,40 @@
+// Whole-file helpers plus a wall-clock stopwatch.  The infrastructure stores
+// memory contents, stimulus and reports in plain files (paper §2), so most
+// subsystems funnel through these two calls.
+#pragma once
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+namespace fti::util {
+
+/// Reads the entire file; throws IoError if it cannot be opened.
+std::string read_file(const std::filesystem::path& path);
+
+/// Writes `content`, creating parent directories as needed; throws IoError.
+void write_file(const std::filesystem::path& path, const std::string& content);
+
+/// Creates (if needed) and returns a scratch directory for generated
+/// artefacts: <system temp>/fti-work/<tag>.
+std::filesystem::path scratch_dir(const std::string& tag);
+
+/// Wall-clock stopwatch used for the paper's "Simulation time (s)" column.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fti::util

@@ -1,0 +1,43 @@
+// Minimal leveled logger.  The harness raises the level to `kInfo` when the
+// user passes --verbose; libraries log through this so automated test runs
+// stay quiet by default (the paper's flow is batch-oriented).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fti::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: FTI_LOG(kInfo, "elab") << "built " << n << " nets";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fti::util
+
+#define FTI_LOG(level, component) \
+  ::fti::util::LogStream(::fti::util::LogLevel::level, (component))

@@ -1,0 +1,33 @@
+// Plain-text table formatter used by the benchmark harness to print the
+// paper's Table I (and our paper-vs-measured views) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fti::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string format_double(double value, int digits);
+
+/// Formats with thousands separators: 345600 -> "345,600".
+std::string format_count(std::uint64_t value);
+
+}  // namespace fti::util

@@ -1,0 +1,148 @@
+#include "fti/xml/transform.hpp"
+
+#include "fti/util/error.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/xml/path.hpp"
+
+namespace fti::xml {
+
+void Output::pad_if_line_start() {
+  if (at_line_start_) {
+    buffer_.append(static_cast<std::size_t>(depth_ * indent_step_), ' ');
+    at_line_start_ = false;
+  }
+}
+
+void Output::write(std::string_view text) {
+  for (char c : text) {
+    if (c == '\n') {
+      buffer_.push_back('\n');
+      at_line_start_ = true;
+    } else {
+      pad_if_line_start();
+      buffer_.push_back(c);
+    }
+  }
+}
+
+void Output::writeln(std::string_view text) {
+  write(text);
+  buffer_.push_back('\n');
+  at_line_start_ = true;
+}
+
+void Output::dedent() {
+  FTI_ASSERT(depth_ > 0, "Output::dedent below zero");
+  depth_ -= 1;
+}
+
+void Stylesheet::add_rule(std::string element_name, Action action) {
+  rules_[std::move(element_name)] = std::move(action);
+}
+
+void Stylesheet::add_text_rule(std::string element_name,
+                               std::string text_template) {
+  add_rule(std::move(element_name),
+           [tmpl = std::move(text_template)](const Element& element,
+                                             Output& out,
+                                             const Stylesheet& sheet) {
+             out.writeln(expand_template(element, tmpl));
+             out.indent();
+             sheet.apply_templates(element, out);
+             out.dedent();
+           });
+}
+
+void Stylesheet::apply_to(const Element& element, Output& out) const {
+  auto it = rules_.find(element.name());
+  if (it == rules_.end()) {
+    it = rules_.find("*");
+  }
+  if (it == rules_.end()) {
+    // Built-in rule: recurse into children, emit nothing.
+    apply_templates(element, out);
+    return;
+  }
+  it->second(element, out, *this);
+}
+
+void Stylesheet::apply_templates(const Element& parent, Output& out) const {
+  for (const Element* child : parent.children()) {
+    apply_to(*child, out);
+  }
+}
+
+std::string Stylesheet::apply(const Element& root, int indent_step) const {
+  Output out(indent_step);
+  apply_to(root, out);
+  return out.str();
+}
+
+namespace {
+
+std::string evaluate_placeholder(const Element& context,
+                                 std::string_view body) {
+  body = util::trim(body);
+  if (body == "name()") {
+    return context.name();
+  }
+  if (body == "text()") {
+    return context.text();
+  }
+  if (!body.empty() && body.front() == '@') {
+    return context.attr_or(body.substr(1), "");
+  }
+  if (util::starts_with(body, "count(") && body.back() == ')') {
+    std::string_view path = body.substr(6, body.size() - 7);
+    return std::to_string(count(context, path));
+  }
+  // "path" or "path@attr".  The attribute separator is the last '@' that
+  // sits outside predicate brackets ('@' inside [...] belongs to the
+  // predicate's attribute test).
+  std::size_t at = std::string_view::npos;
+  int bracket_depth = 0;
+  for (std::size_t i = body.size(); i-- > 0;) {
+    if (body[i] == ']') {
+      ++bracket_depth;
+    } else if (body[i] == '[') {
+      --bracket_depth;
+    } else if (body[i] == '@' && bracket_depth == 0) {
+      at = i;
+      break;
+    }
+  }
+  if (at != std::string_view::npos) {
+    const Element* hit = select_first(context, body.substr(0, at));
+    return hit ? hit->attr_or(body.substr(at + 1), "") : "";
+  }
+  const Element* hit = select_first(context, body);
+  return hit ? hit->text() : "";
+}
+
+}  // namespace
+
+std::string expand_template(const Element& context, std::string_view text) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '@' && i + 1 < text.size() && text[i + 1] == '@') {
+      out.push_back('@');
+      i += 2;
+      continue;
+    }
+    if (text[i] == '@' && i + 1 < text.size() && text[i + 1] == '{') {
+      std::size_t close = text.find('}', i + 2);
+      if (close == std::string_view::npos) {
+        throw util::XmlError("unterminated @{...} placeholder in template");
+      }
+      out += evaluate_placeholder(context, text.substr(i + 2, close - i - 2));
+      i = close + 1;
+      continue;
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace fti::xml

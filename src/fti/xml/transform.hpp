@@ -1,0 +1,91 @@
+// Rule-based XML-to-text transformation -- the C++ stand-in for the paper's
+// XSLT step ("users define their own XSL translation rules to output
+// representations using the chosen language").
+//
+// A Stylesheet is a set of rules keyed by element name.  Applying a
+// stylesheet to a tree finds the rule for the root element and runs its
+// action; actions receive the matched element, an indented text Output and
+// the stylesheet itself so they can recurse with apply_templates -- the
+// same control flow as xsl:template / xsl:apply-templates.
+//
+// For simple value plugging, expand_template implements an attribute/path
+// interpolation language over a context element:
+//     "wire @{@name} : @{@width} bits (@{count(sink)} sinks)"
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "fti/xml/node.hpp"
+
+namespace fti::xml {
+
+/// Text accumulator with indentation management for generated code.
+class Output {
+ public:
+  explicit Output(int indent_step = 2) : indent_step_(indent_step) {}
+
+  /// Appends text; at the start of a line the current padding is inserted.
+  void write(std::string_view text);
+
+  /// write() followed by a newline.
+  void writeln(std::string_view text = "");
+
+  void indent() { depth_ += 1; }
+  void dedent();
+
+  const std::string& str() const { return buffer_; }
+
+ private:
+  void pad_if_line_start();
+
+  int indent_step_;
+  int depth_ = 0;
+  bool at_line_start_ = true;
+  std::string buffer_;
+};
+
+class Stylesheet {
+ public:
+  /// Action invoked when a rule matches.  `sheet` enables recursion.
+  using Action = std::function<void(const Element& element, Output& out,
+                                    const Stylesheet& sheet)>;
+
+  /// Registers a rule for elements named `element_name`.  The name "*"
+  /// registers the fallback rule.  Re-registration replaces the rule.
+  void add_rule(std::string element_name, Action action);
+
+  /// Registers a pure-text rule: the template is expanded against the
+  /// matched element (see expand_template) and written followed by a
+  /// newline; children are then visited.
+  void add_text_rule(std::string element_name, std::string text_template);
+
+  /// Applies the matching rule to `element`.  With no matching rule and no
+  /// fallback, children are visited (XSLT's built-in recursion rule).
+  void apply_to(const Element& element, Output& out) const;
+
+  /// Visits every child element of `parent` via apply_to.
+  void apply_templates(const Element& parent, Output& out) const;
+
+  /// Runs the whole transformation and returns the generated text.
+  std::string apply(const Element& root, int indent_step = 2) const;
+
+  std::size_t rule_count() const { return rules_.size(); }
+
+ private:
+  std::map<std::string, Action, std::less<>> rules_;
+};
+
+/// Expands `@{...}` placeholders against `context`:
+///   @{name()}      element name
+///   @{text()}      element text content
+///   @{@attr}       attribute value ("" when absent)
+///   @{count(path)} number of path matches
+///   @{path}        text of the first path match ("" when none)
+///   @{path@attr}   attribute of the first path match ("" when none)
+/// "@@" escapes a literal '@'.  Throws XmlError on unbalanced braces.
+std::string expand_template(const Element& context, std::string_view text);
+
+}  // namespace fti::xml

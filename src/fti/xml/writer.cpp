@@ -1,0 +1,110 @@
+#include "fti/xml/writer.hpp"
+
+#include <sstream>
+
+#include "fti/util/file_io.hpp"
+
+namespace fti::xml {
+namespace {
+
+void append_escaped(std::string& out, std::string_view text, bool in_attr) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += in_attr ? "&quot;" : "\"";
+        break;
+      case '\'':
+        out += in_attr ? "&apos;" : "'";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+}
+
+void write_element(std::string& out, const Element& element, int depth,
+                   const WriteOptions& options) {
+  std::string pad(static_cast<std::size_t>(depth * options.indent), ' ');
+  out += pad;
+  out += '<';
+  out += element.name();
+  for (const auto& [key, value] : element.attrs()) {
+    out += ' ';
+    out += key;
+    out += "=\"";
+    append_escaped(out, value, /*in_attr=*/true);
+    out += '"';
+  }
+  const auto& nodes = element.nodes();
+  if (nodes.empty()) {
+    out += "/>\n";
+    return;
+  }
+  // Pure-text elements print on one line; mixed/element content nests.
+  bool has_element_child = element.child_count() > 0;
+  if (!has_element_child) {
+    out += '>';
+    for (const auto& node : nodes) {
+      append_escaped(out, std::get<std::string>(node), /*in_attr=*/false);
+    }
+    out += "</";
+    out += element.name();
+    out += ">\n";
+    return;
+  }
+  out += ">\n";
+  std::string child_pad(
+      static_cast<std::size_t>((depth + 1) * options.indent), ' ');
+  for (const auto& node : nodes) {
+    if (const auto* child = std::get_if<std::unique_ptr<Element>>(&node)) {
+      write_element(out, **child, depth + 1, options);
+    } else {
+      out += child_pad;
+      append_escaped(out, std::get<std::string>(node), /*in_attr=*/false);
+      out += '\n';
+    }
+  }
+  out += pad;
+  out += "</";
+  out += element.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  append_escaped(out, text, /*in_attr=*/false);
+  return out;
+}
+
+std::string escape_attr(std::string_view text) {
+  std::string out;
+  append_escaped(out, text, /*in_attr=*/true);
+  return out;
+}
+
+std::string to_string(const Element& root, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  }
+  write_element(out, root, 0, options);
+  return out;
+}
+
+void write_file(const Element& root, const std::filesystem::path& path,
+                const WriteOptions& options) {
+  util::write_file(path, to_string(root, options));
+}
+
+}  // namespace fti::xml

@@ -1,0 +1,31 @@
+// Pretty-printing serializer.  The emitted text round-trips through the
+// parser (tests assert this), which is how the infrastructure guarantees
+// that what the compiler wrote is exactly what the simulator elaborates.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "fti/xml/node.hpp"
+
+namespace fti::xml {
+
+struct WriteOptions {
+  /// Spaces added per nesting level.
+  int indent = 2;
+  /// Emit the <?xml version="1.0"?> declaration before the root element.
+  bool declaration = true;
+};
+
+/// Escapes `&`, `<`, `>` (text and attributes) plus quotes in attributes.
+std::string escape_text(std::string_view text);
+std::string escape_attr(std::string_view text);
+
+/// Serializes the subtree rooted at `root`.
+std::string to_string(const Element& root, const WriteOptions& options = {});
+
+/// Serializes and writes to `path`.
+void write_file(const Element& root, const std::filesystem::path& path,
+                const WriteOptions& options = {});
+
+}  // namespace fti::xml

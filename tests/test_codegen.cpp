@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "fti/codegen/dot.hpp"
+#include "fti/codegen/hds.hpp"
+#include "fti/codegen/verilog.hpp"
+#include "fti/codegen/systemc.hpp"
+#include "fti/codegen/vhdl.hpp"
+#include "fti/compiler/hls.hpp"
+#include "fti/util/strings.hpp"
+#include "test_designs.hpp"
+
+namespace fti::codegen {
+namespace {
+
+ir::Design accumulator_design() {
+  return ir::make_single_design("accd", fti::testing::make_accumulator(4));
+}
+
+ir::Design compiled_mem_design() {
+  compiler::CompileOptions options;
+  return compiler::compile_source(
+             "kernel memo(short a[8], short b[8]) {\n"
+             "  int i;\n"
+             "  for (i = 0; i < 8; i = i + 1) {\n"
+             "    if (a[i] > 0) { b[i] = a[i] * 2; } else { b[i] = 0; }\n"
+             "  }\n"
+             "}\n",
+             options)
+      .design;
+}
+
+TEST(Dot, DatapathContainsUnitsWiresAndStyles) {
+  ir::Design design = accumulator_design();
+  std::string dot =
+      datapath_to_dot(design.configuration("acc").datapath);
+  EXPECT_TRUE(util::starts_with(dot, "digraph \"acc\""));
+  EXPECT_NE(dot.find("\"add0\""), std::string::npos);
+  EXPECT_NE(dot.find("\"r_acc\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box3d"), std::string::npos);     // register
+  EXPECT_NE(dot.find("\"w_acc_q\""), std::string::npos);     // wire node
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);      // control
+  EXPECT_NE(dot.find("color=red"), std::string::npos);       // status
+  // Output edge direction: unit -> wire for the adder.
+  EXPECT_NE(dot.find("\"add0\" -> \"w_add_out\""), std::string::npos);
+  // Input edge: wire -> unit.
+  EXPECT_NE(dot.find("\"w_acc_q\" -> \"add0\""), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(Dot, FsmShowsStatesGuardsAndInitial) {
+  ir::Design design = accumulator_design();
+  std::string dot = fsm_to_dot(design.configuration("acc").fsm);
+  EXPECT_NE(dot.find("__start -> \"run\""), std::string::npos);
+  EXPECT_NE(dot.find("\"run\" -> \"halt\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"!lt_out\""), std::string::npos);
+  EXPECT_NE(dot.find("c_en=1"), std::string::npos);  // Moore outputs shown
+}
+
+TEST(Dot, RtgListsNodesAndEdges) {
+  ir::Design design = compiled_mem_design();
+  std::string dot = rtg_to_dot(design.rtg);
+  EXPECT_NE(dot.find("\"memo\";"), std::string::npos);
+  EXPECT_NE(dot.find("__start -> \"memo\""), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(dot_escape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(Hds, DeclaresEverything) {
+  ir::Design design = accumulator_design();
+  std::string hds = datapath_to_hds(design.configuration("acc").datapath);
+  EXPECT_TRUE(util::starts_with(hds, "hds 1\ndesign acc\n"));
+  EXPECT_NE(hds.find("net acc_q 32"), std::string::npos);
+  EXPECT_NE(hds.find("instance add0 hades.models.rtlib.arith.add"),
+            std::string::npos);
+  EXPECT_NE(hds.find("instance cmp0 hades.models.rtlib.compare.ltu"),
+            std::string::npos);
+  EXPECT_NE(hds.find("instance r_acc hades.models.rtlib.register.RegRE"),
+            std::string::npos);
+  EXPECT_NE(hds.find("wire add0.a acc_q"), std::string::npos);
+  EXPECT_NE(hds.find("control c_en"), std::string::npos);
+  EXPECT_NE(hds.find("status lt_out"), std::string::npos);
+  EXPECT_TRUE(util::ends_with(hds, "end\n"));
+}
+
+TEST(Hds, DesignEmitsEveryConfiguration) {
+  ir::Design design = compiled_mem_design();
+  std::string hds = design_to_hds(design);
+  EXPECT_NE(hds.find("memory a 8 16"), std::string::npos);
+  EXPECT_NE(hds.find("hades.models.rtlib.memory.RAM"), std::string::npos);
+}
+
+TEST(Vhdl, EntityAndArchitectureStructure) {
+  ir::Design design = accumulator_design();
+  std::string vhdl = configuration_to_vhdl(design.configuration("acc"));
+  EXPECT_NE(vhdl.find("entity acc is"), std::string::npos);
+  EXPECT_NE(vhdl.find("architecture rtl of acc is"), std::string::npos);
+  EXPECT_NE(vhdl.find("signal acc_q : unsigned(31 downto 0)"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("type state_t is (st_run, st_halt);"),
+            std::string::npos);
+  EXPECT_NE(vhdl.find("done_o <= done(0);"), std::string::npos);
+  EXPECT_NE(vhdl.find("rising_edge(clk)"), std::string::npos);
+  EXPECT_NE(vhdl.find("fsm_out : process (state)"), std::string::npos);
+  // Guard "!lt_out" becomes an equality test against '0'.
+  EXPECT_NE(vhdl.find("(lt_out = \"0\")"), std::string::npos);
+}
+
+TEST(Vhdl, BinaryLiterals) {
+  EXPECT_EQ(vhdl_bin_literal(5, 4), "\"0101\"");
+  EXPECT_EQ(vhdl_bin_literal(0, 1), "\"0\"");
+  EXPECT_EQ(vhdl_bin_literal(255, 8), "\"11111111\"");
+}
+
+TEST(Vhdl, MemoriesBecomeArrays) {
+  ir::Design design = compiled_mem_design();
+  std::string vhdl = design_to_vhdl(design);
+  EXPECT_NE(vhdl.find("type a_t is array (0 to 7)"), std::string::npos);
+  EXPECT_NE(vhdl.find("signal a_mem : a_t"), std::string::npos);
+  EXPECT_NE(vhdl.find("with to_integer("), std::string::npos);  // muxes
+}
+
+TEST(Verilog, ModuleStructure) {
+  ir::Design design = accumulator_design();
+  std::string verilog =
+      configuration_to_verilog(design.configuration("acc"));
+  EXPECT_NE(verilog.find("module acc ("), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+  EXPECT_NE(verilog.find("wire [31:0] acc_q;"), std::string::npos);
+  EXPECT_NE(verilog.find("reg  c_en = 0;"), std::string::npos);
+  EXPECT_NE(verilog.find("localparam ST_run = 1'd0;"), std::string::npos);
+  EXPECT_NE(verilog.find("assign done_o = done;"), std::string::npos);
+  EXPECT_NE(verilog.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(verilog.find("if (!lt_out) state <= ST_halt;"),
+            std::string::npos);
+}
+
+TEST(Verilog, Literals) {
+  EXPECT_EQ(verilog_literal(5, 4), "4'd5");
+  EXPECT_EQ(verilog_literal(0, 1), "1'd0");
+}
+
+TEST(Verilog, MemoriesAndMuxes) {
+  ir::Design design = compiled_mem_design();
+  std::string verilog = design_to_verilog(design);
+  EXPECT_NE(verilog.find("reg [15:0] a_mem [0:7];"), std::string::npos);
+  EXPECT_NE(verilog.find("a_mem["), std::string::npos);
+  EXPECT_NE(verilog.find("$signed("), std::string::npos);
+}
+
+TEST(Verilog, RejectsInvalidIr) {
+  ir::Design design = accumulator_design();
+  ir::Configuration broken = fti::testing::make_accumulator(2);
+  broken.datapath.units[2].ports["a"] = "missing";
+  EXPECT_THROW(configuration_to_verilog(broken), util::IrError);
+  EXPECT_THROW(configuration_to_vhdl(broken), util::IrError);
+}
+
+TEST(AllBackends, ScaleWithDesignSize) {
+  compiler::CompileOptions options;
+  auto small = compiler::compile_source("kernel s(int a[2]) { a[0] = 1; }",
+                                        options);
+  auto large = compiled_mem_design();
+  EXPECT_LT(design_to_verilog(small.design).size(),
+            design_to_verilog(large).size());
+  EXPECT_LT(design_to_vhdl(small.design).size(),
+            design_to_vhdl(large).size());
+  EXPECT_LT(design_to_hds(small.design).size(), design_to_hds(large).size());
+}
+
+}  // namespace
+}  // namespace fti::codegen
+
+namespace fti::codegen {
+namespace {
+
+TEST(SystemC, ModuleStructure) {
+  ir::Design design =
+      ir::make_single_design("accd", fti::testing::make_accumulator(4));
+  std::string systemc =
+      configuration_to_systemc(design.configuration("acc"));
+  EXPECT_NE(systemc.find("SC_MODULE(acc)"), std::string::npos);
+  EXPECT_NE(systemc.find("sc_core::sc_in<bool> clk;"), std::string::npos);
+  EXPECT_NE(systemc.find("sc_core::sc_signal<sc_dt::sc_uint<32>> acc_q;"),
+            std::string::npos);
+  EXPECT_NE(systemc.find("SC_METHOD(comb);"), std::string::npos);
+  EXPECT_NE(systemc.find("SC_METHOD(tick);"), std::string::npos);
+  EXPECT_NE(systemc.find("sensitive << clk.pos();"), std::string::npos);
+  EXPECT_NE(systemc.find("SC_CTOR(acc)"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(systemc.begin(), systemc.end(), '{'),
+            std::count(systemc.begin(), systemc.end(), '}'));
+}
+
+TEST(SystemC, MemoriesAndPipelines) {
+  compiler::CompileOptions options;
+  options.resources.latencies = {{"mul", 2}};
+  auto compiled = compiler::compile_source(
+      "kernel sysc(short a[8], short b[8]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 8; i = i + 1) { b[i] = a[i] * 3; }\n"
+      "}\n",
+      options);
+  std::string systemc = design_to_systemc(compiled.design);
+  EXPECT_NE(systemc.find("a_mem[8]"), std::string::npos);
+  EXPECT_NE(systemc.find("_pipe[2] = {};"), std::string::npos);
+  EXPECT_NE(systemc.find("_mem["), std::string::npos);
+}
+
+TEST(SystemC, DesignEmitsAllConfigurations) {
+  compiler::CompileOptions options;
+  auto compiled = compiler::compile_source(
+      "kernel two(int m[2]) { m[0] = 1; stage; m[1] = 2; }", options);
+  std::string systemc = design_to_systemc(compiled.design);
+  EXPECT_NE(systemc.find("SC_MODULE(two_p0)"), std::string::npos);
+  EXPECT_NE(systemc.find("SC_MODULE(two_p1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fti::codegen
+
+namespace fti::codegen {
+namespace {
+
+TEST(HdsParser, RoundTripsCompiledDatapath) {
+  compiler::CompileOptions options;
+  options.resources.latencies = {{"mul", 2}};
+  auto compiled = compiler::compile_source(
+      "kernel rt(short a[8], short b[8]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 8; i = i + 1) {\n"
+      "    if (a[i] > 0) { b[i] = a[i] * 2; }\n"
+      "  }\n"
+      "}\n",
+      options);
+  const ir::Datapath& original = compiled.design.configuration("rt").datapath;
+  ir::Datapath reparsed = datapath_from_hds(datapath_to_hds(original));
+  // Second round trip must be textually identical (canonical form).
+  EXPECT_EQ(datapath_to_hds(reparsed), datapath_to_hds(original));
+  EXPECT_NO_THROW(ir::validate(reparsed));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.units.size(), original.units.size());
+  EXPECT_EQ(reparsed.wires.size(), original.wires.size());
+  EXPECT_EQ(reparsed.control_wires, original.control_wires);
+  EXPECT_EQ(reparsed.status_wires, original.status_wires);
+}
+
+TEST(HdsParser, HandAuthoredNetlist) {
+  const std::string text =
+      "# a comment\n"
+      "hds 1\n"
+      "design tiny\n"
+      "net x 8\n"
+      "net y 8\n"
+      "net c_go 1\n"
+      "instance inv hades.models.rtlib.arith.not width=8\n"
+      "wire inv.a x\n"
+      "wire inv.out y\n"
+      "control c_go\n"
+      "end\n";
+  ir::Datapath datapath = datapath_from_hds(text);
+  EXPECT_EQ(datapath.name, "tiny");
+  ASSERT_EQ(datapath.units.size(), 1u);
+  EXPECT_EQ(datapath.units[0].kind, ir::UnitKind::kUnOp);
+  EXPECT_EQ(datapath.units[0].unop, ops::UnOp::kNot);
+  EXPECT_EQ(datapath.units[0].port("a"), "x");
+  EXPECT_NO_THROW(ir::validate(datapath));
+}
+
+TEST(HdsParser, Rejections) {
+  EXPECT_THROW(datapath_from_hds("design x\nend\n"), util::XmlError);
+  EXPECT_THROW(datapath_from_hds("hds 1\ndesign x\n"), util::XmlError);
+  EXPECT_THROW(
+      datapath_from_hds("hds 1\ndesign x\ninstance a bogus.Class\nend\n"),
+      util::XmlError);
+  EXPECT_THROW(datapath_from_hds(
+                   "hds 1\ndesign x\nwire a.b c\nend\n"),
+               util::XmlError);
+  EXPECT_THROW(datapath_from_hds("hds 1\ndesign x\nnet n\nend\n"),
+               util::XmlError);
+  EXPECT_THROW(datapath_from_hds("hds 1\ndesign x\nend\nextra\n"),
+               util::XmlError);
+}
+
+}  // namespace
+}  // namespace fti::codegen

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/cosim/system.hpp"
+#include "fti/util/error.hpp"
+
+namespace fti::cosim {
+namespace {
+
+using ops::BinOp;
+
+/// A trivial fabric design used where the CPU program is the subject.
+ir::Design square_design() {
+  compiler::CompileOptions options;
+  options.scalar_args = {{"n", 8}};
+  return compiler::compile_source(
+             "kernel square(int buf[8], int n) {\n"
+             "  int i;\n"
+             "  for (i = 0; i < n; i = i + 1) {\n"
+             "    buf[i] = buf[i] * buf[i];\n"
+             "  }\n"
+             "}\n",
+             options)
+      .design;
+}
+
+TEST(Cpu, ArithmeticAndRegisters) {
+  CpuProgram program;
+  program.ldi(1, 6)
+      .ldi(2, 7)
+      .alu(BinOp::kMul, 3, 1, 2)
+      .alu_imm(BinOp::kAdd, 3, 3, 100)
+      .halt();
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  CoSimResult result = CoSimSystem(design, pool).run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.registers[3], 142u);
+  EXPECT_EQ(result.instructions, 5u);
+  EXPECT_EQ(result.fabric_cycles, 0u);
+}
+
+TEST(Cpu, WrappingAndSignedSemanticsMatchFabric) {
+  CpuProgram program;
+  program.ldi(1, -7)
+      .ldi(2, 2)
+      .alu(BinOp::kDiv, 3, 1, 2)    // -3
+      .alu(BinOp::kAshr, 4, 1, 2)   // -2
+      .alu(BinOp::kLt, 5, 1, 2)     // 1 (signed)
+      .alu(BinOp::kLtu, 6, 1, 2)    // 0 (unsigned)
+      .halt();
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  CoSimResult result = CoSimSystem(design, pool).run(program);
+  EXPECT_EQ(static_cast<std::int32_t>(result.registers[3]), -3);
+  EXPECT_EQ(static_cast<std::int32_t>(result.registers[4]), -2);
+  EXPECT_EQ(result.registers[5], 1u);
+  EXPECT_EQ(result.registers[6], 0u);
+}
+
+TEST(Cpu, LoopsViaBranches) {
+  // Sum 1..10 in r2.
+  CpuProgram program;
+  program.ldi(1, 1)
+      .ldi(2, 0)
+      .ldi(3, 10)
+      .label("loop")
+      .alu(BinOp::kAdd, 2, 2, 1)
+      .alu_imm(BinOp::kAdd, 1, 1, 1)
+      .branch_if(BinOp::kLe, 1, 3, "loop")
+      .halt();
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  CoSimResult result = CoSimSystem(design, pool).run(program);
+  EXPECT_EQ(result.registers[2], 55u);
+}
+
+TEST(Cpu, ValidationRejectsBadPrograms) {
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  CoSimSystem system(design, pool);
+  {
+    CpuProgram program;
+    program.ldi(99, 1).halt();
+    EXPECT_THROW(system.run(program), util::IrError);
+  }
+  {
+    CpuProgram program;
+    program.jump("nowhere").halt();
+    EXPECT_THROW(system.run(program), util::IrError);
+  }
+  {
+    CpuProgram program;
+    program.branch_if(BinOp::kAdd, 0, 1, "l").label("l").halt();
+    EXPECT_THROW(system.run(program), util::IrError);
+  }
+  {
+    CpuProgram program;
+    EXPECT_THROW(program.label("x").label("x"), util::IrError);
+  }
+}
+
+TEST(Cpu, InstructionBudgetStopsRunaway) {
+  CpuProgram program;
+  program.label("spin").jump("spin");
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  CoSimOptions options;
+  options.max_instructions = 1000;
+  CoSimResult result = CoSimSystem(design, pool).run(program, options);
+  EXPECT_FALSE(result.halted);
+  EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(CoSim, CpuFillsFabricComputesCpuReduces) {
+  // CPU writes 1..8 into buf, launches the fabric's square kernel, then
+  // sums the squares in software: sum = 1+4+...+64 = 204.
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  pool.create("buf", 8, 32);
+
+  CpuProgram program;
+  program.ldi(1, 0)       // index
+      .ldi(2, 8)          // bound
+      .label("fill")
+      .alu_imm(BinOp::kAdd, 3, 1, 1)  // value = i + 1
+      .store("buf", 1, 3)
+      .alu_imm(BinOp::kAdd, 1, 1, 1)
+      .branch_if(BinOp::kLt, 1, 2, "fill")
+      .run_accel()
+      .ldi(1, 0)
+      .ldi(4, 0)          // accumulator
+      .label("sum")
+      .load(5, "buf", 1)
+      .alu(BinOp::kAdd, 4, 4, 5)
+      .alu_imm(BinOp::kAdd, 1, 1, 1)
+      .branch_if(BinOp::kLt, 1, 2, "sum")
+      .halt();
+
+  CoSimResult result = CoSimSystem(design, pool).run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.registers[4], 204u);
+  EXPECT_EQ(result.reconfigurations, 1u);
+  EXPECT_GT(result.fabric_cycles, 8u);
+  EXPECT_GT(result.cpu_cycles, 20u);
+  EXPECT_EQ(result.total_cycles(),
+            result.cpu_cycles + result.fabric_cycles);
+  EXPECT_EQ(pool.get("buf").words(),
+            (std::vector<std::uint64_t>{1, 4, 9, 16, 25, 36, 49, 64}));
+}
+
+TEST(CoSim, CpuSequencesIndividualConfigurations) {
+  // A two-partition design; the CPU runs the *second* partition twice --
+  // something the static RTG walk cannot express.
+  compiler::CompileOptions options;
+  auto compiled = compiler::compile_source(
+      "kernel twostep(int m[4]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 4; i = i + 1) { m[i] = i; }\n"
+      "  stage;\n"
+      "  int j;\n"
+      "  for (j = 0; j < 4; j = j + 1) { m[j] = m[j] * 10; }\n"
+      "}\n",
+      options);
+  mem::MemoryPool pool;
+  pool.create("m", 4, 32);
+  CpuProgram program;
+  program.run_accel("twostep_p0")
+      .run_accel("twostep_p1")
+      .run_accel("twostep_p1")  // again: x100 total
+      .halt();
+  CoSimResult result =
+      CoSimSystem(compiled.design, pool).run(program);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.reconfigurations, 3u);
+  EXPECT_EQ(pool.get("m").words(),
+            (std::vector<std::uint64_t>{0, 100, 200, 300}));
+}
+
+TEST(CoSim, MemoryFaultsSurfaceAsSimErrors) {
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  pool.create("buf", 8, 32);
+  CpuProgram program;
+  program.ldi(1, 99).load(2, "buf", 1).halt();
+  EXPECT_THROW(CoSimSystem(design, pool).run(program), util::SimError);
+}
+
+TEST(CoSim, UnknownConfigurationRejected) {
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  pool.create("buf", 8, 32);
+  CpuProgram program;
+  program.run_accel("ghost").halt();
+  EXPECT_THROW(CoSimSystem(design, pool).run(program), util::IrError);
+}
+
+TEST(CoSim, ReconfigurationCostIsCharged) {
+  ir::Design design = square_design();
+  mem::MemoryPool pool;
+  pool.create("buf", 8, 32);
+  CpuProgram program;
+  program.run_accel().halt();
+  CoSimOptions options;
+  options.cycles_per_reconfiguration = 5000;
+  CoSimResult result = CoSimSystem(design, pool).run(program, options);
+  EXPECT_GE(result.cpu_cycles, 5000u);
+}
+
+}  // namespace
+}  // namespace fti::cosim
+
+namespace fti::cosim {
+namespace {
+
+TEST(CoSim, WorksWithPipelinedMultiportFabric) {
+  // Cross-feature integration: the fabric kernel uses a pipelined
+  // multiplier and dual-ported memory while the CPU orchestrates and
+  // post-processes.
+  compiler::CompileOptions options;
+  options.scalar_args = {{"n", 8}};
+  options.resources.latencies = {{"mul", 2}};
+  options.resources.default_memory_read_ports = 2;
+  auto compiled = compiler::compile_source(
+      "kernel dotp(short v[16], int out[1], int n) {\n"
+      "  int acc = 0;\n"
+      "  int i;\n"
+      "  int j = 8;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    acc = acc + v[i] * v[j];\n"
+      "    j = j + 1;\n"
+      "  }\n"
+      "  out[0] = acc;\n"
+      "}\n",
+      options);
+  mem::MemoryPool pool;
+  pool.create("v", 16, 16);
+  pool.create("out", 1, 32);
+
+  CpuProgram program;
+  program.ldi(1, 0).ldi(2, 16);
+  program.label("fill")
+      .alu_imm(BinOp::kAdd, 3, 1, 1)
+      .store("v", 1, 3)
+      .alu_imm(BinOp::kAdd, 1, 1, 1)
+      .branch_if(BinOp::kLt, 1, 2, "fill")
+      .run_accel()
+      .ldi(4, 0)
+      .load(5, "out", 4)
+      .halt();
+  CoSimResult result = CoSimSystem(compiled.design, pool).run(program);
+  ASSERT_TRUE(result.halted);
+  // sum_{i=0..7} (i+1)*(i+9) = 1*9 + 2*10 + ... + 8*16 = 492... compute:
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 8; ++i) {
+    expected += static_cast<std::uint64_t>((i + 1) * (i + 9));
+  }
+  EXPECT_EQ(result.registers[5], expected);
+}
+
+}  // namespace
+}  // namespace fti::cosim

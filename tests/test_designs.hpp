@@ -1,0 +1,81 @@
+// Shared hand-built IR designs for the ir/elab/codegen test binaries.
+#pragma once
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::testing {
+
+/// A self-contained accumulator: register `acc` increments by 1 every
+/// cycle while it is below `target`; the FSM then raises done.  Exercises
+/// register + binop + const + comparator + control/status plumbing without
+/// any memory.
+///
+/// Timing note: the enable is a Moore output of the running state, so the
+/// edge that *leaves* the state still loads the register -- the final
+/// value is target + 1.
+inline ir::Configuration make_accumulator(std::uint64_t target) {
+  ir::Datapath dp;
+  dp.name = "acc";
+  dp.wires = {{"acc_q", 32}, {"add_out", 32}, {"k1_out", 32},
+              {"kt_out", 32}, {"lt_out", 1},  {"c_en", 1},
+              {"done", 1}};
+  dp.control_wires = {"c_en", "done"};
+  dp.status_wires = {"lt_out"};
+
+  ir::Unit k1;
+  k1.name = "k1";
+  k1.kind = ir::UnitKind::kConst;
+  k1.width = 32;
+  k1.value = 1;
+  k1.ports = {{"out", "k1_out"}};
+  dp.units.push_back(k1);
+
+  ir::Unit kt;
+  kt.name = "kt";
+  kt.kind = ir::UnitKind::kConst;
+  kt.width = 32;
+  kt.value = target;
+  kt.ports = {{"out", "kt_out"}};
+  dp.units.push_back(kt);
+
+  ir::Unit add;
+  add.name = "add0";
+  add.kind = ir::UnitKind::kBinOp;
+  add.binop = ops::BinOp::kAdd;
+  add.width = 32;
+  add.ports = {{"a", "acc_q"}, {"b", "k1_out"}, {"out", "add_out"}};
+  dp.units.push_back(add);
+
+  ir::Unit cmp;
+  cmp.name = "cmp0";
+  cmp.kind = ir::UnitKind::kBinOp;
+  cmp.binop = ops::BinOp::kLtu;
+  cmp.width = 32;
+  cmp.ports = {{"a", "acc_q"}, {"b", "kt_out"}, {"out", "lt_out"}};
+  dp.units.push_back(cmp);
+
+  ir::Unit reg;
+  reg.name = "r_acc";
+  reg.kind = ir::UnitKind::kRegister;
+  reg.width = 32;
+  reg.ports = {{"d", "add_out"}, {"q", "acc_q"}, {"en", "c_en"}};
+  dp.units.push_back(reg);
+
+  ir::Fsm fsm;
+  fsm.name = "acc_fsm";
+  fsm.initial = "run";
+  fsm.done_wire = "done";
+  ir::State run;
+  run.name = "run";
+  run.controls = {{"c_en", 1}};
+  run.transitions.push_back({ir::parse_guard("!lt_out"), "halt"});
+  fsm.states.push_back(run);
+  ir::State halt;
+  halt.name = "halt";
+  halt.controls = {{"done", 1}};
+  fsm.states.push_back(halt);
+
+  return {std::move(dp), std::move(fsm)};
+}
+
+}  // namespace fti::testing

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fti/compiler/parser.hpp"
+#include "fti/compiler/sema.hpp"
+#include "fti/golden/fdct.hpp"
+#include "fti/golden/fir.hpp"
+#include "fti/golden/hamming.hpp"
+#include "fti/golden/matmul.hpp"
+#include "fti/golden/rng.hpp"
+
+namespace fti::golden {
+namespace {
+
+TEST(Rng, DeterministicSequences) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, SequenceShape) {
+  auto values = Rng(5).sequence(64, 256);
+  EXPECT_EQ(values.size(), 64u);
+  std::set<std::uint64_t> distinct(values.begin(), values.end());
+  EXPECT_GT(distinct.size(), 10u);  // not constant
+}
+
+TEST(Images, TestImageIsDeterministicAndBounded) {
+  auto image = make_test_image(4096);
+  EXPECT_EQ(image, make_test_image(4096));
+  for (std::uint64_t pixel : image) {
+    EXPECT_LT(pixel, 256u);
+  }
+  auto random = make_random_image(4096, 3);
+  EXPECT_NE(image, random);
+}
+
+TEST(FdctSource, ParsesAndChecksForAllVariants) {
+  for (bool two_stage : {false, true}) {
+    compiler::Program program =
+        compiler::parse_program(fdct_source(4, two_stage));
+    EXPECT_NO_THROW(compiler::check_program(program));
+    EXPECT_EQ(compiler::partition_count(program), two_stage ? 2u : 1u);
+    ASSERT_EQ(program.params.size(), 4u);
+    EXPECT_EQ(program.params[0].array_size, 256u);
+  }
+}
+
+TEST(FdctSource, LineCountIsInThePaperBallpark) {
+  // Paper: loJava = 138 for the FDCT.
+  compiler::Program program = compiler::parse_program(fdct_source(64, false));
+  EXPECT_GT(program.source_lines, 100u);
+  EXPECT_LT(program.source_lines, 220u);
+}
+
+TEST(FdctReference, DcBlockTransformsToDcCoefficient) {
+  // A constant block has all energy in DC: out[0] != 0, others == 0.
+  std::vector<std::uint64_t> input(64, 100);
+  std::vector<std::uint64_t> scratch;
+  std::vector<std::uint64_t> output;
+  fdct_reference(input, scratch, output, 1);
+  auto sext16 = [](std::uint64_t w) {
+    return static_cast<std::int32_t>(static_cast<std::int16_t>(w));
+  };
+  // jfdctint scaling leaves the output at 8x the orthonormal DCT: the DC
+  // term of a flat block of 100 is 64 * 100 / (8/8...) = 6400.
+  // (pass 1: (8*100) << 2 = 3200; pass 2: (8*3200 + 2) >> 2 = 6400.)
+  EXPECT_EQ(sext16(output[0]), 6400);
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_EQ(sext16(output[i]), 0) << "coefficient " << i;
+  }
+}
+
+TEST(FdctReference, LinearityInDc) {
+  std::vector<std::uint64_t> a(64, 10);
+  std::vector<std::uint64_t> b(64, 20);
+  std::vector<std::uint64_t> scratch;
+  std::vector<std::uint64_t> out_a;
+  std::vector<std::uint64_t> out_b;
+  fdct_reference(a, scratch, out_a, 1);
+  fdct_reference(b, scratch, out_b, 1);
+  auto sext16 = [](std::uint64_t w) {
+    return static_cast<std::int32_t>(static_cast<std::int16_t>(w));
+  };
+  EXPECT_EQ(sext16(out_b[0]), 2 * sext16(out_a[0]));
+}
+
+TEST(FdctReference, BlocksAreIndependent) {
+  auto image = make_test_image(128);
+  std::vector<std::uint64_t> scratch;
+  std::vector<std::uint64_t> both;
+  fdct_reference(image, scratch, both, 2);
+  std::vector<std::uint64_t> first_only(image.begin(), image.begin() + 64);
+  std::vector<std::uint64_t> out_first;
+  fdct_reference(first_only, scratch, out_first, 1);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(both[i], out_first[i]);
+  }
+}
+
+TEST(Hamming, EncodeDecodeRoundTrip) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    std::uint8_t code = hamming_encode(nibble);
+    EXPECT_LT(code, 128);
+    EXPECT_EQ(hamming_decode(code), nibble);
+  }
+}
+
+TEST(Hamming, CorrectsEverySingleBitError) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    std::uint8_t code = hamming_encode(nibble);
+    for (int bit = 0; bit < 7; ++bit) {
+      std::uint8_t corrupted = static_cast<std::uint8_t>(code ^ (1u << bit));
+      EXPECT_EQ(hamming_decode(corrupted), nibble)
+          << "nibble " << int(nibble) << " bit " << bit;
+    }
+  }
+}
+
+TEST(Hamming, DistinctCodewords) {
+  std::set<std::uint8_t> codes;
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    codes.insert(hamming_encode(nibble));
+  }
+  EXPECT_EQ(codes.size(), 16u);
+}
+
+TEST(Hamming, SourceParsesAndChecks) {
+  compiler::Program program = compiler::parse_program(hamming_source(32));
+  EXPECT_NO_THROW(compiler::check_program(program));
+  // Paper: loJava = 45 for the Hamming decoder.
+  EXPECT_GT(program.source_lines, 15u);
+  EXPECT_LT(program.source_lines, 60u);
+}
+
+TEST(Hamming, WorkloadErrorInjection) {
+  auto clean = make_codewords(60, 5, 0);
+  auto with_errors = make_codewords(60, 5, 3);
+  EXPECT_EQ(clean.size(), 60u);
+  std::vector<std::uint64_t> decoded_clean;
+  std::vector<std::uint64_t> decoded_err;
+  hamming_reference(clean, decoded_clean);
+  hamming_reference(with_errors, decoded_err);
+  // Error injection must not change the decoded data.
+  EXPECT_EQ(decoded_clean, decoded_err);
+  EXPECT_NE(clean, with_errors);
+}
+
+TEST(Fir, SourceParsesAndReferenceMatchesConvolution) {
+  compiler::Program program = compiler::parse_program(fir_source(16, 3));
+  EXPECT_NO_THROW(compiler::check_program(program));
+  // Impulse response: y = h >> 8 when x is a unit impulse scaled by 256.
+  std::vector<std::uint64_t> x(16 + 2, 0);
+  x[0] = 256;
+  std::vector<std::uint64_t> h = {100, 200, 300};
+  std::vector<std::uint64_t> y;
+  fir_reference(x, h, y, 16, 3);
+  EXPECT_EQ(y[0], 100u);
+  EXPECT_EQ(y[1], 0u);  // x[1..] are zero; h slides past the impulse
+}
+
+}  // namespace
+}  // namespace fti::golden
+
+namespace fti::golden {
+namespace {
+
+TEST(Matmul, IdentityIsNeutral) {
+  const std::size_t n = 4;
+  std::vector<std::uint64_t> a = Rng(9).sequence(n * n, 100);
+  std::vector<std::uint64_t> identity(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    identity[i * n + i] = 1;
+  }
+  std::vector<std::uint64_t> c;
+  matmul_reference(a, identity, c, n);
+  EXPECT_EQ(c, a);
+  matmul_reference(identity, a, c, n);
+  EXPECT_EQ(c, a);
+}
+
+TEST(Matmul, SourceParsesAndChecks) {
+  compiler::Program program = compiler::parse_program(matmul_source(4));
+  EXPECT_NO_THROW(compiler::check_program(program));
+}
+
+}  // namespace
+}  // namespace fti::golden

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "fti/compiler/schedule.hpp"
+#include "fti/golden/rng.hpp"
+#include "fti/util/error.hpp"
+
+namespace fti::compiler {
+namespace {
+
+MicroOp bin(ops::BinOp op, ValRef a, ValRef b, std::string dst) {
+  MicroOp out;
+  out.kind = MicroOp::Kind::kBin;
+  out.bin = op;
+  out.a = std::move(a);
+  out.b = std::move(b);
+  out.dst = std::move(dst);
+  return out;
+}
+
+TEST(Schedule, IndependentOpsPackIntoOneStep) {
+  std::vector<MicroOp> ops;
+  ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_const(1),
+                    ValRef::of_const(2), "t0"));
+  ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_const(3),
+                    ValRef::of_const(4), "t1"));
+  Resources resources;
+  resources.limits["add"] = 2;
+  ScheduleResult result = schedule(ops, resources);
+  EXPECT_EQ(result.step_count, 1u);
+  EXPECT_EQ(result.ops[0].step, 0u);
+  EXPECT_EQ(result.ops[1].step, 0u);
+  EXPECT_NE(result.ops[0].fu_index, result.ops[1].fu_index);
+  EXPECT_EQ(result.fu_peak["add"], 2u);
+}
+
+TEST(Schedule, ResourceLimitSerialises) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(bin(ops::BinOp::kMul, ValRef::of_const(i),
+                      ValRef::of_const(i), "t" + std::to_string(i)));
+  }
+  Resources resources;
+  resources.limits["mul"] = 1;
+  ScheduleResult result = schedule(ops, resources);
+  EXPECT_EQ(result.step_count, 4u);
+  EXPECT_EQ(result.fu_peak["mul"], 1u);
+  for (const ScheduledOp& op : result.ops) {
+    EXPECT_EQ(op.fu_index, 0u);
+  }
+}
+
+TEST(Schedule, TrueDependencyForcesLaterStep) {
+  std::vector<MicroOp> ops;
+  ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_const(1),
+                    ValRef::of_const(2), "t0"));
+  MicroOp dependent = bin(ops::BinOp::kAdd, ValRef::of_reg("t0"),
+                          ValRef::of_const(1), "t1");
+  dependent.preds_delay1.push_back(0);
+  ops.push_back(std::move(dependent));
+  ScheduleResult result = schedule(ops, {});
+  EXPECT_GT(result.ops[1].step, result.ops[0].step);
+}
+
+TEST(Schedule, AntiDependencyAllowsSameStep) {
+  std::vector<MicroOp> ops;
+  // Op 0 reads r; op 1 overwrites r.  Same step is legal (reader sees the
+  // pre-step value).
+  ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_reg("r"),
+                    ValRef::of_const(1), "t0"));
+  MicroOp writer = bin(ops::BinOp::kSub, ValRef::of_const(9),
+                       ValRef::of_const(1), "r");
+  writer.preds_delay0.push_back(0);
+  ops.push_back(std::move(writer));
+  Resources resources;
+  resources.limits["add"] = 1;
+  resources.limits["sub"] = 1;
+  ScheduleResult result = schedule(ops, resources);
+  EXPECT_EQ(result.ops[0].step, result.ops[1].step);
+}
+
+TEST(Schedule, MemoryPortIsSinglePorted) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 3; ++i) {
+    MicroOp load;
+    load.kind = MicroOp::Kind::kLoad;
+    load.a = ValRef::of_const(i);
+    load.dst = "t" + std::to_string(i);
+    load.array = "ram";
+    ops.push_back(std::move(load));
+  }
+  Resources resources;
+  resources.limits["mem:ram"] = 8;  // ignored: memories are single-ported
+  ScheduleResult result = schedule(ops, resources);
+  EXPECT_EQ(result.step_count, 3u);
+}
+
+TEST(Schedule, DistinctArraysDoNotConflict) {
+  std::vector<MicroOp> ops;
+  for (const char* array : {"a", "b"}) {
+    MicroOp load;
+    load.kind = MicroOp::Kind::kLoad;
+    load.a = ValRef::of_const(0);
+    load.dst = std::string("t_") + array;
+    load.array = array;
+    ops.push_back(std::move(load));
+  }
+  ScheduleResult result = schedule(ops, {});
+  EXPECT_EQ(result.step_count, 1u);
+}
+
+TEST(Schedule, CopiesUseNoFu) {
+  std::vector<MicroOp> ops;
+  for (int i = 0; i < 10; ++i) {
+    MicroOp copy;
+    copy.kind = MicroOp::Kind::kCopy;
+    copy.a = ValRef::of_const(i);
+    copy.dst = "t" + std::to_string(i);
+    ops.push_back(std::move(copy));
+  }
+  ScheduleResult result = schedule(ops, {});
+  EXPECT_EQ(result.step_count, 1u);
+  EXPECT_TRUE(result.fu_peak.empty());
+}
+
+TEST(Schedule, CriticalPathPriorityKeepsChainsMoving) {
+  // One long chain of 4 adds plus 4 independent adds, 2 adders.
+  // Perfect schedule: 4 steps (chain occupies one adder every step).
+  std::vector<MicroOp> ops;
+  ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_const(0),
+                    ValRef::of_const(1), "c0"));
+  for (int i = 1; i < 4; ++i) {
+    MicroOp link = bin(ops::BinOp::kAdd, ValRef::of_reg("c" +
+                                                        std::to_string(i - 1)),
+                       ValRef::of_const(1), "c" + std::to_string(i));
+    link.preds_delay1.push_back(static_cast<std::size_t>(i - 1));
+    ops.push_back(std::move(link));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(bin(ops::BinOp::kAdd, ValRef::of_const(5),
+                      ValRef::of_const(6), "x" + std::to_string(i)));
+  }
+  Resources resources;
+  resources.limits["add"] = 2;
+  ScheduleResult result = schedule(ops, resources);
+  EXPECT_EQ(result.step_count, 4u);
+}
+
+TEST(Schedule, NonTopologicalDependenceRejected) {
+  std::vector<MicroOp> ops;
+  MicroOp op = bin(ops::BinOp::kAdd, ValRef::of_const(0),
+                   ValRef::of_const(0), "t0");
+  op.preds_delay1.push_back(0);  // self-dependence
+  ops.push_back(std::move(op));
+  EXPECT_THROW(schedule(ops, {}), util::IrError);
+}
+
+TEST(Schedule, EmptyRun) {
+  ScheduleResult result = schedule({}, {});
+  EXPECT_EQ(result.step_count, 0u);
+  EXPECT_TRUE(result.ops.empty());
+}
+
+TEST(Schedule, ZeroLimitIsClampedToOne) {
+  Resources resources;
+  resources.limits["add"] = 0;
+  EXPECT_EQ(resources.limit_for("add"), 1u);
+  EXPECT_EQ(resources.limit_for("mem:x"), 1u);
+  EXPECT_EQ(resources.limit_for("unlisted"), resources.default_limit);
+}
+
+// Property: random DAGs always produce schedules respecting every edge and
+// every resource limit.
+TEST(Schedule, RandomDagsRespectConstraints) {
+  golden::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t n = 5 + rng.below(40);
+    std::vector<MicroOp> ops;
+    for (std::size_t i = 0; i < n; ++i) {
+      MicroOp op = bin(rng.below(2) == 0 ? ops::BinOp::kAdd
+                                         : ops::BinOp::kMul,
+                       ValRef::of_const(1), ValRef::of_const(2),
+                       "t" + std::to_string(i));
+      // Random backward edges.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (rng.below(10) == 0) {
+          op.preds_delay1.push_back(j);
+        } else if (rng.below(20) == 0) {
+          op.preds_delay0.push_back(j);
+        }
+      }
+      ops.push_back(std::move(op));
+    }
+    Resources resources;
+    resources.limits["add"] = 1 + static_cast<unsigned>(rng.below(3));
+    resources.limits["mul"] = 1;
+    ScheduleResult result = schedule(ops, resources);
+    // Every edge respected.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t pred : ops[i].preds_delay1) {
+        EXPECT_GT(result.ops[i].step, result.ops[pred].step);
+      }
+      for (std::size_t pred : ops[i].preds_delay0) {
+        EXPECT_GE(result.ops[i].step, result.ops[pred].step);
+      }
+    }
+    // Resource limits respected per step.
+    std::map<std::pair<std::size_t, std::string>, unsigned> usage;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string cls = fu_class_of(ops[i]);
+      unsigned used = ++usage[{result.ops[i].step, cls}];
+      EXPECT_LE(used, resources.limit_for(cls));
+      EXPECT_LT(result.ops[i].fu_index, resources.limit_for(cls));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fti::compiler

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "fti/ops/clock.hpp"
+#include "fti/ops/constant.hpp"
+#include "fti/sim/bits.hpp"
+#include "fti/sim/kernel.hpp"
+#include "fti/sim/probe.hpp"
+#include "fti/sim/vcd.hpp"
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+namespace {
+
+TEST(Bits, DefaultIsOneBitZero) {
+  Bits bits;
+  EXPECT_EQ(bits.width(), 1u);
+  EXPECT_TRUE(bits.is_zero());
+}
+
+TEST(Bits, Masking) {
+  EXPECT_EQ(Bits(8, 0x1FF).u(), 0xFFu);
+  EXPECT_EQ(Bits(64, ~0ull).u(), ~0ull);
+  EXPECT_EQ(Bits(1, 3).u(), 1u);
+}
+
+TEST(Bits, SignedInterpretation) {
+  EXPECT_EQ(Bits(8, 0xFF).s(), -1);
+  EXPECT_EQ(Bits(8, 0x7F).s(), 127);
+  EXPECT_EQ(Bits(16, 0x8000).s(), -32768);
+  EXPECT_EQ(Bits(32, 0xFFFFFFFF).s(), -1);
+  EXPECT_EQ(Bits(64, ~0ull).s(), -1);
+  EXPECT_EQ(Bits(4, 0b0101).s(), 5);
+}
+
+TEST(Bits, Resize) {
+  EXPECT_EQ(Bits(8, 0xFF).resized(16).u(), 0xFFu);
+  EXPECT_EQ(Bits(16, 0x1234).resized(8).u(), 0x34u);
+  EXPECT_EQ(Bits(8, 0xFF).sign_extended(16).u(), 0xFFFFu);
+  EXPECT_EQ(Bits(8, 0x7F).sign_extended(16).u(), 0x7Fu);
+}
+
+TEST(Bits, Equality) {
+  EXPECT_EQ(Bits(8, 5), Bits(8, 5));
+  EXPECT_NE(Bits(8, 5), Bits(16, 5));  // width matters
+  EXPECT_NE(Bits(8, 5), Bits(8, 6));
+}
+
+TEST(Bits, BitAt) {
+  Bits bits(8, 0b1010);
+  EXPECT_FALSE(bits.bit_at(0));
+  EXPECT_TRUE(bits.bit_at(1));
+  EXPECT_TRUE(bits.bit_at(3));
+  EXPECT_FALSE(bits.bit_at(63));  // out of range reads 0
+}
+
+TEST(Bits, ToString) {
+  EXPECT_EQ(Bits(8, 0x3A).to_string(), "8'h3a");
+  EXPECT_EQ(Bits(1, 1).to_string(), "1'h1");
+  EXPECT_EQ(Bits(12, 0xABC).to_string(), "12'habc");
+}
+
+TEST(Bits, InvalidWidthThrows) {
+  EXPECT_THROW(Bits(0, 0), util::IrError);
+  EXPECT_THROW(Bits(65, 0), util::IrError);
+}
+
+TEST(Netlist, NetCreationAndLookup) {
+  Netlist netlist;
+  Net& a = netlist.create_net("a", 8);
+  EXPECT_EQ(a.width(), 8u);
+  EXPECT_EQ(&netlist.net("a"), &a);
+  EXPECT_EQ(netlist.find_net("missing"), nullptr);
+  EXPECT_THROW(netlist.net("missing"), util::IrError);
+  EXPECT_THROW(netlist.create_net("a", 8), util::IrError);
+}
+
+/// Drives a scripted sequence of values at fixed times.
+class Scripted : public Component {
+ public:
+  Scripted(Net& out, std::vector<std::pair<Time, Bits>> script)
+      : Component("scripted"), out_(out), script_(std::move(script)) {}
+
+  void initialize(Kernel& kernel) override {
+    for (const auto& [time, value] : script_) {
+      kernel.schedule(out_, value, time);
+    }
+  }
+  void evaluate(Kernel&) override {}
+
+ private:
+  Net& out_;
+  std::vector<std::pair<Time, Bits>> script_;
+};
+
+TEST(Kernel, EventsApplyInTimeOrder) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{
+               {20, Bits(8, 2)}, {10, Bits(8, 1)}, {30, Bits(8, 3)}});
+  Probe& probe = netlist.add_component<Probe>("p", net);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kIdle);
+  ASSERT_EQ(probe.samples().size(), 3u);
+  EXPECT_EQ(probe.samples()[0].time, 10u);
+  EXPECT_EQ(probe.samples()[0].value.u(), 1u);
+  EXPECT_EQ(probe.samples()[2].time, 30u);
+  EXPECT_EQ(kernel.stats().end_time, 30u);
+}
+
+TEST(Kernel, SameValueDoesNotWakeListeners) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{10, Bits(8, 5)},
+                                              {20, Bits(8, 5)}});
+  Probe& probe = netlist.add_component<Probe>("p", net);
+  Kernel kernel(netlist);
+  kernel.run();
+  EXPECT_EQ(probe.change_count(), 1u);
+}
+
+TEST(Kernel, MaxTimeStopsEarly) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(1000), Kernel::StopReason::kMaxTime);
+  EXPECT_LE(kernel.now(), 1000u);
+}
+
+TEST(Kernel, DoneNetStopsRun) {
+  Netlist netlist;
+  Net& done = netlist.create_net("done", 1);
+  netlist.add_component<Scripted>(
+      done,
+      std::vector<std::pair<Time, Bits>>{{50, Bits::bit(true)}});
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(kNoTimeLimit, &done), Kernel::StopReason::kDoneNet);
+  EXPECT_EQ(kernel.now(), 50u);
+}
+
+TEST(Kernel, RunCanResume) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{10, Bits(8, 1)},
+                                              {100, Bits(8, 2)}});
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(50), Kernel::StopReason::kMaxTime);
+  EXPECT_EQ(net.u(), 1u);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kIdle);
+  EXPECT_EQ(net.u(), 2u);
+}
+
+/// Two cross-coupled inverters scheduling at delta -- a combinational loop.
+class InverterLoop : public Component {
+ public:
+  InverterLoop(Net& a, Net& b) : Component("loop"), a_(a), b_(b) {
+    a_.add_listener(this);
+  }
+  void initialize(Kernel& kernel) override {
+    kernel.schedule(a_, Bits::bit(true), 0);
+  }
+  void evaluate(Kernel& kernel) override {
+    kernel.schedule(a_, Bits::bit(!a_.value().bit_at(0)), 0);
+    kernel.schedule(b_, a_.value(), 0);
+  }
+
+ private:
+  Net& a_;
+  Net& b_;
+};
+
+TEST(Kernel, CombinationalLoopHitsDeltaLimit) {
+  Netlist netlist;
+  Net& a = netlist.create_net("a", 1);
+  Net& b = netlist.create_net("b", 1);
+  netlist.add_component<InverterLoop>(a, b);
+  Kernel kernel(netlist);
+  kernel.set_max_deltas(100);
+  EXPECT_THROW(kernel.run(), util::SimError);
+}
+
+TEST(Kernel, WidthMismatchIsFatal) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{10, Bits(16, 1)}});
+  Kernel kernel(netlist);
+  EXPECT_DEATH(kernel.run(), "width mismatch");
+}
+
+TEST(Clock, GeneratesExpectedEdges) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  ops::ClockGen& generator =
+      netlist.add_component<ops::ClockGen>("cg", clock, 10, 5);
+  Probe& probe = netlist.add_component<Probe>("p", clock);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kIdle);
+  EXPECT_EQ(generator.cycles(), 5u);
+  // 5 cycles = 5 rising + 4 falling edges observed (stops after 5th rise).
+  EXPECT_EQ(probe.change_count(), 9u);
+  // First rising edge at period/2.
+  EXPECT_EQ(probe.samples()[0].time, 5u);
+  EXPECT_TRUE(probe.samples()[0].value.bit_at(0));
+}
+
+TEST(Probe, MaxSamplesOverflowFlag) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10, 10);
+  Probe& probe = netlist.add_component<Probe>("p", clock, 3);
+  Kernel kernel(netlist);
+  kernel.run();
+  EXPECT_EQ(probe.samples().size(), 3u);
+  EXPECT_TRUE(probe.overflowed());
+  EXPECT_GT(probe.change_count(), 3u);
+}
+
+TEST(Assertion, ThrowsOnViolation) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{10, Bits(8, 5)},
+                                              {20, Bits(8, 200)}});
+  netlist.add_component<NetAssertion>(
+      "below100", net, [](const Bits& value) { return value.u() < 100; });
+  Kernel kernel(netlist);
+  EXPECT_THROW(kernel.run(), util::SimError);
+  EXPECT_EQ(net.u(), 200u);
+}
+
+TEST(Assertion, RecordingModeCountsViolations) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{
+               {10, Bits(8, 150)}, {20, Bits(8, 5)}, {30, Bits(8, 201)}});
+  NetAssertion& assertion = netlist.add_component<NetAssertion>(
+      "below100", net, [](const Bits& value) { return value.u() < 100; });
+  assertion.set_throw_on_failure(false);
+  Kernel kernel(netlist);
+  kernel.run();
+  EXPECT_EQ(assertion.violation_count(), 2u);
+  EXPECT_EQ(assertion.first_violation_time(), 10u);
+}
+
+TEST(Watchdog, FiresAndStops) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  Net& trigger = netlist.create_net("wd", 1);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10);  // free-running
+  Watchdog& watchdog =
+      netlist.add_component<Watchdog>("wd", trigger, 500);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kStopped);
+  EXPECT_TRUE(watchdog.fired());
+  EXPECT_EQ(kernel.now(), 500u);
+  EXPECT_NE(kernel.stop_message().find("watchdog"), std::string::npos);
+}
+
+TEST(StopOnHigh, StopsWhenNetRises) {
+  Netlist netlist;
+  Net& net = netlist.create_net("flag", 1);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{42, Bits::bit(true)}});
+  netlist.add_component<StopOnHigh>("stop", net);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kStopped);
+  EXPECT_EQ(kernel.now(), 42u);
+}
+
+TEST(Vcd, ProducesWellFormedDump) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  Net& bus = netlist.create_net("bus", 8);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10, 3);
+  netlist.add_component<Scripted>(
+      bus, std::vector<std::pair<Time, Bits>>{{7, Bits(8, 0xA5)}});
+  VcdWriter vcd("testbench");
+  vcd.watch(clock);
+  vcd.watch(bus);
+  Kernel kernel(netlist);
+  kernel.set_tracer(&vcd);
+  kernel.run();
+  std::string dump = vcd.str();
+  EXPECT_NE(dump.find("$scope module testbench"), std::string::npos);
+  EXPECT_NE(dump.find("$var wire 1 ! clk"), std::string::npos);
+  EXPECT_NE(dump.find("$var wire 8 \" bus"), std::string::npos);
+  EXPECT_NE(dump.find("b10100101 \""), std::string::npos);
+  EXPECT_NE(dump.find("#5"), std::string::npos);
+  EXPECT_EQ(vcd.watched_count(), 2u);
+}
+
+TEST(Vcd, SkipsRedundantValues) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 4);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{5, Bits(4, 3)},
+                                              {10, Bits(4, 3)},
+                                              {15, Bits(4, 4)}});
+  VcdWriter vcd;
+  vcd.watch(net);
+  Kernel kernel(netlist);
+  kernel.set_tracer(&vcd);
+  kernel.run();
+  std::string dump = vcd.str();
+  // Exactly two value records in the body (0011 and 0100).
+  EXPECT_NE(dump.find("b0011 !"), std::string::npos);
+  EXPECT_NE(dump.find("b0100 !"), std::string::npos);
+  std::size_t first = dump.find("b0011 !");
+  EXPECT_EQ(dump.find("b0011 !", first + 1), std::string::npos);
+}
+
+TEST(KernelStats, CountsActivity) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10, 4);
+  Kernel kernel(netlist);
+  kernel.run();
+  const KernelStats& stats = kernel.stats();
+  EXPECT_GE(stats.events, 7u);  // 4 rises + 3 falls at minimum
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_GT(stats.delta_cycles, 0u);
+  EXPECT_GT(stats.timesteps, 1u);
+}
+
+}  // namespace
+}  // namespace fti::sim

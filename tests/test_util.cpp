@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/util/table.hpp"
+
+namespace fti::util {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("\r\na b\r\n"), "a b");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("x,", ',').size(), 2u);
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties) {
+  auto fields = split_whitespace("  a \t b\nc  ");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("datapath.xml", "datapath"));
+  EXPECT_FALSE(starts_with("dp", "datapath"));
+  EXPECT_TRUE(ends_with("datapath.xml", ".xml"));
+  EXPECT_FALSE(ends_with("x", ".xml"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("  42 "), 42u);
+  EXPECT_EQ(parse_u64("0xfF"), 255u);
+  EXPECT_EQ(parse_u64("18446744073709551615"),
+            18446744073709551615ull);
+  EXPECT_THROW(parse_u64(""), Error);
+  EXPECT_THROW(parse_u64("12x"), Error);
+  EXPECT_THROW(parse_u64("18446744073709551616"), Error);  // overflow
+  EXPECT_THROW(parse_u64("0x"), Error);
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(parse_i64("-1"), -1);
+  EXPECT_EQ(parse_i64("+7"), 7);
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_THROW(parse_i64("9223372036854775808"), Error);
+  EXPECT_THROW(parse_i64("-9223372036854775809"), Error);
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc_12"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_TRUE(is_identifier("top.sub.net"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(count_lines(""), 0u);
+  EXPECT_EQ(count_lines("one"), 1u);
+  EXPECT_EQ(count_lines("one\n"), 1u);
+  EXPECT_EQ(count_lines("one\ntwo"), 2u);
+  EXPECT_EQ(count_lines("one\ntwo\n"), 2u);
+}
+
+TEST(Errors, KindsArePreserved) {
+  try {
+    throw XmlError("boom");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), "xml");
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_THROW(throw CompileError("x"), Error);
+  EXPECT_THROW(throw SimError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+  EXPECT_THROW(throw IrError("x"), Error);
+}
+
+TEST(FileIo, RoundTrip) {
+  auto dir = scratch_dir("util-test");
+  auto path = dir / "roundtrip.txt";
+  write_file(path, "hello\nworld\n");
+  EXPECT_EQ(read_file(path), "hello\nworld\n");
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/missing.txt"), IoError);
+}
+
+TEST(FileIo, WriteCreatesParentDirectories) {
+  auto dir = scratch_dir("util-test") / "a" / "b";
+  std::filesystem::remove_all(dir);
+  write_file(dir / "deep.txt", "x");
+  EXPECT_EQ(read_file(dir / "deep.txt"), "x");
+}
+
+TEST(FileIo, StopwatchAdvances) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + i;
+  }
+  EXPECT_GE(watch.seconds(), 0.0);
+  EXPECT_GE(watch.milliseconds(), watch.seconds());
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "22"});
+  std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NE(table.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(345600), "345,600");
+  EXPECT_EQ(format_count(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace fti::util

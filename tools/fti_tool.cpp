@@ -1,0 +1,386 @@
+// fti -- command-line front end of the test infrastructure.
+//
+//   fti verify KERNEL.k [options]     run the full functional-test flow
+//   fti translate KERNEL.k [options]  emit XML / dot / hds / HDLs
+//   fti run RTG.xml [options]         simulate a saved XML file set
+//   fti suite DIR [--emit DIR]        run every *.k test case in DIR
+//                                     (no compiler involved -- the designs
+//                                     are whatever the files describe)
+//
+// Common options:
+//   --arg NAME=VALUE       bind a scalar parameter (repeatable)
+//   --mem ARRAY=FILE.dat   initial memory contents from a mem file
+//   --rom                  embed the memories into the XML (<init> tables)
+//   --limit CLASS=N        FU resource limit (e.g. --limit mul=1)
+//   --default-limit N      default FU limit (default 2)
+// verify options:
+//   --check ARRAY          compare only this array (repeatable; default all)
+//   --emit DIR             write all artefacts + verdict into DIR
+//   --max-cycles N         per-partition cycle budget
+//   --vcd FILE             dump a VCD of the first partition
+//   --save ARRAY=FILE.dat  write an array's final contents after the run
+// translate options:
+//   --out DIR              output directory (default: KERNEL name)
+//
+// Exit code: 0 on PASS, 1 on FAIL, 2 on usage/input errors.
+#include <cstring>
+#include <iostream>
+
+#include "fti/codegen/dot.hpp"
+#include "fti/codegen/hds.hpp"
+#include "fti/codegen/verilog.hpp"
+#include "fti/codegen/systemc.hpp"
+#include "fti/codegen/vhdl.hpp"
+#include "fti/compiler/parser.hpp"
+#include "fti/compiler/sema.hpp"
+#include "fti/harness/metrics.hpp"
+#include "fti/harness/suite_io.hpp"
+#include "fti/harness/testcase.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/mem/memfile.hpp"
+#include "fti/sim/vcd.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/logging.hpp"
+#include "fti/util/strings.hpp"
+#include "fti/util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: fti verify    KERNEL.k [--arg n=V] [--mem a=F.dat] [--rom]\n"
+      "                     [--check a] [--emit DIR] [--max-cycles N]\n"
+      "                     [--vcd FILE] [--save a=F.dat]\n"
+      "                     [--limit class=N] [--default-limit N]\n"
+      "                     [--read-ports N]\n"
+      "       fti translate KERNEL.k [--arg n=V] [--mem a=F.dat] [--rom]\n"
+      "                     [--out DIR] [--limit class=N]\n"
+      "       fti run       RTG.xml [--mem a=F.dat] [--save a=F.dat]\n"
+      "                     [--max-cycles N] [--vcd FILE]\n"
+      "       fti suite     DIR [--emit DIR]\n";
+  std::exit(2);
+}
+
+std::pair<std::string, std::string> split_kv(const std::string& text,
+                                             const char* what) {
+  std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw fti::util::IoError(std::string("malformed ") + what + " '" +
+                             text + "', expected NAME=VALUE");
+  }
+  return {text.substr(0, eq), text.substr(eq + 1)};
+}
+
+struct Cli {
+  std::string command;
+  std::filesystem::path source_path;
+  fti::harness::TestCase test;
+  std::filesystem::path out_dir;
+  std::filesystem::path vcd_path;
+  std::vector<std::pair<std::string, std::filesystem::path>> saves;
+  bool verbose = false;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+  }
+  Cli cli;
+  cli.command = argv[1];
+  cli.source_path = argv[2];
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      usage();
+    }
+    return argv[++i];
+  };
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--arg") {
+      auto [name, value] = split_kv(need_value(i), "--arg");
+      cli.test.scalar_args[name] = fti::util::parse_i64(value);
+    } else if (flag == "--mem") {
+      auto [name, file] = split_kv(need_value(i), "--mem");
+      // Width-independent parse: values are masked when loaded into the
+      // actual image, so parse at full width here.
+      auto words = fti::mem::parse_mem_text(
+          fti::util::read_file(file), 64);
+      std::vector<std::uint64_t> values;
+      for (const auto& word : words) {
+        if (word.address >= values.size()) {
+          values.resize(word.address + 1, 0);
+        }
+        values[word.address] = word.value;
+      }
+      cli.test.inputs[name] = std::move(values);
+    } else if (flag == "--rom") {
+      cli.test.embed_inputs = true;
+    } else if (flag == "--check") {
+      cli.test.check_arrays.push_back(need_value(i));
+    } else if (flag == "--emit") {
+      cli.out_dir = need_value(i);
+    } else if (flag == "--out") {
+      cli.out_dir = need_value(i);
+    } else if (flag == "--max-cycles") {
+      cli.test.max_cycles = fti::util::parse_u64(need_value(i));
+    } else if (flag == "--vcd") {
+      cli.vcd_path = need_value(i);
+    } else if (flag == "--save") {
+      auto [name, file] = split_kv(need_value(i), "--save");
+      cli.saves.emplace_back(name, file);
+    } else if (flag == "--limit") {
+      auto [cls, value] = split_kv(need_value(i), "--limit");
+      cli.test.resources.limits[cls] =
+          static_cast<unsigned>(fti::util::parse_u64(value));
+    } else if (flag == "--default-limit") {
+      cli.test.resources.default_limit =
+          static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
+    } else if (flag == "--read-ports") {
+      cli.test.resources.default_memory_read_ports =
+          static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
+    } else if (flag == "--verbose") {
+      cli.verbose = true;
+    } else {
+      std::cerr << "unknown option '" << flag << "'\n";
+      usage();
+    }
+  }
+  if (cli.command != "run" && cli.command != "suite") {
+    cli.test.source = fti::util::read_file(cli.source_path);
+  }
+  cli.test.name = cli.source_path.stem().string();
+  return cli;
+}
+
+/// `fti run`: load a saved rtg.xml file set and simulate it over memory
+/// files -- the infrastructure consuming compiler-emitted XML directly.
+int run_saved(Cli& cli) {
+  fti::ir::Design design = fti::ir::load_design_files(cli.source_path);
+  fti::ir::validate(design);
+  fti::mem::MemoryPool pool;
+  // Memories named by --mem are pre-created and loaded (overriding any
+  // <init> contents); everything else is created at elaboration time.
+  for (const auto& memory : design.memory_requirements()) {
+    if (cli.test.inputs.find(memory.name) != cli.test.inputs.end()) {
+      pool.create(memory.name, memory.depth, memory.width);
+      fti::harness::load_inputs(pool, memory.name,
+                                cli.test.inputs.at(memory.name));
+    }
+  }
+  fti::sim::VcdWriter vcd(design.name);
+  fti::elab::RtgRunOptions run_options;
+  run_options.max_cycles_per_partition = cli.test.max_cycles;
+  if (!cli.vcd_path.empty()) {
+    run_options.tracer = &vcd;
+    run_options.on_elaborated = [&vcd](const std::string&,
+                                       fti::elab::ElaboratedConfig& live) {
+      if (vcd.watched_count() > 0) {
+        return;
+      }
+      for (const auto& net : live.netlist.nets()) {
+        vcd.watch(*net);
+      }
+    };
+  }
+  auto run = fti::elab::run_design(design, pool, run_options);
+  std::cout << "design '" << design.name << "': "
+            << (run.completed ? "completed" : "DID NOT COMPLETE") << "\n";
+  fti::util::TextTable table(
+      {"partition", "cycles", "events", "wall (s)", "fsm coverage"});
+  for (const auto& partition : run.partitions) {
+    table.add_row({partition.node,
+                   fti::util::format_count(partition.cycles),
+                   fti::util::format_count(partition.stats.events),
+                   fti::util::format_double(partition.wall_seconds, 3),
+                   fti::util::format_double(partition.coverage.percent(), 1)
+                       + "%"});
+  }
+  std::cout << table.to_string();
+  if (!cli.vcd_path.empty()) {
+    vcd.write_file(cli.vcd_path);
+    std::cout << "wrote " << cli.vcd_path.string() << "\n";
+  }
+  for (const auto& [array, file] : cli.saves) {
+    fti::mem::save_mem_file(pool.get(array), file);
+    std::cout << "wrote " << file.string() << "\n";
+  }
+  return run.completed ? 0 : 1;
+}
+
+int run_verify(Cli& cli) {
+  // Standard flow (with the emit directory when requested).
+  fti::harness::VerifyOptions options;
+  options.emit_dir = cli.out_dir;
+  fti::harness::VerifyOutcome outcome =
+      fti::harness::run_test_case(cli.test, options);
+
+  std::cout << (outcome.passed ? "PASS" : "FAIL") << "  " << cli.test.name
+            << "\n";
+  if (!outcome.passed) {
+    std::cout << "  " << outcome.message << "\n";
+    if (outcome.mismatches > 0) {
+      std::cout << "  mismatching words: " << outcome.mismatches << "\n";
+    }
+  }
+  fti::util::TextTable table(
+      {"partition", "cycles", "events", "wall (s)", "fsm coverage"});
+  for (const auto& partition : outcome.run.partitions) {
+    table.add_row({partition.node,
+                   fti::util::format_count(partition.cycles),
+                   fti::util::format_count(partition.stats.events),
+                   fti::util::format_double(partition.wall_seconds, 3),
+                   fti::util::format_double(partition.coverage.percent(), 1)
+                       + "%"});
+  }
+  std::cout << table.to_string();
+  for (const auto& partition : outcome.run.partitions) {
+    if (!partition.coverage.full()) {
+      std::cout << "note: weak test case -- "
+                << partition.coverage.to_string() << "\n";
+    }
+  }
+  std::cout << "compile " << fti::util::format_double(
+                   outcome.compile_seconds * 1e3, 1)
+            << " ms, golden " << fti::util::format_double(
+                   outcome.golden_seconds * 1e3, 1)
+            << " ms, simulate " << fti::util::format_double(
+                   outcome.sim_seconds * 1e3, 1)
+            << " ms\n";
+
+  // Optional VCD / saved memories need an instrumented re-run.
+  if (!cli.vcd_path.empty() || !cli.saves.empty()) {
+    fti::compiler::Program program =
+        fti::compiler::parse_program(cli.test.source);
+    fti::compiler::SemaInfo sema = fti::compiler::check_program(program);
+    fti::mem::MemoryPool pool;
+    for (const auto& [name, param] : sema.arrays) {
+      pool.create(name, param.array_size,
+                  fti::compiler::width_of(param.type));
+    }
+    for (const auto& [name, values] : cli.test.inputs) {
+      fti::harness::load_inputs(pool, name, values);
+    }
+    fti::sim::VcdWriter vcd(cli.test.name);
+    fti::elab::RtgRunOptions run_options;
+    run_options.max_cycles_per_partition = cli.test.max_cycles;
+    if (!cli.vcd_path.empty()) {
+      run_options.tracer = &vcd;
+      run_options.on_elaborated = [&vcd](const std::string&,
+                                         fti::elab::ElaboratedConfig& live) {
+        if (vcd.watched_count() > 0) {
+          return;
+        }
+        for (const auto& net : live.netlist.nets()) {
+          vcd.watch(*net);
+        }
+      };
+    }
+    fti::elab::run_design(outcome.compiled.design, pool, run_options);
+    if (!cli.vcd_path.empty()) {
+      vcd.write_file(cli.vcd_path);
+      std::cout << "wrote " << cli.vcd_path.string() << "\n";
+    }
+    for (const auto& [array, file] : cli.saves) {
+      fti::mem::save_mem_file(pool.get(array), file);
+      std::cout << "wrote " << file.string() << "\n";
+    }
+  }
+  return outcome.passed ? 0 : 1;
+}
+
+int run_translate(const Cli& cli) {
+  fti::compiler::CompileOptions options;
+  options.scalar_args = cli.test.scalar_args;
+  options.resources = cli.test.resources;
+  if (cli.test.embed_inputs) {
+    options.rom_contents = cli.test.inputs;
+  }
+  auto compiled = fti::compiler::compile_source(cli.test.source, options);
+  const fti::ir::Design& design = compiled.design;
+  std::filesystem::path out =
+      cli.out_dir.empty() ? std::filesystem::path(cli.test.name)
+                          : cli.out_dir;
+
+  fti::ir::save_design_files(design, out);
+  std::string dot;
+  for (const std::string& node : design.rtg.nodes) {
+    const auto& config = design.configuration(node);
+    fti::util::write_file(out / (node + "_datapath.dot"),
+                          fti::codegen::datapath_to_dot(config.datapath));
+    fti::util::write_file(out / (node + "_fsm.dot"),
+                          fti::codegen::fsm_to_dot(config.fsm));
+  }
+  fti::util::write_file(out / "rtg.dot",
+                        fti::codegen::rtg_to_dot(design.rtg));
+  fti::util::write_file(out / (design.name + ".hds"),
+                        fti::codegen::design_to_hds(design));
+  fti::util::write_file(out / (design.name + ".vhdl"),
+                        fti::codegen::design_to_vhdl(design));
+  fti::util::write_file(out / (design.name + ".v"),
+                        fti::codegen::design_to_verilog(design));
+  fti::util::write_file(out / (design.name + ".sc.cpp"),
+                        fti::codegen::design_to_systemc(design));
+
+  fti::harness::DesignMetrics metrics =
+      fti::harness::compute_metrics(design);
+  fti::util::TextTable table({"configuration", "fsm states", "operators",
+                              "units", "loXML dp", "loXML fsm"});
+  for (const auto& config : metrics.configurations) {
+    table.add_row({config.node, std::to_string(config.fsm_states),
+                   std::to_string(config.operators),
+                   std::to_string(config.units),
+                   fti::util::format_count(config.lo_xml_datapath),
+                   fti::util::format_count(config.lo_xml_fsm)});
+  }
+  std::cout << "wrote design '" << design.name << "' to "
+            << out.string() << "/\n"
+            << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli = parse_cli(argc, argv);
+    if (cli.verbose) {
+      fti::util::set_log_level(fti::util::LogLevel::kInfo);
+    }
+    if (cli.command == "verify") {
+      return run_verify(cli);
+    }
+    if (cli.command == "translate") {
+      return run_translate(cli);
+    }
+    if (cli.command == "run") {
+      return run_saved(cli);
+    }
+    if (cli.command == "suite") {
+      fti::harness::TestSuite suite =
+          fti::harness::load_suite_dir(cli.source_path);
+      fti::harness::VerifyOptions options;
+      options.emit_dir = cli.out_dir;
+      fti::harness::SuiteReport report = suite.run_all(
+          options, [](const fti::harness::SuiteRow& row) {
+            std::cout << (row.passed ? "PASS" : "FAIL") << "  " << row.name;
+            if (!row.passed) {
+              std::cout << "  (" << row.message << ")";
+            }
+            std::cout << "\n";
+          });
+      std::cout << "\n" << report.to_table();
+      std::cout << (report.all_passed()
+                        ? "suite PASSED"
+                        : "suite FAILED (" +
+                              std::to_string(report.failures()) + " of " +
+                              std::to_string(report.rows.size()) + ")")
+                << "\n";
+      return report.all_passed() ? 0 : 1;
+    }
+    usage();
+  } catch (const fti::util::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
