@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_inspect.dir/compile_and_inspect.cpp.o"
+  "CMakeFiles/compile_and_inspect.dir/compile_and_inspect.cpp.o.d"
+  "compile_and_inspect"
+  "compile_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

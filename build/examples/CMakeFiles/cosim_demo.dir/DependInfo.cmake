@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cosim_demo.cpp" "examples/CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o" "gcc" "examples/CMakeFiles/cosim_demo.dir/cosim_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/harness/CMakeFiles/fti_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/compiler/CMakeFiles/fti_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/codegen/CMakeFiles/fti_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/cosim/CMakeFiles/fti_cosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/elab/CMakeFiles/fti_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/golden/CMakeFiles/fti_golden.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ir/CMakeFiles/fti_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/mem/CMakeFiles/fti_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ops/CMakeFiles/fti_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/xml/CMakeFiles/fti_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

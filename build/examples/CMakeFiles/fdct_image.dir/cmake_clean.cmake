@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdct_image.dir/fdct_image.cpp.o"
+  "CMakeFiles/fdct_image.dir/fdct_image.cpp.o.d"
+  "fdct_image"
+  "fdct_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdct_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamming_decoder.dir/hamming_decoder.cpp.o"
+  "CMakeFiles/hamming_decoder.dir/hamming_decoder.cpp.o.d"
+  "hamming_decoder"
+  "hamming_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamming_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

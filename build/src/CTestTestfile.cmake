@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fti/util")
+subdirs("fti/xml")
+subdirs("fti/sim")
+subdirs("fti/ops")
+subdirs("fti/mem")
+subdirs("fti/ir")
+subdirs("fti/elab")
+subdirs("fti/codegen")
+subdirs("fti/compiler")
+subdirs("fti/golden")
+subdirs("fti/harness")
+subdirs("fti/cosim")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/codegen/dot.cpp" "src/fti/codegen/CMakeFiles/fti_codegen.dir/dot.cpp.o" "gcc" "src/fti/codegen/CMakeFiles/fti_codegen.dir/dot.cpp.o.d"
+  "/root/repo/src/fti/codegen/hds.cpp" "src/fti/codegen/CMakeFiles/fti_codegen.dir/hds.cpp.o" "gcc" "src/fti/codegen/CMakeFiles/fti_codegen.dir/hds.cpp.o.d"
+  "/root/repo/src/fti/codegen/systemc.cpp" "src/fti/codegen/CMakeFiles/fti_codegen.dir/systemc.cpp.o" "gcc" "src/fti/codegen/CMakeFiles/fti_codegen.dir/systemc.cpp.o.d"
+  "/root/repo/src/fti/codegen/verilog.cpp" "src/fti/codegen/CMakeFiles/fti_codegen.dir/verilog.cpp.o" "gcc" "src/fti/codegen/CMakeFiles/fti_codegen.dir/verilog.cpp.o.d"
+  "/root/repo/src/fti/codegen/vhdl.cpp" "src/fti/codegen/CMakeFiles/fti_codegen.dir/vhdl.cpp.o" "gcc" "src/fti/codegen/CMakeFiles/fti_codegen.dir/vhdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/ir/CMakeFiles/fti_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/xml/CMakeFiles/fti_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ops/CMakeFiles/fti_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

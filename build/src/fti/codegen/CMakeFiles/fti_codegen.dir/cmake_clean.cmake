@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_codegen.dir/dot.cpp.o"
+  "CMakeFiles/fti_codegen.dir/dot.cpp.o.d"
+  "CMakeFiles/fti_codegen.dir/hds.cpp.o"
+  "CMakeFiles/fti_codegen.dir/hds.cpp.o.d"
+  "CMakeFiles/fti_codegen.dir/systemc.cpp.o"
+  "CMakeFiles/fti_codegen.dir/systemc.cpp.o.d"
+  "CMakeFiles/fti_codegen.dir/verilog.cpp.o"
+  "CMakeFiles/fti_codegen.dir/verilog.cpp.o.d"
+  "CMakeFiles/fti_codegen.dir/vhdl.cpp.o"
+  "CMakeFiles/fti_codegen.dir/vhdl.cpp.o.d"
+  "libfti_codegen.a"
+  "libfti_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/compiler/ast.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/ast.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/ast.cpp.o.d"
+  "/root/repo/src/fti/compiler/builder.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/builder.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/builder.cpp.o.d"
+  "/root/repo/src/fti/compiler/hls.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/hls.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/hls.cpp.o.d"
+  "/root/repo/src/fti/compiler/interp.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/interp.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/interp.cpp.o.d"
+  "/root/repo/src/fti/compiler/lexer.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/lexer.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/lexer.cpp.o.d"
+  "/root/repo/src/fti/compiler/parser.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/parser.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/parser.cpp.o.d"
+  "/root/repo/src/fti/compiler/schedule.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/schedule.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/schedule.cpp.o.d"
+  "/root/repo/src/fti/compiler/sema.cpp" "src/fti/compiler/CMakeFiles/fti_compiler.dir/sema.cpp.o" "gcc" "src/fti/compiler/CMakeFiles/fti_compiler.dir/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/ir/CMakeFiles/fti_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ops/CMakeFiles/fti_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/mem/CMakeFiles/fti_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/xml/CMakeFiles/fti_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

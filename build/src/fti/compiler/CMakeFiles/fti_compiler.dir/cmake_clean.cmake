@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_compiler.dir/ast.cpp.o"
+  "CMakeFiles/fti_compiler.dir/ast.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/builder.cpp.o"
+  "CMakeFiles/fti_compiler.dir/builder.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/hls.cpp.o"
+  "CMakeFiles/fti_compiler.dir/hls.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/interp.cpp.o"
+  "CMakeFiles/fti_compiler.dir/interp.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/lexer.cpp.o"
+  "CMakeFiles/fti_compiler.dir/lexer.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/parser.cpp.o"
+  "CMakeFiles/fti_compiler.dir/parser.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/schedule.cpp.o"
+  "CMakeFiles/fti_compiler.dir/schedule.cpp.o.d"
+  "CMakeFiles/fti_compiler.dir/sema.cpp.o"
+  "CMakeFiles/fti_compiler.dir/sema.cpp.o.d"
+  "libfti_compiler.a"
+  "libfti_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

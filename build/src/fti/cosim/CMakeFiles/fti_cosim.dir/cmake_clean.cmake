@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_cosim.dir/cpu.cpp.o"
+  "CMakeFiles/fti_cosim.dir/cpu.cpp.o.d"
+  "CMakeFiles/fti_cosim.dir/system.cpp.o"
+  "CMakeFiles/fti_cosim.dir/system.cpp.o.d"
+  "libfti_cosim.a"
+  "libfti_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_elab.dir/elaborator.cpp.o"
+  "CMakeFiles/fti_elab.dir/elaborator.cpp.o.d"
+  "CMakeFiles/fti_elab.dir/fsm_exec.cpp.o"
+  "CMakeFiles/fti_elab.dir/fsm_exec.cpp.o.d"
+  "CMakeFiles/fti_elab.dir/rtg_exec.cpp.o"
+  "CMakeFiles/fti_elab.dir/rtg_exec.cpp.o.d"
+  "libfti_elab.a"
+  "libfti_elab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_elab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

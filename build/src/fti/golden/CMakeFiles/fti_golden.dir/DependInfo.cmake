@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/golden/fdct.cpp" "src/fti/golden/CMakeFiles/fti_golden.dir/fdct.cpp.o" "gcc" "src/fti/golden/CMakeFiles/fti_golden.dir/fdct.cpp.o.d"
+  "/root/repo/src/fti/golden/fir.cpp" "src/fti/golden/CMakeFiles/fti_golden.dir/fir.cpp.o" "gcc" "src/fti/golden/CMakeFiles/fti_golden.dir/fir.cpp.o.d"
+  "/root/repo/src/fti/golden/hamming.cpp" "src/fti/golden/CMakeFiles/fti_golden.dir/hamming.cpp.o" "gcc" "src/fti/golden/CMakeFiles/fti_golden.dir/hamming.cpp.o.d"
+  "/root/repo/src/fti/golden/matmul.cpp" "src/fti/golden/CMakeFiles/fti_golden.dir/matmul.cpp.o" "gcc" "src/fti/golden/CMakeFiles/fti_golden.dir/matmul.cpp.o.d"
+  "/root/repo/src/fti/golden/rng.cpp" "src/fti/golden/CMakeFiles/fti_golden.dir/rng.cpp.o" "gcc" "src/fti/golden/CMakeFiles/fti_golden.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

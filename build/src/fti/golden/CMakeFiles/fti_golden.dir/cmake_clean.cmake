@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_golden.dir/fdct.cpp.o"
+  "CMakeFiles/fti_golden.dir/fdct.cpp.o.d"
+  "CMakeFiles/fti_golden.dir/fir.cpp.o"
+  "CMakeFiles/fti_golden.dir/fir.cpp.o.d"
+  "CMakeFiles/fti_golden.dir/hamming.cpp.o"
+  "CMakeFiles/fti_golden.dir/hamming.cpp.o.d"
+  "CMakeFiles/fti_golden.dir/matmul.cpp.o"
+  "CMakeFiles/fti_golden.dir/matmul.cpp.o.d"
+  "CMakeFiles/fti_golden.dir/rng.cpp.o"
+  "CMakeFiles/fti_golden.dir/rng.cpp.o.d"
+  "libfti_golden.a"
+  "libfti_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

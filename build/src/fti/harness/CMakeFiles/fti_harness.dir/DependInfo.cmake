@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/harness/baseline.cpp" "src/fti/harness/CMakeFiles/fti_harness.dir/baseline.cpp.o" "gcc" "src/fti/harness/CMakeFiles/fti_harness.dir/baseline.cpp.o.d"
+  "/root/repo/src/fti/harness/metrics.cpp" "src/fti/harness/CMakeFiles/fti_harness.dir/metrics.cpp.o" "gcc" "src/fti/harness/CMakeFiles/fti_harness.dir/metrics.cpp.o.d"
+  "/root/repo/src/fti/harness/suite.cpp" "src/fti/harness/CMakeFiles/fti_harness.dir/suite.cpp.o" "gcc" "src/fti/harness/CMakeFiles/fti_harness.dir/suite.cpp.o.d"
+  "/root/repo/src/fti/harness/suite_io.cpp" "src/fti/harness/CMakeFiles/fti_harness.dir/suite_io.cpp.o" "gcc" "src/fti/harness/CMakeFiles/fti_harness.dir/suite_io.cpp.o.d"
+  "/root/repo/src/fti/harness/testcase.cpp" "src/fti/harness/CMakeFiles/fti_harness.dir/testcase.cpp.o" "gcc" "src/fti/harness/CMakeFiles/fti_harness.dir/testcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/compiler/CMakeFiles/fti_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/elab/CMakeFiles/fti_elab.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/codegen/CMakeFiles/fti_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/golden/CMakeFiles/fti_golden.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ir/CMakeFiles/fti_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/mem/CMakeFiles/fti_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/xml/CMakeFiles/fti_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ops/CMakeFiles/fti_ops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

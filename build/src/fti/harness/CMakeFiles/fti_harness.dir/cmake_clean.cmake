@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_harness.dir/baseline.cpp.o"
+  "CMakeFiles/fti_harness.dir/baseline.cpp.o.d"
+  "CMakeFiles/fti_harness.dir/metrics.cpp.o"
+  "CMakeFiles/fti_harness.dir/metrics.cpp.o.d"
+  "CMakeFiles/fti_harness.dir/suite.cpp.o"
+  "CMakeFiles/fti_harness.dir/suite.cpp.o.d"
+  "CMakeFiles/fti_harness.dir/suite_io.cpp.o"
+  "CMakeFiles/fti_harness.dir/suite_io.cpp.o.d"
+  "CMakeFiles/fti_harness.dir/testcase.cpp.o"
+  "CMakeFiles/fti_harness.dir/testcase.cpp.o.d"
+  "libfti_harness.a"
+  "libfti_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/ir/datapath.cpp" "src/fti/ir/CMakeFiles/fti_ir.dir/datapath.cpp.o" "gcc" "src/fti/ir/CMakeFiles/fti_ir.dir/datapath.cpp.o.d"
+  "/root/repo/src/fti/ir/fsm.cpp" "src/fti/ir/CMakeFiles/fti_ir.dir/fsm.cpp.o" "gcc" "src/fti/ir/CMakeFiles/fti_ir.dir/fsm.cpp.o.d"
+  "/root/repo/src/fti/ir/rtg.cpp" "src/fti/ir/CMakeFiles/fti_ir.dir/rtg.cpp.o" "gcc" "src/fti/ir/CMakeFiles/fti_ir.dir/rtg.cpp.o.d"
+  "/root/repo/src/fti/ir/serde.cpp" "src/fti/ir/CMakeFiles/fti_ir.dir/serde.cpp.o" "gcc" "src/fti/ir/CMakeFiles/fti_ir.dir/serde.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/xml/CMakeFiles/fti_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/ops/CMakeFiles/fti_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_ir.dir/datapath.cpp.o"
+  "CMakeFiles/fti_ir.dir/datapath.cpp.o.d"
+  "CMakeFiles/fti_ir.dir/fsm.cpp.o"
+  "CMakeFiles/fti_ir.dir/fsm.cpp.o.d"
+  "CMakeFiles/fti_ir.dir/rtg.cpp.o"
+  "CMakeFiles/fti_ir.dir/rtg.cpp.o.d"
+  "CMakeFiles/fti_ir.dir/serde.cpp.o"
+  "CMakeFiles/fti_ir.dir/serde.cpp.o.d"
+  "libfti_ir.a"
+  "libfti_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/mem/memfile.cpp" "src/fti/mem/CMakeFiles/fti_mem.dir/memfile.cpp.o" "gcc" "src/fti/mem/CMakeFiles/fti_mem.dir/memfile.cpp.o.d"
+  "/root/repo/src/fti/mem/pgm.cpp" "src/fti/mem/CMakeFiles/fti_mem.dir/pgm.cpp.o" "gcc" "src/fti/mem/CMakeFiles/fti_mem.dir/pgm.cpp.o.d"
+  "/root/repo/src/fti/mem/sram.cpp" "src/fti/mem/CMakeFiles/fti_mem.dir/sram.cpp.o" "gcc" "src/fti/mem/CMakeFiles/fti_mem.dir/sram.cpp.o.d"
+  "/root/repo/src/fti/mem/stimulus.cpp" "src/fti/mem/CMakeFiles/fti_mem.dir/stimulus.cpp.o" "gcc" "src/fti/mem/CMakeFiles/fti_mem.dir/stimulus.cpp.o.d"
+  "/root/repo/src/fti/mem/storage.cpp" "src/fti/mem/CMakeFiles/fti_mem.dir/storage.cpp.o" "gcc" "src/fti/mem/CMakeFiles/fti_mem.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_mem.dir/memfile.cpp.o"
+  "CMakeFiles/fti_mem.dir/memfile.cpp.o.d"
+  "CMakeFiles/fti_mem.dir/pgm.cpp.o"
+  "CMakeFiles/fti_mem.dir/pgm.cpp.o.d"
+  "CMakeFiles/fti_mem.dir/sram.cpp.o"
+  "CMakeFiles/fti_mem.dir/sram.cpp.o.d"
+  "CMakeFiles/fti_mem.dir/stimulus.cpp.o"
+  "CMakeFiles/fti_mem.dir/stimulus.cpp.o.d"
+  "CMakeFiles/fti_mem.dir/storage.cpp.o"
+  "CMakeFiles/fti_mem.dir/storage.cpp.o.d"
+  "libfti_mem.a"
+  "libfti_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/ops/alu.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/alu.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/alu.cpp.o.d"
+  "/root/repo/src/fti/ops/clock.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/clock.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/clock.cpp.o.d"
+  "/root/repo/src/fti/ops/constant.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/constant.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/constant.cpp.o.d"
+  "/root/repo/src/fti/ops/counter.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/counter.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/counter.cpp.o.d"
+  "/root/repo/src/fti/ops/mux.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/mux.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/mux.cpp.o.d"
+  "/root/repo/src/fti/ops/pipelined.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/pipelined.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/pipelined.cpp.o.d"
+  "/root/repo/src/fti/ops/register.cpp" "src/fti/ops/CMakeFiles/fti_ops.dir/register.cpp.o" "gcc" "src/fti/ops/CMakeFiles/fti_ops.dir/register.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/sim/CMakeFiles/fti_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

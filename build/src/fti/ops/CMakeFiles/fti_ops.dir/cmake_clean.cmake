@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_ops.dir/alu.cpp.o"
+  "CMakeFiles/fti_ops.dir/alu.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/clock.cpp.o"
+  "CMakeFiles/fti_ops.dir/clock.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/constant.cpp.o"
+  "CMakeFiles/fti_ops.dir/constant.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/counter.cpp.o"
+  "CMakeFiles/fti_ops.dir/counter.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/mux.cpp.o"
+  "CMakeFiles/fti_ops.dir/mux.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/pipelined.cpp.o"
+  "CMakeFiles/fti_ops.dir/pipelined.cpp.o.d"
+  "CMakeFiles/fti_ops.dir/register.cpp.o"
+  "CMakeFiles/fti_ops.dir/register.cpp.o.d"
+  "libfti_ops.a"
+  "libfti_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/sim/bits.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/bits.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/bits.cpp.o.d"
+  "/root/repo/src/fti/sim/kernel.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/kernel.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/fti/sim/net.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/net.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/net.cpp.o.d"
+  "/root/repo/src/fti/sim/netlist.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/netlist.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/netlist.cpp.o.d"
+  "/root/repo/src/fti/sim/probe.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/probe.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/probe.cpp.o.d"
+  "/root/repo/src/fti/sim/vcd.cpp" "src/fti/sim/CMakeFiles/fti_sim.dir/vcd.cpp.o" "gcc" "src/fti/sim/CMakeFiles/fti_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_sim.dir/bits.cpp.o"
+  "CMakeFiles/fti_sim.dir/bits.cpp.o.d"
+  "CMakeFiles/fti_sim.dir/kernel.cpp.o"
+  "CMakeFiles/fti_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/fti_sim.dir/net.cpp.o"
+  "CMakeFiles/fti_sim.dir/net.cpp.o.d"
+  "CMakeFiles/fti_sim.dir/netlist.cpp.o"
+  "CMakeFiles/fti_sim.dir/netlist.cpp.o.d"
+  "CMakeFiles/fti_sim.dir/probe.cpp.o"
+  "CMakeFiles/fti_sim.dir/probe.cpp.o.d"
+  "CMakeFiles/fti_sim.dir/vcd.cpp.o"
+  "CMakeFiles/fti_sim.dir/vcd.cpp.o.d"
+  "libfti_sim.a"
+  "libfti_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/util/error.cpp" "src/fti/util/CMakeFiles/fti_util.dir/error.cpp.o" "gcc" "src/fti/util/CMakeFiles/fti_util.dir/error.cpp.o.d"
+  "/root/repo/src/fti/util/file_io.cpp" "src/fti/util/CMakeFiles/fti_util.dir/file_io.cpp.o" "gcc" "src/fti/util/CMakeFiles/fti_util.dir/file_io.cpp.o.d"
+  "/root/repo/src/fti/util/logging.cpp" "src/fti/util/CMakeFiles/fti_util.dir/logging.cpp.o" "gcc" "src/fti/util/CMakeFiles/fti_util.dir/logging.cpp.o.d"
+  "/root/repo/src/fti/util/strings.cpp" "src/fti/util/CMakeFiles/fti_util.dir/strings.cpp.o" "gcc" "src/fti/util/CMakeFiles/fti_util.dir/strings.cpp.o.d"
+  "/root/repo/src/fti/util/table.cpp" "src/fti/util/CMakeFiles/fti_util.dir/table.cpp.o" "gcc" "src/fti/util/CMakeFiles/fti_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

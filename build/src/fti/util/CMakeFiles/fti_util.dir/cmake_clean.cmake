@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_util.dir/error.cpp.o"
+  "CMakeFiles/fti_util.dir/error.cpp.o.d"
+  "CMakeFiles/fti_util.dir/file_io.cpp.o"
+  "CMakeFiles/fti_util.dir/file_io.cpp.o.d"
+  "CMakeFiles/fti_util.dir/logging.cpp.o"
+  "CMakeFiles/fti_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fti_util.dir/strings.cpp.o"
+  "CMakeFiles/fti_util.dir/strings.cpp.o.d"
+  "CMakeFiles/fti_util.dir/table.cpp.o"
+  "CMakeFiles/fti_util.dir/table.cpp.o.d"
+  "libfti_util.a"
+  "libfti_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

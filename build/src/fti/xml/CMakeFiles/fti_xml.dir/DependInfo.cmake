@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fti/xml/node.cpp" "src/fti/xml/CMakeFiles/fti_xml.dir/node.cpp.o" "gcc" "src/fti/xml/CMakeFiles/fti_xml.dir/node.cpp.o.d"
+  "/root/repo/src/fti/xml/parser.cpp" "src/fti/xml/CMakeFiles/fti_xml.dir/parser.cpp.o" "gcc" "src/fti/xml/CMakeFiles/fti_xml.dir/parser.cpp.o.d"
+  "/root/repo/src/fti/xml/path.cpp" "src/fti/xml/CMakeFiles/fti_xml.dir/path.cpp.o" "gcc" "src/fti/xml/CMakeFiles/fti_xml.dir/path.cpp.o.d"
+  "/root/repo/src/fti/xml/transform.cpp" "src/fti/xml/CMakeFiles/fti_xml.dir/transform.cpp.o" "gcc" "src/fti/xml/CMakeFiles/fti_xml.dir/transform.cpp.o.d"
+  "/root/repo/src/fti/xml/writer.cpp" "src/fti/xml/CMakeFiles/fti_xml.dir/writer.cpp.o" "gcc" "src/fti/xml/CMakeFiles/fti_xml.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fti/util/CMakeFiles/fti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti_xml.dir/node.cpp.o"
+  "CMakeFiles/fti_xml.dir/node.cpp.o.d"
+  "CMakeFiles/fti_xml.dir/parser.cpp.o"
+  "CMakeFiles/fti_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/fti_xml.dir/path.cpp.o"
+  "CMakeFiles/fti_xml.dir/path.cpp.o.d"
+  "CMakeFiles/fti_xml.dir/transform.cpp.o"
+  "CMakeFiles/fti_xml.dir/transform.cpp.o.d"
+  "CMakeFiles/fti_xml.dir/writer.cpp.o"
+  "CMakeFiles/fti_xml.dir/writer.cpp.o.d"
+  "libfti_xml.a"
+  "libfti_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

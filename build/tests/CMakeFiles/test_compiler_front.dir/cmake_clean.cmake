@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler_front.dir/test_compiler_front.cpp.o"
+  "CMakeFiles/test_compiler_front.dir/test_compiler_front.cpp.o.d"
+  "test_compiler_front"
+  "test_compiler_front.pdb"
+  "test_compiler_front[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

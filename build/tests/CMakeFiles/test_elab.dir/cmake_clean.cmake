@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elab.dir/test_elab.cpp.o"
+  "CMakeFiles/test_elab.dir/test_elab.cpp.o.d"
+  "test_elab"
+  "test_elab.pdb"
+  "test_elab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_elab[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler_front[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_hls[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cosim[1]_include.cmake")
+include("/root/repo/build/tests/test_pipelined[1]_include.cmake")
+include("/root/repo/build/tests/test_detection[1]_include.cmake")
+include("/root/repo/build/tests/test_multiport[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_io[1]_include.cmake")

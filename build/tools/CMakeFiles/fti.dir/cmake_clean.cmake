@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fti.dir/fti_tool.cpp.o"
+  "CMakeFiles/fti.dir/fti_tool.cpp.o.d"
+  "fti"
+  "fti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_suite "/root/repo/build/tools/fti" "suite" "/root/repo/examples/kernels")
+set_tests_properties(cli_suite PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify "/root/repo/build/tools/fti" "verify" "/root/repo/examples/kernels/saxpy.k" "--arg" "a=3" "--arg" "n=16")
+set_tests_properties(cli_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
