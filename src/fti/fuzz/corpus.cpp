@@ -1,0 +1,66 @@
+#include "fti/fuzz/corpus.hpp"
+
+#include <algorithm>
+
+#include "fti/ir/serde.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/xml/parser.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::fuzz {
+
+std::string to_repro_xml(const CorpusEntry& entry) {
+  auto root = xml::make_element("repro");
+  root->set_attr("name", entry.name);
+  root->set_attr("seed", entry.seed);
+  for (const std::string& line : entry.mismatches) {
+    root->add_child("mismatch").add_text(line);
+  }
+  root->adopt_child(ir::to_xml(entry.design));
+  return xml::to_string(*root);
+}
+
+CorpusEntry repro_from_xml(const std::string& text) {
+  std::unique_ptr<xml::Element> root = xml::parse(text);
+  if (root->name() != "repro") {
+    throw util::XmlError("corpus entry must be a <repro> document, got <" +
+                         root->name() + ">");
+  }
+  CorpusEntry entry;
+  entry.name = root->attr("name");
+  entry.seed = root->attr_u64("seed");
+  for (const xml::Element* mismatch : root->children("mismatch")) {
+    entry.mismatches.push_back(mismatch->text());
+  }
+  entry.design = ir::design_from_xml(root->child("design"));
+  return entry;
+}
+
+std::filesystem::path save_entry(const CorpusEntry& entry,
+                                 const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::filesystem::path path = dir / (entry.name + ".xml");
+  util::write_file(path, to_repro_xml(entry));
+  return path;
+}
+
+std::vector<CorpusEntry> load_corpus(const std::filesystem::path& dir) {
+  std::vector<CorpusEntry> corpus;
+  if (!std::filesystem::is_directory(dir)) {
+    return corpus;
+  }
+  std::vector<std::filesystem::path> paths;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir)) {
+    if (dirent.path().extension() == ".xml") {
+      paths.push_back(dirent.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::filesystem::path& path : paths) {
+    corpus.push_back(repro_from_xml(util::read_file(path)));
+  }
+  return corpus;
+}
+
+}  // namespace fti::fuzz

@@ -1,0 +1,44 @@
+// Repro corpus: failing (shrunk) designs serialised to XML and checked
+// into the tree under tests/corpus/.
+//
+// Each corpus entry is one <repro> document wrapping the shrunk <design>
+// plus the provenance the next investigator needs: the originating seed,
+// the generator that found it, and the mismatch lines the differential
+// driver reported.  The fuzz smoke test replays every entry on each run,
+// so a bug stays covered after it is fixed -- the paper's workflow of
+// keeping the failing FDCT configurations around as regression inputs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::fuzz {
+
+struct CorpusEntry {
+  std::string name;  ///< entry (file) stem, e.g. "carry-flip-seed17"
+  std::uint64_t seed = 0;
+  ir::Design design;
+  /// Mismatch lines recorded when the entry was minted (informational).
+  std::vector<std::string> mismatches;
+};
+
+/// Renders the entry as a <repro> XML document.
+std::string to_repro_xml(const CorpusEntry& entry);
+
+/// Parses a <repro> document (throws XmlError/IrError on malformed input).
+CorpusEntry repro_from_xml(const std::string& text);
+
+/// Writes `<dir>/<entry.name>.xml`; creates `dir` when missing.  Returns
+/// the path written.
+std::filesystem::path save_entry(const CorpusEntry& entry,
+                                 const std::filesystem::path& dir);
+
+/// Loads every *.xml under `dir` (sorted by filename); an absent directory
+/// yields an empty corpus.
+std::vector<CorpusEntry> load_corpus(const std::filesystem::path& dir);
+
+}  // namespace fti::fuzz

@@ -1,0 +1,255 @@
+#include "fti/fuzz/diff.hpp"
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+
+#include "fti/elab/rtg_exec.hpp"
+#include "fti/harness/baseline.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/sim/probe.hpp"
+#include "fti/xml/parser.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::fuzz {
+namespace {
+
+constexpr std::size_t kMaxMismatchLines = 25;
+
+void harvest_memories(const mem::MemoryPool& pool, Observation& obs) {
+  for (const std::string& name : pool.names()) {
+    obs.memories.emplace(name, pool.get(name).words());
+  }
+}
+
+Observation run_kernel_path(const ir::Design& design,
+                            const DiffOptions& options, std::string engine) {
+  Observation obs;
+  obs.engine = std::move(engine);
+  obs.has_wire_data = true;
+  mem::MemoryPool pool;
+  try {
+    std::vector<std::pair<std::string, sim::Probe*>> probes;
+    elab::RtgRunOptions ropts;
+    ropts.max_cycles_per_partition = options.max_cycles_per_partition;
+    ropts.on_elaborated = [&](const std::string& node,
+                              elab::ElaboratedConfig& cfg) {
+      probes.clear();
+      for (const std::string& wire :
+           traced_wires(design.configuration(node).datapath)) {
+        sim::Net& net = cfg.netlist.net(wire);
+        sim::Probe& probe = cfg.netlist.add_component<sim::Probe>(
+            "fuzz_probe." + wire, net);
+        probes.emplace_back(wire, &probe);
+      }
+    };
+    ropts.on_partition_done = [&](const std::string& node,
+                                  elab::ElaboratedConfig& cfg,
+                                  const elab::PartitionRun& run) {
+      obs.cycles.push_back(run.cycles);
+      for (const auto& [wire, probe] : probes) {
+        std::string key = node + "/" + wire;
+        obs.finals.emplace(key, cfg.netlist.net(wire).u());
+        std::vector<std::uint64_t>& trace = obs.traces[key];
+        for (const sim::Probe::Sample& sample : probe->samples()) {
+          trace.push_back(sample.value.u());
+        }
+      }
+    };
+    elab::RtgRunResult result = elab::run_design(design, pool, ropts);
+    obs.completed = result.completed;
+    obs.total_cycles = result.total_cycles();
+  } catch (const std::exception& error) {
+    obs.error = error.what();
+  }
+  harvest_memories(pool, obs);
+  return obs;
+}
+
+Observation run_reference_path(const ir::Design& design,
+                               const DiffOptions& options) {
+  Observation obs;
+  obs.engine = "reference";
+  obs.has_wire_data = true;
+  mem::MemoryPool pool;
+  try {
+    ReferenceOptions ropts = options.reference;
+    ropts.max_cycles_per_partition = options.max_cycles_per_partition;
+    ReferenceResult result = run_reference(design, pool, ropts);
+    obs.completed = result.completed;
+    obs.total_cycles = result.total_cycles();
+    for (ReferencePartition& partition : result.partitions) {
+      obs.cycles.push_back(partition.cycles);
+      for (auto& [wire, value] : partition.finals) {
+        obs.finals.emplace(partition.node + "/" + wire, value);
+      }
+      for (auto& [wire, trace] : partition.traces) {
+        obs.traces.emplace(partition.node + "/" + wire, std::move(trace));
+      }
+    }
+  } catch (const std::exception& error) {
+    obs.error = error.what();
+  }
+  harvest_memories(pool, obs);
+  return obs;
+}
+
+Observation run_naive_path(const ir::Design& design,
+                           const DiffOptions& options) {
+  Observation obs;
+  obs.engine = "naive";
+  mem::MemoryPool pool;
+  try {
+    harness::NaiveRunOptions nopts;
+    nopts.max_cycles_per_partition = options.max_cycles_per_partition;
+    harness::NaiveRunStats stats = harness::run_design_naive(design, pool,
+                                                             nopts);
+    obs.completed = stats.completed;
+    obs.total_cycles = stats.cycles;
+  } catch (const std::exception& error) {
+    obs.error = error.what();
+  }
+  harvest_memories(pool, obs);
+  return obs;
+}
+
+Observation run_roundtrip_path(const ir::Design& design,
+                               const DiffOptions& options) {
+  try {
+    std::string text = xml::to_string(*ir::to_xml(design));
+    ir::Design restored = ir::design_from_xml(*xml::parse(text));
+    return run_kernel_path(restored, options, "roundtrip");
+  } catch (const std::exception& error) {
+    Observation obs;
+    obs.engine = "roundtrip";
+    obs.error = error.what();
+    return obs;
+  }
+}
+
+class Reporter {
+ public:
+  explicit Reporter(DiffResult& result) : result_(result) {}
+
+  void mismatch(const std::string& line) {
+    result_.ok = false;
+    if (result_.mismatches.size() < kMaxMismatchLines) {
+      result_.mismatches.push_back(line);
+    } else {
+      ++suppressed_;
+    }
+  }
+
+  ~Reporter() {
+    if (suppressed_ > 0) {
+      result_.mismatches.push_back("... and " + std::to_string(suppressed_) +
+                                   " more mismatches");
+    }
+  }
+
+ private:
+  DiffResult& result_;
+  std::size_t suppressed_ = 0;
+};
+
+std::string pair_tag(const Observation& a, const Observation& b) {
+  return a.engine + " vs " + b.engine;
+}
+
+template <typename Map>
+void compare_maps(const Observation& a, const Observation& b,
+                  const Map& map_a, const Map& map_b, const char* what,
+                  Reporter& report) {
+  for (const auto& [key, value_a] : map_a) {
+    auto it = map_b.find(key);
+    if (it == map_b.end()) {
+      report.mismatch(std::string(what) + "[" + key + "]: missing from " +
+                      b.engine);
+      continue;
+    }
+    if constexpr (std::is_integral_v<std::decay_t<decltype(value_a)>>) {
+      if (value_a != it->second) {
+        report.mismatch(std::string(what) + "[" + key + "]: " + a.engine +
+                        "=" + std::to_string(value_a) + " " + b.engine + "=" +
+                        std::to_string(it->second));
+      }
+    } else {
+      const auto& trace_a = value_a;
+      const auto& trace_b = it->second;
+      std::size_t limit = std::min(trace_a.size(), trace_b.size());
+      for (std::size_t i = 0; i < limit; ++i) {
+        if (trace_a[i] != trace_b[i]) {
+          report.mismatch(std::string(what) + "[" + key + "][" +
+                          std::to_string(i) + "]: " + a.engine + "=" +
+                          std::to_string(trace_a[i]) + " " + b.engine + "=" +
+                          std::to_string(trace_b[i]));
+          break;
+        }
+      }
+      if (trace_a.size() != trace_b.size()) {
+        report.mismatch(std::string(what) + "[" + key + "]: " + a.engine +
+                        " has " + std::to_string(trace_a.size()) + " entries, " +
+                        b.engine + " has " + std::to_string(trace_b.size()));
+      }
+    }
+  }
+  for (const auto& [key, value_b] : map_b) {
+    if (map_a.find(key) == map_a.end()) {
+      report.mismatch(std::string(what) + "[" + key + "]: missing from " +
+                      a.engine);
+    }
+  }
+}
+
+void compare_observations(const Observation& a, const Observation& b,
+                          Reporter& report) {
+  if (a.completed != b.completed) {
+    report.mismatch("completed (" + pair_tag(a, b) + "): " + a.engine + "=" +
+                    (a.completed ? "true" : "false") + " " + b.engine + "=" +
+                    (b.completed ? "true" : "false"));
+  }
+  if (a.total_cycles != b.total_cycles) {
+    report.mismatch("total_cycles (" + pair_tag(a, b) + "): " + a.engine +
+                    "=" + std::to_string(a.total_cycles) + " " + b.engine +
+                    "=" + std::to_string(b.total_cycles));
+  }
+  if (!a.cycles.empty() && !b.cycles.empty() && a.cycles != b.cycles) {
+    report.mismatch("partition cycles (" + pair_tag(a, b) + ") disagree");
+  }
+  if (a.has_wire_data && b.has_wire_data) {
+    compare_maps(a, b, a.finals, b.finals, "finals", report);
+    compare_maps(a, b, a.traces, b.traces, "traces", report);
+  }
+  compare_maps(a, b, a.memories, b.memories, "memories", report);
+}
+
+}  // namespace
+
+DiffResult diff_design(const ir::Design& design, const DiffOptions& options) {
+  DiffResult result;
+  result.observations.push_back(run_kernel_path(design, options, "kernel"));
+  result.observations.push_back(run_reference_path(design, options));
+  result.observations.push_back(run_naive_path(design, options));
+  if (options.check_roundtrip) {
+    result.observations.push_back(run_roundtrip_path(design, options));
+  }
+  {
+    Reporter report(result);
+    for (const Observation& obs : result.observations) {
+      if (!obs.error.empty()) {
+        report.mismatch("engine " + obs.engine + " failed: " + obs.error);
+      }
+    }
+    const Observation& baseline = result.observations.front();
+    if (baseline.error.empty()) {
+      for (std::size_t i = 1; i < result.observations.size(); ++i) {
+        if (result.observations[i].error.empty()) {
+          compare_observations(baseline, result.observations[i], report);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fti::fuzz

@@ -1,0 +1,75 @@
+// N-way differential driver -- runs one design through every execution
+// path the infrastructure offers and demands bit-exact agreement.
+//
+// Paths compared:
+//  1. the event-driven sim::Kernel elaboration (probes on every clocked
+//     wire, harvested before each partition is torn down),
+//  2. the fuzz reference interpreter (a structurally independent
+//     cycle-level engine, see reference.hpp),
+//  3. the harness's naive full-sweep baseline simulator,
+//  4. the event kernel again on the design after an XML serialisation
+//     round trip (to_xml -> to_string -> parse -> design_from_xml),
+//     which drags the serde layer into the differential net.
+//
+// Observables: completion verdict, per-partition cycle counts, final
+// register/control values, per-wire value-change traces and final memory
+// contents.  Any disagreement -- or any engine throwing where another ran
+// -- is a mismatch, reported as human-readable lines that double as the
+// shrinker's failure predicate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/fuzz/reference.hpp"
+#include "fti/ir/rtg.hpp"
+
+namespace fti::fuzz {
+
+struct DiffOptions {
+  std::uint64_t max_cycles_per_partition = 100'000;
+  /// Forwarded to the reference interpreter; tests use `eval_binop` to
+  /// inject operator bugs the harness must catch.
+  ReferenceOptions reference;
+  /// Skip path 4 (the serde round trip) -- the shrinker disables it while
+  /// minimising to keep iterations cheap, then re-checks once at the end.
+  bool check_roundtrip = true;
+};
+
+/// What one execution path observed.  Engines that cannot report a given
+/// observable leave it empty and the comparison skips it (the naive
+/// baseline reports no per-wire data, only cycles and memories).
+struct Observation {
+  std::string engine;
+  bool completed = false;
+  /// Error text when the engine threw instead of running to an end state.
+  std::string error;
+  std::uint64_t total_cycles = 0;
+  /// Per-partition cycle counts, in RTG execution order (empty for engines
+  /// that only report a total).
+  std::vector<std::uint64_t> cycles;
+  /// Per-partition finals/traces of the clocked wires (see traced_wires),
+  /// keyed "<node>/<wire>".
+  std::map<std::string, std::uint64_t> finals;
+  std::map<std::string, std::vector<std::uint64_t>> traces;
+  /// Final memory-pool contents, keyed by memory name.
+  std::map<std::string, std::vector<std::uint64_t>> memories;
+  bool has_wire_data = false;
+};
+
+struct DiffResult {
+  bool ok = true;
+  /// One line per disagreement, e.g.
+  /// "finals[p0/r3_q]: kernel=42 reference=41".
+  std::vector<std::string> mismatches;
+  std::vector<Observation> observations;
+};
+
+/// Runs all execution paths on `design` and cross-checks every pair of
+/// observations against the first (the event kernel).
+DiffResult diff_design(const ir::Design& design,
+                       const DiffOptions& options = {});
+
+}  // namespace fti::fuzz

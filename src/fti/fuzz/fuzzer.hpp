@@ -1,0 +1,67 @@
+// Differential fuzzing campaign driver.
+//
+// Draws per-case seeds from the campaign seed (Rng::derive, so results do
+// not depend on thread scheduling), generates a random design per case,
+// pushes it through the N-way differential driver, and -- on mismatch --
+// shrinks the design to a local minimum and optionally serialises the
+// repro into a corpus directory.  A worker pool sized by `jobs` pulls case
+// indices from an atomic counter; every case is independent.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fti/fuzz/diff.hpp"
+#include "fti/fuzz/generate.hpp"
+#include "fti/fuzz/shrink.hpp"
+
+namespace fti::fuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 100;
+  std::uint32_t jobs = 1;
+  GeneratorOptions generator;
+  DiffOptions diff;
+  /// Campaign stops early once this many failing cases are collected.
+  std::size_t max_failures = 5;
+  /// Predicate-evaluation budget handed to the shrinker per failure.
+  std::size_t shrink_evaluations = 2000;
+  bool shrink_failures = true;
+  /// When set, each shrunk failure is written here as a <repro> document.
+  std::filesystem::path corpus_dir;
+  /// Progress/diagnostic sink (e.g. stderr in the CLI); called under a
+  /// lock, may be empty.
+  std::function<void(const std::string&)> log;
+};
+
+struct FuzzFailure {
+  std::uint64_t case_index = 0;
+  std::uint64_t case_seed = 0;
+  /// Mismatch lines from the original (unshrunk) failing run.
+  std::vector<std::string> mismatches;
+  ir::Design shrunk;
+  std::size_t original_nodes = 0;
+  std::size_t shrunk_nodes = 0;
+  /// Empty unless FuzzOptions::corpus_dir was set.
+  std::filesystem::path saved_path;
+};
+
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::uint64_t multi_configuration_designs = 0;
+  std::uint64_t total_cycles = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the campaign.  Deterministic for a fixed (seed, runs, generator)
+/// triple regardless of `jobs`, except for the order of `failures` (sorted
+/// by case_index before returning, so reports are stable too).
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+}  // namespace fti::fuzz

@@ -1,0 +1,52 @@
+// Random design generator -- emits well-formed IR for the differential
+// fuzzer.
+//
+// Every generated design passes ir::validate and terminates by
+// construction: a free-running 8-bit cycle counter compares against a
+// small limit and the control unit's run state waits on that status before
+// entering the done state, so no random FSM wiring can produce an infinite
+// simulation.  Around that skeleton the generator grows a random DAG of
+// functional units (units only consume wires that already have a driver,
+// so combinational loops are structurally impossible; registers close
+// sequential feedback instead), random Moore control logic, random SRAMs
+// with power-up images, and optionally a chain of temporal partitions
+// sharing memories through the pool.
+#pragma once
+
+#include <cstdint>
+
+#include "fti/fuzz/rand.hpp"
+#include "fti/ir/rtg.hpp"
+
+namespace fti::fuzz {
+
+struct GeneratorOptions {
+  /// Random functional units grown per configuration on top of the
+  /// termination skeleton (the skeleton itself adds five units).
+  std::uint32_t min_units = 4;
+  std::uint32_t max_units = 20;
+  /// Temporal partitions per design (1 = no reconfiguration).
+  std::uint32_t max_configurations = 3;
+  /// Extra FSM states between init and the run loop.
+  std::uint32_t max_extra_states = 4;
+  /// SRAMs per configuration (0 disables memories entirely).
+  std::uint32_t max_memories = 2;
+  /// Upper bound for the cycle-counter limit: every configuration raises
+  /// done within roughly this many cycles plus the FSM prologue.
+  std::uint32_t max_run_cycles = 48;
+  /// Allow latency>=1 binary FUs (pipelined multipliers etc.).
+  bool allow_pipelined = true;
+  /// Probability (percent) that a configuration after the first reuses a
+  /// memory declared by an earlier partition, exercising pool handover.
+  std::uint32_t shared_memory_percent = 60;
+};
+
+/// Generates one random, valid, terminating design.  The same (rng state,
+/// options) pair always yields the same design.
+ir::Design generate_design(Rng& rng, const GeneratorOptions& options = {});
+
+/// Convenience: fresh Rng from `seed`, then generate_design.
+ir::Design generate_design_seeded(std::uint64_t seed,
+                                  const GeneratorOptions& options = {});
+
+}  // namespace fti::fuzz

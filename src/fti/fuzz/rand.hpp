@@ -1,0 +1,62 @@
+// Deterministic pseudo-random source for the fuzzing subsystem.
+//
+// The standard <random> distributions are implementation-defined, which
+// would make "fti_fuzz --seed 1" reproduce different designs on different
+// toolchains.  Fuzzing a *test infrastructure* demands bit-stable repros,
+// so the generator is pinned here: SplitMix64 state advance (Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators") plus explicitly
+// specified derived draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fti/util/error.hpp"
+
+namespace fti::fuzz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive.  Modulo bias is irrelevant for fuzzing
+  /// ranges (hi - lo << 2^64) and keeps the draw sequence platform-stable.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    FTI_ASSERT(lo <= hi, "Rng::range with lo > hi");
+    return lo + u64() % (hi - lo + 1);
+  }
+
+  std::size_t index(std::size_t size) {
+    FTI_ASSERT(size > 0, "Rng::index over an empty range");
+    return static_cast<std::size_t>(u64() % size);
+  }
+
+  /// True with probability `percent` / 100.
+  bool chance(std::uint32_t percent) { return u64() % 100 < percent; }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[index(items.size())];
+  }
+
+  /// Independent child stream; used to give each fuzz case its own seed so
+  /// results do not depend on thread scheduling.
+  static std::uint64_t derive(std::uint64_t seed, std::uint64_t index) {
+    Rng mixer(seed ^ (0xa0761d6478bd642full * (index + 1)));
+    return mixer.u64();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace fti::fuzz

@@ -63,6 +63,12 @@ class NaiveSim {
 
   NaiveRunStats run() {
     NaiveRunStats stats;
+    // Registers power up holding their reset value, like the event
+    // kernel's Register::initialize (bitstream-initialised flops).
+    for (const ir::Unit* reg : registers_) {
+      std::size_t index = index_of(reg->port("q"));
+      values_[index] = Bits(values_[index].width(), reg->reset_value);
+    }
     drive_controls();
     settle(stats);
     while (values_[done_index_].is_zero()) {

@@ -1,0 +1,168 @@
+// Coverage for the waveform/probe instrumentation: a golden-file VCD dump
+// of a known design, probe sample ordering and overflow, and the
+// empty-netlist edge cases of both tracers.
+//
+// Regenerate the golden dump after an intentional VCD format change with:
+//   FTI_REGEN_GOLDEN=1 ./tests/test_vcd_probe
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fti/elab/rtg_exec.hpp"
+#include "fti/ir/rtg.hpp"
+#include "fti/sim/kernel.hpp"
+#include "fti/sim/probe.hpp"
+#include "fti/sim/vcd.hpp"
+#include "fti/util/file_io.hpp"
+#include "test_designs.hpp"
+
+namespace fti {
+namespace {
+
+std::filesystem::path golden_path() {
+  return std::filesystem::path(FTI_TEST_DATA_DIR) / "accumulator.vcd";
+}
+
+/// Runs the shared accumulator design with `tracer` installed and probes
+/// attached to the named wires; returns the harvested probe samples.
+struct TracedRun {
+  elab::RtgRunResult result;
+  std::map<std::string, std::vector<sim::Probe::Sample>> samples;
+};
+
+TracedRun run_accumulator(std::uint64_t target, sim::Tracer* tracer,
+                          const std::vector<std::string>& probed,
+                          std::size_t max_samples = 0,
+                          std::vector<bool>* overflowed = nullptr) {
+  ir::Design design = ir::make_single_design(
+      "acc", testing::make_accumulator(target));
+  mem::MemoryPool pool;
+  elab::RtgRunOptions options;
+  options.tracer = tracer;
+  std::vector<std::pair<std::string, sim::Probe*>> probes;
+  options.on_elaborated = [&](const std::string&,
+                              elab::ElaboratedConfig& cfg) {
+    if (tracer != nullptr) {
+      auto* vcd = dynamic_cast<sim::VcdWriter*>(tracer);
+      if (vcd != nullptr) {
+        vcd->watch(cfg.netlist.net("clk"));
+        vcd->watch(cfg.netlist.net("acc_q"));
+        vcd->watch(cfg.netlist.net("done"));
+      }
+    }
+    for (const std::string& wire : probed) {
+      probes.emplace_back(wire, &cfg.netlist.add_component<sim::Probe>(
+                                    "probe." + wire,
+                                    cfg.netlist.net(wire), max_samples));
+    }
+  };
+  TracedRun run;
+  options.on_partition_done = [&](const std::string&,
+                                  elab::ElaboratedConfig&,
+                                  const elab::PartitionRun&) {
+    for (const auto& [wire, probe] : probes) {
+      run.samples[wire] = probe->samples();
+      if (overflowed != nullptr) {
+        overflowed->push_back(probe->overflowed());
+      }
+    }
+  };
+  run.result = elab::run_design(design, pool, options);
+  return run;
+}
+
+TEST(Vcd, GoldenAccumulatorDump) {
+  sim::VcdWriter vcd("acc");
+  TracedRun run = run_accumulator(3, &vcd, {});
+  ASSERT_TRUE(run.result.completed);
+  std::string text = vcd.str();
+  if (std::getenv("FTI_REGEN_GOLDEN") != nullptr) {
+    util::write_file(golden_path(), text);
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+  EXPECT_EQ(text, util::read_file(golden_path()))
+      << "VCD output drifted from tests/data/accumulator.vcd; regenerate "
+         "with FTI_REGEN_GOLDEN=1 if the change is intentional";
+}
+
+TEST(Vcd, DumpStructure) {
+  sim::VcdWriter vcd("acc");
+  TracedRun run = run_accumulator(2, &vcd, {});
+  ASSERT_TRUE(run.result.completed);
+  std::string text = vcd.str();
+  // Header, one $var per watched net, then the body in time order.
+  EXPECT_NE(text.find("$scope module acc $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 32 \" acc_q $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  std::size_t t5 = text.find("#5");
+  std::size_t t15 = text.find("#15");
+  ASSERT_NE(t5, std::string::npos);
+  ASSERT_NE(t15, std::string::npos);
+  EXPECT_LT(t5, t15) << "timestamps must be emitted in increasing order";
+}
+
+TEST(Probe, SamplesOrderedAndExact) {
+  TracedRun run = run_accumulator(3, nullptr, {"acc_q", "done"});
+  ASSERT_TRUE(run.result.completed);
+  const auto& acc = run.samples.at("acc_q");
+  // acc loads target + 1 values: 1, 2, 3, 4 (power-up zero is not a
+  // change, so the probe starts at the first increment).
+  ASSERT_EQ(acc.size(), 4u);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_EQ(acc[i].value.u(), i + 1);
+    if (i > 0) {
+      EXPECT_LT(acc[i - 1].time, acc[i].time)
+          << "samples must be strictly ordered in time";
+    }
+  }
+  // The register commits on rising clock edges: period 10, first at 5.
+  EXPECT_EQ(acc.front().time, 5u);
+  const auto& done = run.samples.at("done");
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done.front().value.u(), 1u);
+  EXPECT_EQ(done.front().time, acc.back().time)
+      << "done rises in the same timestep as the final register load";
+}
+
+TEST(Probe, OverflowKeepsCountingChanges) {
+  std::vector<bool> overflowed;
+  TracedRun run = run_accumulator(5, nullptr, {"acc_q"}, 2, &overflowed);
+  ASSERT_TRUE(run.result.completed);
+  const auto& acc = run.samples.at("acc_q");
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].value.u(), 1u);
+  EXPECT_EQ(acc[1].value.u(), 2u);
+  ASSERT_EQ(overflowed.size(), 1u);
+  EXPECT_TRUE(overflowed.front());
+}
+
+TEST(Vcd, EmptyNetlist) {
+  sim::Netlist netlist;
+  sim::Kernel kernel(netlist);
+  sim::VcdWriter vcd("empty");
+  kernel.set_tracer(&vcd);
+  EXPECT_EQ(kernel.run(), sim::Kernel::StopReason::kIdle);
+  std::string text = vcd.str();
+  EXPECT_NE(text.find("$scope module empty $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_EQ(vcd.watched_count(), 0u);
+}
+
+TEST(Probe, UnchangedNetRecordsNothing) {
+  sim::Netlist netlist;
+  sim::Net& net = netlist.create_net("quiet", 8);
+  sim::Probe& probe =
+      netlist.add_component<sim::Probe>("probe.quiet", net);
+  sim::Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), sim::Kernel::StopReason::kIdle);
+  EXPECT_TRUE(probe.samples().empty());
+  EXPECT_EQ(probe.change_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fti

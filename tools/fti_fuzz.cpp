@@ -1,0 +1,186 @@
+// fti_fuzz -- differential fuzzing front end.
+//
+//   fti_fuzz [options]                 run a fuzzing campaign
+//   fti_fuzz replay FILE.xml           re-run one corpus <repro> entry
+//   fti_fuzz corpus DIR                re-run every entry in a corpus dir
+//
+// Campaign options:
+//   --seed N         campaign seed (default 1)
+//   --runs N         number of generated designs (default 100)
+//   --jobs N         worker threads (default 1)
+//   --max-failures N stop after N failing cases (default 5)
+//   --corpus DIR     write shrunk repros into DIR
+//   --no-shrink      keep failing designs unshrunk
+//   --max-units N    upper bound on random units per design
+//   --max-configs N  upper bound on temporal partitions per design
+//   --smoke          fixed quick profile used by ctest (equivalent to
+//                    --runs 25 with a smaller generator; ~seconds)
+//   --quiet          suppress per-case progress lines
+//
+// Exit code: 0 when every case agreed, 1 on any mismatch, 2 on usage
+// errors.
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fti/fuzz/corpus.hpp"
+#include "fti/fuzz/fuzzer.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: fti_fuzz [--seed N] [--runs N] [--jobs N]\n"
+         "                [--max-failures N] [--corpus DIR] [--no-shrink]\n"
+         "                [--max-units N] [--max-configs N] [--smoke]\n"
+         "                [--quiet]\n"
+         "       fti_fuzz replay FILE.xml\n"
+         "       fti_fuzz corpus DIR\n";
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* text) {
+  char* end = nullptr;
+  std::uint64_t value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "fti_fuzz: bad number '" << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+int report_diff(const std::string& label, const fti::fuzz::DiffResult& diff) {
+  if (diff.ok) {
+    std::cout << label << ": PASS (all engines agree)\n";
+    return 0;
+  }
+  std::cout << label << ": FAIL\n";
+  for (const std::string& line : diff.mismatches) {
+    std::cout << "  " << line << "\n";
+  }
+  return 1;
+}
+
+int replay_entry(const fti::fuzz::CorpusEntry& entry) {
+  std::cout << "replaying '" << entry.name << "' (seed " << entry.seed
+            << ", " << fti::fuzz::ir_node_count(entry.design)
+            << " IR nodes)\n";
+  return report_diff(entry.name, fti::fuzz::diff_design(entry.design));
+}
+
+int run_replay(int argc, char** argv) {
+  if (argc != 1) {
+    usage();
+  }
+  fti::fuzz::CorpusEntry entry =
+      fti::fuzz::repro_from_xml(fti::util::read_file(argv[0]));
+  return replay_entry(entry);
+}
+
+int run_corpus(int argc, char** argv) {
+  if (argc != 1) {
+    usage();
+  }
+  std::vector<fti::fuzz::CorpusEntry> corpus =
+      fti::fuzz::load_corpus(argv[0]);
+  if (corpus.empty()) {
+    std::cout << "corpus '" << argv[0] << "' is empty\n";
+    return 0;
+  }
+  int exit_code = 0;
+  for (const fti::fuzz::CorpusEntry& entry : corpus) {
+    exit_code |= replay_entry(entry);
+  }
+  return exit_code;
+}
+
+int run_campaign(int argc, char** argv) {
+  fti::fuzz::FuzzOptions options;
+  bool quiet = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      options.seed = parse_u64(value());
+    } else if (arg == "--runs") {
+      options.runs = parse_u64(value());
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<std::uint32_t>(parse_u64(value()));
+    } else if (arg == "--max-failures") {
+      options.max_failures = parse_u64(value());
+    } else if (arg == "--corpus") {
+      options.corpus_dir = value();
+    } else if (arg == "--no-shrink") {
+      options.shrink_failures = false;
+    } else if (arg == "--max-units") {
+      options.generator.max_units =
+          static_cast<std::uint32_t>(parse_u64(value()));
+    } else if (arg == "--max-configs") {
+      options.generator.max_configurations =
+          static_cast<std::uint32_t>(parse_u64(value()));
+    } else if (arg == "--smoke") {
+      options.runs = 25;
+      options.generator.max_units = 12;
+      options.generator.max_run_cycles = 24;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage();
+    }
+  }
+  if (!quiet) {
+    options.log = [](const std::string& line) {
+      std::cerr << "fti_fuzz: " << line << "\n";
+    };
+  }
+
+  fti::fuzz::FuzzReport report = fti::fuzz::run_fuzz(options);
+  std::cout << "fuzzed " << report.cases_run << " design(s), "
+            << report.multi_configuration_designs
+            << " with multiple partitions, "
+            << report.total_cycles << " kernel cycles total\n";
+  if (report.ok()) {
+    std::cout << "PASS: zero mismatches\n";
+    return 0;
+  }
+  for (const fti::fuzz::FuzzFailure& failure : report.failures) {
+    std::cout << "FAIL case " << failure.case_index << " (seed "
+              << failure.case_seed << "), shrunk "
+              << failure.original_nodes << " -> " << failure.shrunk_nodes
+              << " IR nodes";
+    if (!failure.saved_path.empty()) {
+      std::cout << ", saved to " << failure.saved_path.string();
+    }
+    std::cout << "\n";
+    for (const std::string& line : failure.mismatches) {
+      std::cout << "  " << line << "\n";
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
+      return run_replay(argc - 2, argv + 2);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "corpus") == 0) {
+      return run_corpus(argc - 2, argv + 2);
+    }
+    return run_campaign(argc - 1, argv + 1);
+  } catch (const fti::util::Error& error) {
+    std::cerr << "fti_fuzz: " << error.what() << "\n";
+    return 2;
+  }
+}
