@@ -6,15 +6,36 @@
 // the Galadriel & Nenya compiler explores, and the reason the generated
 // architectures vary enough to need this infrastructure.  Functional
 // results are limit-invariant (asserted by tests/test_property.cpp).
+//
+//   bench_ablation [--json PATH]   (conventionally PATH=BENCH_ablation.json)
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/harness/metrics.hpp"
 #include "fti/harness/testcase.hpp"
 #include "fti/util/table.hpp"
 
-int main() {
+namespace {
+
+void record(fti::bench::JsonReport& json,
+            const fti::harness::TestCase& test,
+            const fti::harness::VerifyOutcome& outcome) {
+  fti::bench::JsonReport::Workload& workload = json.workload(test.name);
+  workload.set("passed", outcome.passed);
+  workload.set("wall_seconds", outcome.sim_seconds);
+  workload.set("cycles", outcome.run.total_cycles());
+  for (const auto& partition : outcome.run.partitions) {
+    workload.stats(partition.node, partition.stats);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  fti::bench::JsonReport json("ablation");
   constexpr std::size_t kBlocks = 16;  // 1,024 pixels per configuration
   fti::util::TextTable table({"FU limit", "operators", "muxes",
                               "fsm states", "loXML datapath", "cycles",
@@ -41,6 +62,7 @@ int main() {
                    fti::util::format_count(outcome.run.total_cycles()),
                    fti::util::format_double(outcome.sim_seconds, 3),
                    outcome.passed ? "PASS" : "FAIL"});
+    record(json, test, outcome);
   }
   std::cout << "=== resource-constraint ablation, FDCT1 at 1,024 px (A1) "
                "===\n"
@@ -71,6 +93,7 @@ int main() {
          fti::util::format_count(outcome.run.total_cycles()),
          fti::util::format_double(outcome.sim_seconds, 3),
          outcome.passed ? "PASS" : "FAIL"});
+    record(json, test, outcome);
   }
   std::cout << "=== multiplier pipeline-depth ablation, FDCT1 at 1,024 px "
                "(A2) ===\n"
@@ -103,6 +126,7 @@ int main() {
          fti::util::format_count(outcome.run.total_cycles()),
          fti::util::format_double(outcome.sim_seconds, 3),
          outcome.passed ? "PASS" : "FAIL"});
+    record(json, test, outcome);
   }
   std::cout << "=== memory read-port ablation, FDCT1 at 1,024 px, FU limit "
                "4 (A3) ===\n"
@@ -110,5 +134,9 @@ int main() {
   std::cout << "expected shape: more read ports shorten the schedule at\n"
                "the cost of extra memory ports (operators), with\n"
                "bit-identical results.\n";
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
   return 0;
 }

@@ -6,8 +6,11 @@
 // the dot / hds / Java-equivalent (behavioural executor) / HDL
 // translations, memory & stimulus files, golden execution and the final
 // comparison.  Each stage is timed and its artefact size reported.
+//
+//   bench_flow [--json PATH]   (conventionally PATH=BENCH_flow.json)
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "fti/codegen/dot.hpp"
 #include "fti/codegen/hds.hpp"
 #include "fti/codegen/verilog.hpp"
@@ -32,14 +35,20 @@ namespace {
 
 void run_flow(const std::string& name, const std::string& source,
               std::map<std::string, std::int64_t> args,
-              std::map<std::string, std::vector<std::uint64_t>> inputs) {
+              std::map<std::string, std::vector<std::uint64_t>> inputs,
+              fti::bench::JsonReport& json) {
   std::cout << "--- flow for '" << name << "' ---\n";
+  fti::bench::JsonReport::Workload& workload = json.workload(name);
   fti::util::TextTable table({"stage (Figure 1 element)", "time (ms)",
                               "artefact lines"});
   fti::util::Stopwatch watch;
+  double total_seconds = 0;
   auto stage = [&](const std::string& label, std::size_t lines) {
-    table.add_row({label, fti::util::format_double(watch.milliseconds(), 2),
+    double ms = watch.milliseconds();
+    table.add_row({label, fti::util::format_double(ms, 2),
                    lines == 0 ? "-" : fti::util::format_count(lines)});
+    workload.set(label + ".milliseconds", ms);
+    total_seconds += ms / 1000.0;
     watch.reset();
   };
 
@@ -132,17 +141,30 @@ void run_flow(const std::string& name, const std::string& source,
   std::cout << "verdict: "
             << (run.completed && mismatches == 0 ? "PASS" : "FAIL")
             << " (" << mismatches << " mismatching words)\n\n";
+  workload.set("passed", run.completed && mismatches == 0);
+  workload.set("mismatching_words", static_cast<std::uint64_t>(mismatches));
+  workload.set("wall_seconds", total_seconds);
+  workload.set("cycles", run.total_cycles());
+  for (const auto& partition : run.partitions) {
+    workload.stats(partition.node, partition.stats);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  fti::bench::JsonReport json("flow");
   std::cout << "=== Figure 1 flow coverage (E4) ===\n\n";
   run_flow("fdct2 (8 blocks)", fti::golden::fdct_source(8, true),
            {{"nblocks", 8}},
-           {{"in", fti::golden::make_test_image(512)}});
+           {{"in", fti::golden::make_test_image(512)}}, json);
   run_flow("hamming (512 words)", fti::golden::hamming_source(512),
            {{"n", 512}},
-           {{"code", fti::golden::make_codewords(512, 3, 4)}});
+           {{"code", fti::golden::make_codewords(512, 3, 4)}}, json);
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
   return 0;
 }

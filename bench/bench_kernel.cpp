@@ -5,8 +5,13 @@
 // kernel's primitive costs: raw event throughput, fan-out activation,
 // delta-cycle convergence of combinational chains, clocked-component wake
 // cost, and the elaboration cost of a compiled design.
+//
+//   bench_kernel [--json PATH] [google-benchmark flags]
+//   (--json PATH is sugar for --benchmark_out=PATH
+//    --benchmark_out_format=json; conventionally PATH=BENCH_kernel.json)
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "fti/compiler/hls.hpp"
 #include "fti/elab/elaborator.hpp"
 #include "fti/golden/fdct.hpp"
@@ -151,4 +156,23 @@ BENCHMARK(BM_CompileFdct);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  std::vector<std::string> storage;
+  if (!json_path.empty()) {
+    storage.push_back("--benchmark_out=" + json_path.string());
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args(argv, argv + argc);
+  for (std::string& extra : storage) {
+    args.push_back(extra.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,16 +10,21 @@
 // measured wall time, the events processed and the normalised
 // time-per-pixel, which should stay flat.
 //
-// Pass --quick to cap the sweep at 65,536 pixels.
+//   bench_scaling [--quick] [--json PATH]
+//   (conventionally PATH=BENCH_scaling.json; --quick caps the sweep at
+//    65,536 pixels)
 #include <cstring>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/harness/testcase.hpp"
 #include "fti/util/table.hpp"
 
 int main(int argc, char** argv) {
+  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  fti::bench::JsonReport json("scaling");
   bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   struct Point {
     std::size_t pixels;
@@ -60,11 +65,24 @@ int main(int argc, char** argv) {
                    fti::util::format_count(outcome.run.total_events()),
                    fti::util::format_double(ns_per_pixel, 1),
                    outcome.passed ? "PASS" : "FAIL"});
+    fti::bench::JsonReport::Workload& workload = json.workload(test.name);
+    workload.set("passed", outcome.passed);
+    workload.set("pixels", static_cast<std::uint64_t>(point.pixels));
+    workload.set("wall_seconds", outcome.sim_seconds);
+    workload.set("cycles", outcome.run.total_cycles());
+    workload.set("ns_per_pixel", ns_per_pixel);
+    for (const auto& partition : outcome.run.partitions) {
+      workload.stats(partition.node, partition.stats);
+    }
   }
   std::cout << "=== FDCT1 image-size scaling (E2) ===\n"
             << table.to_string() << "\n";
   std::cout << "linear-scaling check: ns/pixel should be roughly constant\n"
                "(the paper's own numbers scale slightly super-linearly:\n"
                " 1.68 ms/px -> 0.92 ms/px -> 1.13 ms/px).\n";
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
   return 0;
 }

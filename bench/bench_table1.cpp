@@ -13,8 +13,11 @@
 // Absolute values differ (different compiler, language, machine); the
 // paper's *shape* is asserted by tests/test_integration.cpp: FDCT2's
 // partitions are each smaller and faster than FDCT1, and Hamming is tiny.
+//
+//   bench_table1 [--json PATH]   (conventionally PATH=BENCH_table1.json)
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/golden/hamming.hpp"
@@ -53,7 +56,8 @@ std::string join_per_config(const std::vector<std::string>& values) {
 }
 
 void report(const std::string& name, const fti::harness::TestCase& test,
-            fti::util::TextTable& table) {
+            fti::util::TextTable& table,
+            fti::bench::JsonReport& json) {
   fti::harness::VerifyOptions options;
   options.generate_artifacts = true;
   fti::harness::VerifyOutcome outcome =
@@ -83,11 +87,21 @@ void report(const std::string& name, const fti::harness::TestCase& test,
                  join_per_config(gen_lines), join_per_config(operators),
                  join_per_config(times),
                  fti::util::format_count(outcome.run.total_cycles())});
+  fti::bench::JsonReport::Workload& workload = json.workload(name);
+  workload.set("passed", outcome.passed);
+  workload.set("cycles", outcome.run.total_cycles());
+  workload.set("wall_seconds", outcome.run.total_wall_seconds());
+  for (const auto& partition : outcome.run.partitions) {
+    workload.set(partition.node + ".wall_seconds", partition.wall_seconds);
+    workload.stats(partition.node, partition.stats);
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  fti::bench::JsonReport json("table1");
   constexpr std::size_t kBlocks = 64;       // 4,096 pixels, as in the paper
   constexpr std::size_t kHammingWords = 4096;
 
@@ -113,12 +127,12 @@ int main() {
   fdct1.scalar_args = {{"nblocks", kBlocks}};
   fdct1.inputs = {{"in", fti::golden::make_test_image(kBlocks * 64)}};
   fdct1.check_arrays = {"tmp", "out"};
-  report("FDCT1", fdct1, ours);
+  report("FDCT1", fdct1, ours, json);
 
   fti::harness::TestCase fdct2 = fdct1;
   fdct2.name = "fdct2";
   fdct2.source = fti::golden::fdct_source(kBlocks, true);
-  report("FDCT2", fdct2, ours);
+  report("FDCT2", fdct2, ours, json);
 
   fti::harness::TestCase hamming;
   hamming.name = "hamming";
@@ -127,7 +141,7 @@ int main() {
   hamming.inputs = {{"code",
                      fti::golden::make_codewords(kHammingWords, 31, 5)}};
   hamming.check_arrays = {"data"};
-  report("Hamming", hamming, ours);
+  report("Hamming", hamming, ours, json);
 
   std::cout << ours.to_string() << "\n";
   std::cout << "shape checks (asserted in tests/test_integration.cpp):\n"
@@ -136,5 +150,9 @@ int main() {
                "  * per-partition FDCT2 simulation times are roughly equal\n"
                "    (paper: 2.9 s / 2.9 s);\n"
                "  * Hamming is an order of magnitude smaller and faster.\n";
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
   return 0;
 }

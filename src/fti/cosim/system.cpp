@@ -24,6 +24,9 @@ CoSimResult CoSimSystem::run(const CpuProgram& program,
   auto set_reg = [&result](int index, const sim::Bits& value) {
     result.registers[static_cast<std::size_t>(index)] = value.u();
   };
+  // Constructed lazily on the first RUN (programs without fabric work
+  // never touch the engine registry).
+  std::unique_ptr<sim::Engine> fabric;
 
   std::size_t pc = 0;
   while (pc < insns.size()) {
@@ -91,10 +94,13 @@ CoSimResult CoSimSystem::run(const CpuProgram& program,
       case CpuOp::kRun: {
         ++result.reconfigurations;
         result.cpu_cycles += options.cycles_per_reconfiguration;
+        if (fabric == nullptr) {
+          fabric = elab::make_engine(options.engine);
+        }
         if (insn.node.empty()) {
           // Run the design's whole RTG sequence.
-          elab::RtgRunResult run =
-              elab::run_design(design_, pool_, options.fabric);
+          sim::EngineResult run =
+              fabric->run(design_, pool_, options.fabric);
           if (!run.completed) {
             throw util::SimError(
                 "cosim: fabric did not complete its RTG sequence");
@@ -103,22 +109,14 @@ CoSimResult CoSimSystem::run(const CpuProgram& program,
           result.reconfigurations += run.partitions.size() - 1;
         } else {
           // Run one configuration: the CPU is the sequencer.
-          const ir::Configuration& config =
-              design_.configuration(insn.node);
-          auto live = elab::elaborate(config, pool_, options.fabric.elab);
-          sim::Kernel kernel(live->netlist);
-          sim::Time budget =
-              options.fabric.max_cycles_per_partition == 0
-                  ? sim::kNoTimeLimit
-                  : options.fabric.max_cycles_per_partition *
-                        options.fabric.elab.clock_period;
-          sim::Kernel::StopReason reason = kernel.run(budget, live->done);
-          if (reason != sim::Kernel::StopReason::kDoneNet) {
+          sim::EnginePartition run = fabric->run_partition(
+              design_, insn.node, pool_, options.fabric, 0);
+          if (run.reason != sim::Kernel::StopReason::kDoneNet) {
             throw util::SimError("cosim: configuration '" + insn.node +
                                  "' stopped with reason '" +
-                                 sim::to_string(reason) + "'");
+                                 sim::to_string(run.reason) + "'");
           }
-          result.fabric_cycles += live->clock_gen->cycles();
+          result.fabric_cycles += run.cycles;
         }
         FTI_LOG(kInfo, "cosim")
             << "RUN '" << insn.node << "' done, fabric total "

@@ -14,7 +14,7 @@
 #include <string>
 
 #include "fti/cosim/cpu.hpp"
-#include "fti/elab/rtg_exec.hpp"
+#include "fti/elab/engines.hpp"
 #include "fti/ir/rtg.hpp"
 #include "fti/mem/storage.hpp"
 
@@ -28,7 +28,9 @@ struct CoSimOptions {
   std::uint64_t cycles_per_reconfiguration = 100;
   /// Abort after this many executed CPU instructions (runaway guard).
   std::uint64_t max_instructions = 10'000'000;
-  elab::RtgRunOptions fabric;
+  sim::EngineRunOptions fabric;
+  /// Execution engine simulating the fabric (registry name).
+  std::string engine = "event";
 };
 
 struct CoSimResult {

@@ -82,57 +82,6 @@ void FsmExecutor::initialize(sim::Kernel& kernel) {
   drive_controls(kernel, /*force=*/true);
 }
 
-std::size_t FsmCoverage::states_visited() const {
-  std::size_t n = 0;
-  for (const StateCov& state : states) {
-    n += state.visits > 0 ? 1 : 0;
-  }
-  return n;
-}
-
-std::size_t FsmCoverage::transitions_taken() const {
-  std::size_t n = 0;
-  for (const TransitionCov& transition : transitions) {
-    n += transition.taken > 0 ? 1 : 0;
-  }
-  return n;
-}
-
-bool FsmCoverage::full() const {
-  return states_visited() == states.size() &&
-         transitions_taken() == transitions.size();
-}
-
-double FsmCoverage::percent() const {
-  std::size_t total = states.size() + transitions.size();
-  if (total == 0) {
-    return 100.0;
-  }
-  return 100.0 * static_cast<double>(states_visited() +
-                                     transitions_taken()) /
-         static_cast<double>(total);
-}
-
-std::string FsmCoverage::to_string() const {
-  std::string out = "fsm '" + fsm + "': " +
-                    std::to_string(states_visited()) + "/" +
-                    std::to_string(states.size()) + " states, " +
-                    std::to_string(transitions_taken()) + "/" +
-                    std::to_string(transitions.size()) + " transitions";
-  for (const StateCov& state : states) {
-    if (state.visits == 0) {
-      out += "\n  state never visited: " + state.name;
-    }
-  }
-  for (const TransitionCov& transition : transitions) {
-    if (transition.taken == 0) {
-      out += "\n  transition never taken: " + transition.from + " -> " +
-             transition.to + " [" + transition.guard + "]";
-    }
-  }
-  return out;
-}
-
 FsmCoverage FsmExecutor::coverage() const {
   FsmCoverage report;
   report.fsm = name();

@@ -16,40 +16,15 @@
 
 #include "fti/ir/fsm.hpp"
 #include "fti/sim/component.hpp"
+#include "fti/sim/coverage.hpp"
 #include "fti/sim/kernel.hpp"
 
 namespace fti::elab {
 
-/// Coverage extracted from one simulated run of a control unit -- state
-/// visit counts and transition take counts, the per-design observability
-/// an FPGA implementation cannot offer without dedicated probes (paper
-/// §1).  A compiler test case that leaves states unvisited is a weak
-/// test; the harness surfaces this per partition.
-struct FsmCoverage {
-  struct StateCov {
-    std::string name;
-    std::uint64_t visits = 0;
-  };
-  struct TransitionCov {
-    std::string from;
-    std::string to;
-    std::string guard;  ///< dialect syntax ("1" when unconditional)
-    std::uint64_t taken = 0;
-  };
-
-  std::string fsm;
-  std::vector<StateCov> states;
-  std::vector<TransitionCov> transitions;
-
-  std::size_t states_visited() const;
-  std::size_t transitions_taken() const;
-  /// True when every state was visited and every transition taken.
-  bool full() const;
-  /// Percentage [0,100] over states + transitions.
-  double percent() const;
-  /// Human-readable report listing the uncovered elements.
-  std::string to_string() const;
-};
+/// Coverage now lives in sim (every engine reports it through the common
+/// Engine interface); the alias keeps existing elab::FsmCoverage users
+/// compiling.
+using FsmCoverage = sim::FsmCoverage;
 
 class FsmExecutor : public sim::Component {
  public:

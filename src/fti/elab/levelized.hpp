@@ -1,0 +1,54 @@
+// Levelized compiled evaluation -- the classic alternative to event-driven
+// simulation for synchronous designs.  At elaboration time the
+// combinational units of a configuration are topologically sorted into
+// ranks; one clock cycle is then a single straight-line sweep over the
+// rank-ordered schedule with no event wheel, no wake lists and no delta
+// cycles.  Correct because every combinational input is either a
+// sequential output (stable during the sweep) or the output of a
+// lower-rank unit (already up to date).
+//
+// Combinational cycles are detected at schedule-build time instead of via
+// the kernel's delta-cycle limit, so a bad design fails before the first
+// cycle runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fti/elab/engines.hpp"
+#include "fti/ir/rtg.hpp"
+
+namespace fti::elab {
+
+/// Rank-ordered static schedule of a datapath's combinational units.
+struct LevelizedSchedule {
+  struct Step {
+    const ir::Unit* unit;
+    /// Longest combinational distance from a sequential/constant source;
+    /// steps are sorted by rank, declaration order within a rank.
+    std::size_t rank;
+  };
+  std::vector<Step> steps;
+  /// Number of distinct ranks (the combinational depth of the datapath).
+  std::size_t depth = 0;
+};
+
+/// Level-synchronous topological sort of the datapath's combinational
+/// units (binops with latency 0, unops, consts, muxes and memory-port
+/// read paths).  Throws SimError naming the units on a combinational
+/// cycle.
+LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath);
+
+class LevelizedEngine final : public PartitionedEngine {
+ public:
+  const std::string& name() const override;
+  bool reports_wire_data() const override { return true; }
+  sim::EnginePartition run_partition(const ir::Design& design,
+                                     const std::string& node,
+                                     mem::MemoryPool& pool,
+                                     const sim::EngineRunOptions& options,
+                                     std::size_t partition_index) override;
+};
+
+}  // namespace fti::elab

@@ -6,28 +6,45 @@
 
 namespace fti::elab {
 
-std::uint64_t RtgRunResult::total_cycles() const {
-  std::uint64_t total = 0;
-  for (const PartitionRun& run : partitions) {
-    total += run.cycles;
+PartitionRun run_one_partition(const ir::Configuration& config,
+                               const std::string& node,
+                               mem::MemoryPool& pool,
+                               const RtgRunOptions& options,
+                               bool attach_tracer) {
+  util::Stopwatch watch;
+  // Reconfiguration: the previous partition's netlist is gone; only the
+  // pool persists.  Elaboration cost is part of the configuration's wall
+  // time, as bitstream loading would be on the FPGA.
+  std::unique_ptr<ElaboratedConfig> live =
+      elaborate(config, pool, options.elab);
+  if (options.on_elaborated) {
+    options.on_elaborated(node, *live);
   }
-  return total;
-}
+  sim::Kernel kernel(live->netlist);
+  kernel.set_max_deltas(options.max_deltas);
+  if (attach_tracer && options.tracer != nullptr) {
+    kernel.set_tracer(options.tracer);
+  }
+  sim::Time max_time =
+      options.max_cycles_per_partition == 0
+          ? sim::kNoTimeLimit
+          : options.max_cycles_per_partition * options.elab.clock_period;
+  sim::Kernel::StopReason reason = kernel.run(max_time, live->done);
 
-std::uint64_t RtgRunResult::total_events() const {
-  std::uint64_t total = 0;
-  for (const PartitionRun& run : partitions) {
-    total += run.stats.events;
+  PartitionRun run;
+  run.node = node;
+  run.cycles = live->clock_gen->cycles();
+  run.stats = kernel.stats();
+  run.wall_seconds = watch.seconds();
+  run.reason = reason;
+  run.coverage = live->fsm->coverage();
+  FTI_LOG(kInfo, "rtg") << "partition '" << node << "': "
+                        << sim::to_string(reason) << " after " << run.cycles
+                        << " cycles, " << run.stats.events << " events";
+  if (options.on_partition_done) {
+    options.on_partition_done(node, *live, run);
   }
-  return total;
-}
-
-double RtgRunResult::total_wall_seconds() const {
-  double total = 0.0;
-  for (const PartitionRun& run : partitions) {
-    total += run.wall_seconds;
-  }
-  return total;
+  return run;
 }
 
 RtgRunResult run_design(const ir::Design& design, mem::MemoryPool& pool,
@@ -37,45 +54,13 @@ RtgRunResult run_design(const ir::Design& design, mem::MemoryPool& pool,
   result.completed = true;
   std::string node = design.rtg.initial;
   while (!node.empty()) {
-    const ir::Configuration& config = design.configuration(node);
-    util::Stopwatch watch;
-    // Reconfiguration: the previous partition's netlist is gone; only the
-    // pool persists.  Elaboration cost is part of the configuration's wall
-    // time, as bitstream loading would be on the FPGA.
-    std::unique_ptr<ElaboratedConfig> live =
-        elaborate(config, pool, options.elab);
-    if (options.on_elaborated) {
-      options.on_elaborated(node, *live);
-    }
-    sim::Kernel kernel(live->netlist);
-    bool trace_this = options.tracer != nullptr &&
-                      (options.trace_node.empty()
-                           ? result.partitions.empty()
-                           : options.trace_node == node);
-    if (trace_this) {
-      kernel.set_tracer(options.tracer);
-    }
-    sim::Time max_time =
-        options.max_cycles_per_partition == 0
-            ? sim::kNoTimeLimit
-            : options.max_cycles_per_partition * options.elab.clock_period;
-    sim::Kernel::StopReason reason = kernel.run(max_time, live->done);
-
-    PartitionRun run;
-    run.node = node;
-    run.cycles = live->clock_gen->cycles();
-    run.stats = kernel.stats();
-    run.wall_seconds = watch.seconds();
-    run.reason = reason;
-    run.coverage = live->fsm->coverage();
-    FTI_LOG(kInfo, "rtg") << "partition '" << node << "': "
-                          << sim::to_string(reason) << " after " << run.cycles
-                          << " cycles, " << run.stats.events << " events";
-    if (options.on_partition_done) {
-      options.on_partition_done(node, *live, run);
-    }
+    bool trace_this = options.trace_node.empty()
+                          ? result.partitions.empty()
+                          : options.trace_node == node;
+    PartitionRun run = run_one_partition(design.configuration(node), node,
+                                         pool, options, trace_this);
+    sim::Kernel::StopReason reason = run.reason;
     result.partitions.push_back(std::move(run));
-
     if (reason != sim::Kernel::StopReason::kDoneNet) {
       result.completed = false;
       return result;

@@ -5,6 +5,10 @@
 // raises done, then torn down; the shared MemoryPool carries data to the
 // next partition.  Per-partition statistics feed the Table I rows (FDCT2
 // reports one simulation-time entry per configuration).
+//
+// This is the hook-rich, event-kernel-specific driver; generic callers go
+// through the engine registry (elab/engines.hpp) instead.  The result
+// types are the engine-interface ones, so both paths report identically.
 #pragma once
 
 #include <functional>
@@ -14,35 +18,21 @@
 #include "fti/elab/elaborator.hpp"
 #include "fti/ir/rtg.hpp"
 #include "fti/mem/storage.hpp"
+#include "fti/sim/engine.hpp"
 #include "fti/sim/kernel.hpp"
 
 namespace fti::elab {
 
-struct PartitionRun {
-  std::string node;
-  std::uint64_t cycles = 0;  ///< clock cycles the partition executed
-  sim::KernelStats stats;
-  double wall_seconds = 0.0;
-  sim::Kernel::StopReason reason = sim::Kernel::StopReason::kIdle;
-  /// Control-unit coverage of this partition's run.
-  FsmCoverage coverage;
-};
-
-struct RtgRunResult {
-  std::vector<PartitionRun> partitions;
-  /// True when every partition finished by raising done.
-  bool completed = false;
-
-  std::uint64_t total_cycles() const;
-  std::uint64_t total_events() const;
-  double total_wall_seconds() const;
-};
+using PartitionRun = sim::EnginePartition;
+using RtgRunResult = sim::EngineResult;
 
 struct RtgRunOptions {
   ElabOptions elab;
   /// Per-partition cycle budget before giving up (0 = unlimited -- then a
   /// design that never raises done runs forever, so leave this set).
   std::uint64_t max_cycles_per_partition = 50'000'000;
+  /// Delta-cycle limit per timestep (combinational-loop guard).
+  std::uint32_t max_deltas = 65536;
   /// Called after each partition is elaborated and before it runs, so
   /// callers can attach probes and assertions.  NOTE: anything added to
   /// the netlist is destroyed when the partition is torn down -- read the
@@ -61,6 +51,16 @@ struct RtgRunOptions {
   sim::Tracer* tracer = nullptr;
   std::string trace_node;
 };
+
+/// Elaborates and runs ONE configuration to its stop condition over
+/// `pool` -- the shared body of run_design, the event engine and the
+/// cosim sequencer.  `attach_tracer` decides whether this partition gets
+/// options.tracer (the caller implements the one-partition-only rule).
+PartitionRun run_one_partition(const ir::Configuration& config,
+                               const std::string& node,
+                               mem::MemoryPool& pool,
+                               const RtgRunOptions& options,
+                               bool attach_tracer);
 
 /// Runs `design` to completion over `pool`.  Throws SimError for in-run
 /// failures (assertions, bad memory writes); a partition that exhausts its

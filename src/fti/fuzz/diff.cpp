@@ -4,10 +4,8 @@
 #include <type_traits>
 #include <utility>
 
-#include "fti/elab/rtg_exec.hpp"
-#include "fti/harness/baseline.hpp"
+#include "fti/elab/engines.hpp"
 #include "fti/ir/serde.hpp"
-#include "fti/sim/probe.hpp"
 #include "fti/xml/parser.hpp"
 #include "fti/xml/writer.hpp"
 
@@ -22,63 +20,24 @@ void harvest_memories(const mem::MemoryPool& pool, Observation& obs) {
   }
 }
 
-Observation run_kernel_path(const ir::Design& design,
-                            const DiffOptions& options, std::string engine) {
+/// One lane: a fresh pool, one engine, observables flattened to the
+/// "<node>/<wire>" keys the comparison uses.  Engine exceptions become
+/// `error` so a crashing lane is itself a reportable disagreement.
+Observation run_engine_path(const ir::Design& design,
+                            const DiffOptions& options, sim::Engine& engine,
+                            std::string label) {
   Observation obs;
-  obs.engine = std::move(engine);
-  obs.has_wire_data = true;
+  obs.engine = std::move(label);
+  obs.has_wire_data = engine.reports_wire_data();
   mem::MemoryPool pool;
   try {
-    std::vector<std::pair<std::string, sim::Probe*>> probes;
-    elab::RtgRunOptions ropts;
+    sim::EngineRunOptions ropts;
     ropts.max_cycles_per_partition = options.max_cycles_per_partition;
-    ropts.on_elaborated = [&](const std::string& node,
-                              elab::ElaboratedConfig& cfg) {
-      probes.clear();
-      for (const std::string& wire :
-           traced_wires(design.configuration(node).datapath)) {
-        sim::Net& net = cfg.netlist.net(wire);
-        sim::Probe& probe = cfg.netlist.add_component<sim::Probe>(
-            "fuzz_probe." + wire, net);
-        probes.emplace_back(wire, &probe);
-      }
-    };
-    ropts.on_partition_done = [&](const std::string& node,
-                                  elab::ElaboratedConfig& cfg,
-                                  const elab::PartitionRun& run) {
-      obs.cycles.push_back(run.cycles);
-      for (const auto& [wire, probe] : probes) {
-        std::string key = node + "/" + wire;
-        obs.finals.emplace(key, cfg.netlist.net(wire).u());
-        std::vector<std::uint64_t>& trace = obs.traces[key];
-        for (const sim::Probe::Sample& sample : probe->samples()) {
-          trace.push_back(sample.value.u());
-        }
-      }
-    };
-    elab::RtgRunResult result = elab::run_design(design, pool, ropts);
+    ropts.collect_wire_data = true;
+    sim::EngineResult result = engine.run(design, pool, ropts);
     obs.completed = result.completed;
     obs.total_cycles = result.total_cycles();
-  } catch (const std::exception& error) {
-    obs.error = error.what();
-  }
-  harvest_memories(pool, obs);
-  return obs;
-}
-
-Observation run_reference_path(const ir::Design& design,
-                               const DiffOptions& options) {
-  Observation obs;
-  obs.engine = "reference";
-  obs.has_wire_data = true;
-  mem::MemoryPool pool;
-  try {
-    ReferenceOptions ropts = options.reference;
-    ropts.max_cycles_per_partition = options.max_cycles_per_partition;
-    ReferenceResult result = run_reference(design, pool, ropts);
-    obs.completed = result.completed;
-    obs.total_cycles = result.total_cycles();
-    for (ReferencePartition& partition : result.partitions) {
+    for (sim::EnginePartition& partition : result.partitions) {
       obs.cycles.push_back(partition.cycles);
       for (auto& [wire, value] : partition.finals) {
         obs.finals.emplace(partition.node + "/" + wire, value);
@@ -94,23 +53,21 @@ Observation run_reference_path(const ir::Design& design,
   return obs;
 }
 
-Observation run_naive_path(const ir::Design& design,
-                           const DiffOptions& options) {
-  Observation obs;
-  obs.engine = "naive";
-  mem::MemoryPool pool;
-  try {
-    harness::NaiveRunOptions nopts;
-    nopts.max_cycles_per_partition = options.max_cycles_per_partition;
-    harness::NaiveRunStats stats = harness::run_design_naive(design, pool,
-                                                             nopts);
-    obs.completed = stats.completed;
-    obs.total_cycles = stats.cycles;
-  } catch (const std::exception& error) {
-    obs.error = error.what();
+Observation run_lane(const ir::Design& design, const DiffOptions& options,
+                     const std::string& name) {
+  if (name == "reference") {
+    ReferenceEngine engine(options.reference);
+    return run_engine_path(design, options, engine, name);
   }
-  harvest_memories(pool, obs);
-  return obs;
+  try {
+    std::unique_ptr<sim::Engine> engine = elab::make_engine(name);
+    return run_engine_path(design, options, *engine, name);
+  } catch (const std::exception& error) {
+    Observation obs;
+    obs.engine = name;
+    obs.error = error.what();
+    return obs;
+  }
 }
 
 Observation run_roundtrip_path(const ir::Design& design,
@@ -118,7 +75,8 @@ Observation run_roundtrip_path(const ir::Design& design,
   try {
     std::string text = xml::to_string(*ir::to_xml(design));
     ir::Design restored = ir::design_from_xml(*xml::parse(text));
-    return run_kernel_path(restored, options, "roundtrip");
+    elab::EventEngine engine;
+    return run_engine_path(restored, options, engine, "roundtrip");
   } catch (const std::exception& error) {
     Observation obs;
     obs.engine = "roundtrip";
@@ -226,10 +184,16 @@ void compare_observations(const Observation& a, const Observation& b,
 }  // namespace
 
 DiffResult diff_design(const ir::Design& design, const DiffOptions& options) {
+  register_reference_engine();
   DiffResult result;
-  result.observations.push_back(run_kernel_path(design, options, "kernel"));
-  result.observations.push_back(run_reference_path(design, options));
-  result.observations.push_back(run_naive_path(design, options));
+  {
+    elab::EventEngine engine;
+    result.observations.push_back(
+        run_engine_path(design, options, engine, "kernel"));
+  }
+  for (const std::string& name : options.engines) {
+    result.observations.push_back(run_lane(design, options, name));
+  }
   if (options.check_roundtrip) {
     result.observations.push_back(run_roundtrip_path(design, options));
   }

@@ -1,15 +1,19 @@
 // N-way differential driver -- runs one design through every execution
-// path the infrastructure offers and demands bit-exact agreement.
+// engine the infrastructure offers and demands bit-exact agreement.
 //
-// Paths compared:
-//  1. the event-driven sim::Kernel elaboration (probes on every clocked
-//     wire, harvested before each partition is torn down),
-//  2. the fuzz reference interpreter (a structurally independent
-//     cycle-level engine, see reference.hpp),
-//  3. the harness's naive full-sweep baseline simulator,
-//  4. the event kernel again on the design after an XML serialisation
-//     round trip (to_xml -> to_string -> parse -> design_from_xml),
-//     which drags the serde layer into the differential net.
+// Lanes compared (all behind the common sim::Engine interface):
+//  1. "kernel"    -- the event-driven sim::Kernel elaboration (probes on
+//                    every clocked wire, harvested before each partition
+//                    is torn down),
+//  2. "reference" -- the fuzz reference interpreter (a structurally
+//                    independent cycle-level engine, see reference.hpp),
+//  3. "naive"     -- the harness's full-sweep baseline simulator,
+//  4. "levelized" -- the statically scheduled compiled engine
+//                    (elab/levelized.hpp),
+//  5. "roundtrip" -- the event kernel again on the design after an XML
+//                    serialisation round trip (to_xml -> to_string ->
+//                    parse -> design_from_xml), which drags the serde
+//                    layer into the differential net.
 //
 // Observables: completion verdict, per-partition cycle counts, final
 // register/control values, per-wire value-change traces and final memory
@@ -33,12 +37,18 @@ struct DiffOptions {
   /// Forwarded to the reference interpreter; tests use `eval_binop` to
   /// inject operator bugs the harness must catch.
   ReferenceOptions reference;
-  /// Skip path 4 (the serde round trip) -- the shrinker disables it while
-  /// minimising to keep iterations cheap, then re-checks once at the end.
+  /// Skip the "roundtrip" lane (the serde round trip) -- the shrinker
+  /// disables it while minimising to keep iterations cheap, then
+  /// re-checks once at the end.
   bool check_roundtrip = true;
+  /// Engine lanes compared against the kernel, by registry name.  The
+  /// "reference" lane is special-cased to honour `reference` above (so
+  /// injected operator bugs reach it); every other name goes through
+  /// elab::make_engine.
+  std::vector<std::string> engines{"reference", "naive", "levelized"};
 };
 
-/// What one execution path observed.  Engines that cannot report a given
+/// What one execution lane observed.  Engines that cannot report a given
 /// observable leave it empty and the comparison skips it (the naive
 /// baseline reports no per-wire data, only cycles and memories).
 struct Observation {
@@ -67,8 +77,8 @@ struct DiffResult {
   std::vector<Observation> observations;
 };
 
-/// Runs all execution paths on `design` and cross-checks every pair of
-/// observations against the first (the event kernel).
+/// Runs all execution lanes on `design` and cross-checks every
+/// observation against the first (the event kernel).
 DiffResult diff_design(const ir::Design& design,
                        const DiffOptions& options = {});
 

@@ -1,8 +1,10 @@
 #include "fti/fuzz/reference.hpp"
 
 #include <deque>
+#include <mutex>
 
 #include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
 
 namespace fti::fuzz {
 namespace {
@@ -313,16 +315,7 @@ std::uint64_t ReferenceResult::total_cycles() const {
 }
 
 std::vector<std::string> traced_wires(const ir::Datapath& datapath) {
-  std::vector<std::string> wires;
-  for (const ir::Unit& unit : datapath.units) {
-    if (unit.kind == ir::UnitKind::kRegister) {
-      wires.push_back(unit.port("q"));
-    }
-  }
-  for (const std::string& control : datapath.control_wires) {
-    wires.push_back(control);
-  }
-  return wires;
+  return elab::traced_wires(datapath);
 }
 
 ReferenceResult run_reference(const ir::Design& design, mem::MemoryPool& pool,
@@ -343,6 +336,40 @@ ReferenceResult run_reference(const ir::Design& design, mem::MemoryPool& pool,
     node = design.rtg.successor(node);
   }
   return result;
+}
+
+const std::string& ReferenceEngine::name() const {
+  static const std::string kName = "reference";
+  return kName;
+}
+
+sim::EnginePartition ReferenceEngine::run_partition(
+    const ir::Design& design, const std::string& node, mem::MemoryPool& pool,
+    const sim::EngineRunOptions& options, std::size_t partition_index) {
+  (void)partition_index;
+  ReferenceOptions ropts = options_;
+  ropts.max_cycles_per_partition = options.max_cycles_per_partition;
+  ropts.max_sweeps = options.max_sweeps;
+  util::Stopwatch watch;
+  ReferenceSim simulator(design.configuration(node), pool, ropts);
+  ReferencePartition partition = simulator.run(node);
+  sim::EnginePartition run;
+  run.node = partition.node;
+  run.cycles = partition.cycles;
+  run.reason = partition.completed ? sim::Kernel::StopReason::kDoneNet
+                                   : sim::Kernel::StopReason::kMaxTime;
+  run.finals = std::move(partition.finals);
+  run.traces = std::move(partition.traces);
+  run.wall_seconds = watch.seconds();
+  return run;
+}
+
+void register_reference_engine() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sim::register_engine(
+        "reference", [] { return std::make_unique<ReferenceEngine>(); });
+  });
 }
 
 }  // namespace fti::fuzz

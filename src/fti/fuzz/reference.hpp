@@ -21,9 +21,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <string>
 #include <vector>
 
+#include "fti/elab/engines.hpp"
 #include "fti/ir/rtg.hpp"
 #include "fti/mem/storage.hpp"
 #include "fti/ops/alu.hpp"
@@ -68,7 +70,35 @@ ReferenceResult run_reference(const ir::Design& design, mem::MemoryPool& pool,
 /// The wires whose traces/finals the reference engine reports for one
 /// configuration: register q wires first, then control wires, in
 /// datapath declaration order.  The differential driver probes exactly
-/// this set on the event-kernel side.
+/// this set on the event-kernel side.  (Forwards to elab::traced_wires --
+/// every engine shares the definition.)
 std::vector<std::string> traced_wires(const ir::Datapath& datapath);
+
+/// The reference interpreter behind the common Engine interface, so the
+/// differential driver treats it as just another lane.  Constructed
+/// directly when a test injects operator bugs through
+/// ReferenceOptions::eval_binop; the registry entry uses defaults.
+/// EngineRunOptions::max_cycles_per_partition / max_sweeps override the
+/// corresponding ReferenceOptions fields at run time.
+class ReferenceEngine final : public elab::PartitionedEngine {
+ public:
+  ReferenceEngine() = default;
+  explicit ReferenceEngine(ReferenceOptions options)
+      : options_(std::move(options)) {}
+  const std::string& name() const override;
+  bool reports_wire_data() const override { return true; }
+  sim::EnginePartition run_partition(const ir::Design& design,
+                                     const std::string& node,
+                                     mem::MemoryPool& pool,
+                                     const sim::EngineRunOptions& options,
+                                     std::size_t partition_index) override;
+
+ private:
+  ReferenceOptions options_;
+};
+
+/// Registers "reference" (default options) with the sim registry, next to
+/// the elab builtins.  Idempotent and thread-safe.
+void register_reference_engine();
 
 }  // namespace fti::fuzz

@@ -8,6 +8,10 @@
 // settles, regardless of activity.  It produces bit-identical results to
 // the event kernel (same operator semantics), so the benchmark isolates
 // the scheduling strategy.
+//
+// This header is a compatibility shim: the implementation is
+// elab::NaiveEngine (engine registry name "naive"), and NaiveRunStats is a
+// flattened view of its sim::EngineResult.
 #pragma once
 
 #include <cstdint>

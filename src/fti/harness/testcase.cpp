@@ -153,9 +153,10 @@ VerifyOutcome run_test_case(const TestCase& test,
   if (!test.embed_inputs) {
     prime_pool(program, sema, test, sim_pool, /*load_values=*/true);
   }
-  elab::RtgRunOptions run_options;
+  sim::EngineRunOptions run_options;
   run_options.max_cycles_per_partition = test.max_cycles;
-  outcome.run = elab::run_design(design, sim_pool, run_options);
+  std::unique_ptr<sim::Engine> engine = elab::make_engine(options.engine);
+  outcome.run = engine->run(design, sim_pool, run_options);
   outcome.sim_seconds = watch.seconds();
   if (!outcome.run.completed) {
     outcome.passed = false;

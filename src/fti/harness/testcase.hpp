@@ -21,7 +21,7 @@
 
 #include "fti/compiler/hls.hpp"
 #include "fti/compiler/interp.hpp"
-#include "fti/elab/rtg_exec.hpp"
+#include "fti/elab/engines.hpp"
 
 namespace fti::harness {
 
@@ -48,6 +48,10 @@ struct VerifyOptions {
   std::filesystem::path emit_dir;
   /// Skip generating HDL/dot artefact text (saves time in tight loops).
   bool generate_artifacts = true;
+  /// Execution engine for the simulated run (registry name: "event",
+  /// "naive", "levelized", ...).  Every engine must produce the same
+  /// verdict; `fti verify --engine=` exposes this for cross-checking.
+  std::string engine = "event";
 };
 
 /// Line counts of every artefact the flow produced (Table I's "lines of

@@ -1,0 +1,94 @@
+#include "fti/sim/engine.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+std::uint64_t EngineResult::total_cycles() const {
+  std::uint64_t total = 0;
+  for (const EnginePartition& run : partitions) {
+    total += run.cycles;
+  }
+  return total;
+}
+
+std::uint64_t EngineResult::total_events() const {
+  std::uint64_t total = 0;
+  for (const EnginePartition& run : partitions) {
+    total += run.stats.events;
+  }
+  return total;
+}
+
+double EngineResult::total_wall_seconds() const {
+  double total = 0.0;
+  for (const EnginePartition& run : partitions) {
+    total += run.wall_seconds;
+  }
+  return total;
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, EngineFactory> factories;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+void register_engine(const std::string& name, EngineFactory factory) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.factories[name] = std::move(factory);
+}
+
+bool has_engine(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.factories.find(name) != reg.factories.end();
+}
+
+std::vector<std::string> engine_names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.factories.size());
+  for (const auto& [name, factory] : reg.factories) {
+    (void)factory;
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::unique_ptr<Engine> make_engine(const std::string& name) {
+  EngineFactory factory;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.factories.find(name);
+    if (it != reg.factories.end()) {
+      factory = it->second;
+    }
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& candidate : engine_names()) {
+      known += known.empty() ? "" : ", ";
+      known += candidate;
+    }
+    throw util::SimError("unknown engine '" + name + "' (registered: " +
+                         (known.empty() ? "none" : known) + ")");
+  }
+  return factory();
+}
+
+}  // namespace fti::sim

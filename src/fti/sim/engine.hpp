@@ -1,0 +1,139 @@
+// Pluggable execution engines.
+//
+// Every way this infrastructure can execute a design -- the event-driven
+// kernel, the naive full-evaluation baseline, the levelized compiled
+// sweep, the fuzzer's reference interpreter -- implements one interface:
+// configure the design's partitions over a memory pool, run each to its
+// stop condition, and report the same observables (cycles, KernelStats,
+// stop reason, FSM coverage, optional per-wire data).  Callers select an
+// engine by name through a string-keyed factory registry, which is what
+// the `--engine=` flags of `fti run`/`verify`/`fuzz` resolve against.
+//
+// The interface lives in sim so it can be implemented from any layer;
+// it refers to the IR and memory pool only through forward declarations
+// (fti_sim does not link fti_ir or fti_mem).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fti/sim/coverage.hpp"
+#include "fti/sim/kernel.hpp"
+
+namespace fti::ir {
+struct Design;
+}  // namespace fti::ir
+
+namespace fti::mem {
+class MemoryPool;
+}  // namespace fti::mem
+
+namespace fti::sim {
+
+class Netlist;
+
+struct EngineRunOptions {
+  /// Simulation-time units per clock cycle (event engine).
+  Time clock_period = 10;
+  /// Per-partition cycle budget before giving up (0 = unlimited -- then a
+  /// design that never raises done runs forever, so leave this set).
+  std::uint64_t max_cycles_per_partition = 50'000'000;
+  /// Settle-sweep limit per cycle for full-evaluation engines.
+  std::uint32_t max_sweeps = 1000;
+  /// Delta-cycle limit per timestep for the event engine.
+  std::uint32_t max_deltas = 65536;
+  /// Record finals/traces of the clocked wires in each EnginePartition.
+  /// Only engines with reports_wire_data() honour this.
+  bool collect_wire_data = false;
+  /// Tracer (e.g. a VcdWriter) installed on ONE partition: the node named
+  /// by `trace_node`, or the first partition when empty.  Only engines
+  /// with supports_tracing() honour this.
+  Tracer* tracer = nullptr;
+  std::string trace_node;
+  /// Netlist-building engines call this after each partition's netlist is
+  /// elaborated and before it runs (probe/watch attachment).  The netlist
+  /// is destroyed when the partition is torn down.
+  std::function<void(const std::string& node, Netlist& netlist)> on_netlist;
+};
+
+/// What one partition's run observed -- a superset of what each backend
+/// can actually measure (engines leave fields they cannot fill at their
+/// defaults; e.g. only the event kernel meaningfully counts deltas).
+struct EnginePartition {
+  std::string node;
+  std::uint64_t cycles = 0;  ///< clock cycles the partition executed
+  KernelStats stats;
+  double wall_seconds = 0.0;
+  Kernel::StopReason reason = Kernel::StopReason::kIdle;
+  /// Control-unit coverage of this partition's run.
+  FsmCoverage coverage;
+  /// Final value per clocked wire and the value-change stream per clocked
+  /// wire, filled when EngineRunOptions::collect_wire_data is set and the
+  /// engine reports wire data.  Keys are bare wire names.
+  std::map<std::string, std::uint64_t> finals;
+  std::map<std::string, std::vector<std::uint64_t>> traces;
+};
+
+struct EngineResult {
+  std::vector<EnginePartition> partitions;
+  /// True when every partition finished by raising done.
+  bool completed = false;
+  /// True when the engine filled finals/traces.
+  bool has_wire_data = false;
+
+  std::uint64_t total_cycles() const;
+  std::uint64_t total_events() const;
+  double total_wall_seconds() const;
+};
+
+/// One execution backend.  Engines are cheap to construct and carry no
+/// per-run state: run() may be called repeatedly (each call starts from
+/// the pool's current contents, like reprogramming the fabric).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Whether EngineRunOptions::tracer is honoured (net-level tracing only
+  /// exists where there are nets).
+  virtual bool supports_tracing() const { return false; }
+  /// Whether collect_wire_data fills finals/traces.
+  virtual bool reports_wire_data() const { return false; }
+
+  /// Runs `design` to completion over `pool` (all temporal partitions,
+  /// stopping early when one exhausts its cycle budget -- then
+  /// completed == false).  Throws SimError for in-run failures
+  /// (combinational loops, bad memory writes).
+  virtual EngineResult run(const ir::Design& design, mem::MemoryPool& pool,
+                           const EngineRunOptions& options = {}) = 0;
+
+  /// Runs a single named configuration (the CPU-as-sequencer case in
+  /// cosim).  `partition_index` selects the tracer partition.
+  virtual EnginePartition run_partition(const ir::Design& design,
+                                        const std::string& node,
+                                        mem::MemoryPool& pool,
+                                        const EngineRunOptions& options,
+                                        std::size_t partition_index) = 0;
+};
+
+using EngineFactory = std::function<std::unique_ptr<Engine>()>;
+
+/// Registers (or replaces) a factory under `name`.  Thread-safe.
+void register_engine(const std::string& name, EngineFactory factory);
+
+/// True when `name` is registered.
+bool has_engine(const std::string& name);
+
+/// Registered names, sorted.
+std::vector<std::string> engine_names();
+
+/// Creates the engine registered under `name`; throws SimError listing
+/// the registered names when it is unknown.  NOTE: the built-in engines
+/// live in higher layers -- call elab::make_engine (which registers them
+/// first) unless you know registration already happened.
+std::unique_ptr<Engine> make_engine(const std::string& name);
+
+}  // namespace fti::sim

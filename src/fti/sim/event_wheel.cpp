@@ -1,0 +1,68 @@
+#include "fti/sim/event_wheel.hpp"
+
+#include <limits>
+
+#include "fti/util/error.hpp"
+
+namespace fti::sim {
+
+EventWheel::EventWheel(std::size_t capacity) {
+  std::size_t rounded = 1;
+  while (rounded < capacity) {
+    rounded <<= 1;
+  }
+  buckets_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+void EventWheel::push(Event event) {
+  FTI_ASSERT(event.time >= cursor_, "event scheduled into the past");
+  if (event.time - cursor_ < buckets_.size()) {
+    buckets_[event.time & mask_].push_back(std::move(event));
+    ++in_buckets_;
+  } else {
+    overflow_[event.time].push_back(std::move(event));
+  }
+  ++size_;
+}
+
+std::uint64_t EventWheel::next_time() const {
+  FTI_ASSERT(size_ > 0, "next_time() on an empty wheel");
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  if (in_buckets_ > 0) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (!buckets_[(cursor_ + i) & mask_].empty()) {
+        best = cursor_ + i;
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty() && overflow_.begin()->first < best) {
+    best = overflow_.begin()->first;
+  }
+  return best;
+}
+
+void EventWheel::pop_time(std::uint64_t time, std::vector<Event>& out) {
+  FTI_ASSERT(time >= cursor_, "pop_time() going backwards");
+  cursor_ = time;
+  // Overflow first: every overflow push at `time` happened while the time
+  // was still beyond the horizon, i.e. before any bucket push at `time`.
+  auto it = overflow_.find(time);
+  if (it != overflow_.end()) {
+    for (Event& event : it->second) {
+      out.push_back(std::move(event));
+    }
+    size_ -= it->second.size();
+    overflow_.erase(it);
+  }
+  std::vector<Event>& bucket = buckets_[time & mask_];
+  for (Event& event : bucket) {
+    out.push_back(std::move(event));
+  }
+  size_ -= bucket.size();
+  in_buckets_ -= bucket.size();
+  bucket.clear();
+}
+
+}  // namespace fti::sim

@@ -1,0 +1,68 @@
+// Bucketed calendar queue for the event kernel's timed events.
+//
+// Digital-logic event streams are dense and near-monotonic: almost every
+// event lands within a clock period of the current time (clock edges at
+// +period/2, operator delays of a few units).  A ring of one-time-unit
+// buckets turns push and pop-batch into O(1) array appends for that common
+// case, replacing the std::priority_queue's per-event heap churn; only
+// events beyond the ring's horizon fall back to an ordered overflow map.
+//
+// Determinism is preserved structurally: each bucket holds exactly one
+// simulation time (the ring spans `capacity` consecutive times), pushes
+// append in call order, and the kernel's monotonically increasing `seq`
+// means append order IS (time, seq) order.  Events at one time can sit in
+// both the overflow map and a bucket -- but every overflow push at time T
+// strictly precedes every bucket push at T (the horizon only moves
+// forward), so draining overflow-then-bucket replays exact seq order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fti/sim/bits.hpp"
+
+namespace fti::sim {
+
+class Net;
+
+/// One scheduled net update.  `seq` is the kernel's global scheduling
+/// counter; within a batch, commits apply in seq order (deterministic
+/// last-writer-wins).
+struct Event {
+  std::uint64_t time;
+  std::uint64_t seq;
+  Net* net;
+  Bits value;
+};
+
+class EventWheel {
+ public:
+  /// `capacity` (a power of two) is the horizon in time units; events
+  /// further out go to the overflow map.
+  explicit EventWheel(std::size_t capacity = 1024);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// `event.time` must be >= the last popped time (the kernel never
+  /// schedules into the past).
+  void push(Event event);
+
+  /// Earliest pending time.  Requires !empty().
+  std::uint64_t next_time() const;
+
+  /// Appends every event at exactly `time` to `out` in seq order and
+  /// advances the wheel past it.  `time` must be next_time().
+  void pop_time(std::uint64_t time, std::vector<Event>& out);
+
+ private:
+  std::vector<std::vector<Event>> buckets_;
+  std::map<std::uint64_t, std::vector<Event>> overflow_;
+  std::uint64_t cursor_ = 0;  ///< no pending event is earlier than this
+  std::size_t size_ = 0;
+  std::size_t in_buckets_ = 0;
+  std::size_t mask_;
+};
+
+}  // namespace fti::sim

@@ -9,12 +9,15 @@ void Kernel::schedule(Net& net, const Bits& value, Time delay) {
   if (delay == 0) {
     next_delta_.push_back(std::move(event));
   } else {
-    queue_.push(std::move(event));
+    wheel_.push(std::move(event));
   }
 }
 
 void Kernel::preset(Net& net, const Bits& value) {
-  FTI_ASSERT(!initialized_, "preset() after the run started");
+  if (initialized_) {
+    throw util::SimError("preset() of net '" + net.name() +
+                         "' after the run started -- use schedule()");
+  }
   net.preset(value);
 }
 
@@ -56,10 +59,20 @@ void Kernel::apply_batch(const std::vector<Event>& batch) {
 }
 
 Kernel::StopReason Kernel::run(Time max_time, const Net* done_net) {
+  // Clear any stop left over from a previous run() BEFORE initialization,
+  // so a request_stop() issued from a component's initialize() is honoured
+  // instead of silently discarded.
+  stop_requested_ = false;
   if (!initialized_) {
     initialize_components();
+    if (stop_requested_) {
+      stats_.end_time = now_;
+      if (tracer_ != nullptr) {
+        tracer_->on_finish(now_);
+      }
+      return StopReason::kStopped;
+    }
   }
-  stop_requested_ = false;
   std::uint32_t deltas_this_step = 0;
   std::vector<Event> batch;
   for (;;) {
@@ -73,14 +86,14 @@ Kernel::StopReason Kernel::run(Time max_time, const Net* done_net) {
             " -- combinational loop in the design?");
       }
     } else {
-      if (queue_.empty()) {
+      if (wheel_.empty()) {
         stats_.end_time = now_;
         if (tracer_ != nullptr) {
           tracer_->on_finish(now_);
         }
         return StopReason::kIdle;
       }
-      Time next_time = queue_.top().time;
+      Time next_time = wheel_.next_time();
       if (next_time > max_time) {
         now_ = max_time;
         stats_.end_time = now_;
@@ -96,10 +109,7 @@ Kernel::StopReason Kernel::run(Time max_time, const Net* done_net) {
       }
       // Events pop in (time, seq) order, so commits inside the batch apply
       // in scheduling order -- deterministic last-writer-wins.
-      while (!queue_.empty() && queue_.top().time == next_time) {
-        batch.push_back(queue_.top());
-        queue_.pop();
-      }
+      wheel_.pop_time(next_time, batch);
       ++deltas_this_step;
     }
 

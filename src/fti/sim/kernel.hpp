@@ -10,15 +10,18 @@
 //    delta; when no delta remains, time advances to the earliest event.
 //  * A per-timestep delta limit converts combinational loops into a
 //    SimError instead of a hang -- a test infrastructure must fail loudly.
+//  * Timed events live in a bucketed calendar queue (see event_wheel.hpp)
+//    rather than a binary heap: pushes and batch pops are O(1) for the
+//    dense near-future events logic simulation produces.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "fti/sim/bits.hpp"
+#include "fti/sim/event_wheel.hpp"
 #include "fti/sim/net.hpp"
 #include "fti/sim/netlist.hpp"
 
@@ -64,7 +67,8 @@ class Kernel {
   void schedule(Net& net, const Bits& value, Time delay);
 
   /// Sets a net's value before the run starts (initial memory-mapped
-  /// registers, reset lines).  Must not be called after run().
+  /// registers, reset lines).  Throws SimError when called after run()
+  /// has started -- a silent preset mid-run would bypass the event order.
   void preset(Net& net, const Bits& value);
 
   Time now() const { return now_; }
@@ -96,24 +100,12 @@ class Kernel {
   void set_max_deltas(std::uint32_t max_deltas) { max_deltas_ = max_deltas; }
 
  private:
-  struct Event {
-    Time time;
-    std::uint64_t seq;
-    Net* net;
-    Bits value;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
-
   void initialize_components();
   /// Commits one batch of updates, returns the woken components.
   void apply_batch(const std::vector<Event>& batch);
 
   Netlist& netlist_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventWheel wheel_;
   std::vector<Event> next_delta_;
   std::vector<Component*> wake_list_;
   std::vector<const Net*> changed_nets_;

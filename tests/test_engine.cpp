@@ -1,0 +1,334 @@
+// The pluggable engine layer: registry behaviour, the levelized static
+// scheduler, and the parity edges every backend must agree on (done-at-
+// budget tie-breaking, loud combinational-loop failures, repeatable
+// run()).  The parity suite is parameterized over every registered
+// engine plus the fuzzer's reference interpreter, so a newly registered
+// backend is covered without editing this file.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/elab/engines.hpp"
+#include "fti/elab/levelized.hpp"
+#include "fti/fuzz/reference.hpp"
+#include "fti/ir/rtg.hpp"
+#include "fti/mem/storage.hpp"
+#include "fti/util/error.hpp"
+#include "test_designs.hpp"
+
+namespace fti {
+namespace {
+
+/// Every engine the registry knows about, with the fuzz layer's
+/// "reference" interpreter registered first so it participates too.
+std::vector<std::string> all_engine_names() {
+  fuzz::register_reference_engine();
+  return elab::engine_names();
+}
+
+ir::Design accumulator_design(std::uint64_t target) {
+  return ir::make_single_design("acc_design",
+                                fti::testing::make_accumulator(target));
+}
+
+/// A ring of three inverters -- a combinational cycle no engine can
+/// settle (the odd ring oscillates under ANY sweep order, unlike a
+/// 2-inverter latch which in-order sweeps converge to a fixpoint).  The
+/// FSM never raises done, so the loop is what stops the run.
+ir::Design inverter_loop_design() {
+  ir::Datapath dp;
+  dp.name = "looped";
+  dp.wires = {{"a", 1}, {"b", 1}, {"c", 1}, {"done", 1}};
+  dp.control_wires = {"done"};
+
+  auto inverter = [&dp](const char* name, const char* in, const char* out) {
+    ir::Unit unit;
+    unit.name = name;
+    unit.kind = ir::UnitKind::kUnOp;
+    unit.unop = ops::UnOp::kNot;
+    unit.width = 1;
+    unit.ports = {{"a", in}, {"out", out}};
+    dp.units.push_back(unit);
+  };
+  inverter("inv_ab", "a", "b");
+  inverter("inv_bc", "b", "c");
+  inverter("inv_ca", "c", "a");
+
+  ir::Fsm fsm;
+  fsm.name = "loop_fsm";
+  fsm.initial = "run";
+  fsm.done_wire = "done";
+  ir::State run;
+  run.name = "run";
+  fsm.states.push_back(run);
+
+  return ir::make_single_design("looped", {std::move(dp), std::move(fsm)});
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(EngineRegistry, BuiltinsAreRegistered) {
+  std::vector<std::string> names = all_engine_names();
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_TRUE(set.count("event"));
+  EXPECT_TRUE(set.count("naive"));
+  EXPECT_TRUE(set.count("levelized"));
+  EXPECT_TRUE(set.count("reference"));
+}
+
+TEST(EngineRegistry, UnknownNameThrowsListingRegistered) {
+  try {
+    elab::make_engine("frobnicator");
+    FAIL() << "make_engine accepted an unknown name";
+  } catch (const util::SimError& error) {
+    std::string message = error.what();
+    EXPECT_NE(message.find("unknown engine 'frobnicator'"),
+              std::string::npos)
+        << message;
+    // The message must list what IS registered, or the flag is a guessing
+    // game.
+    EXPECT_NE(message.find("event"), std::string::npos) << message;
+    EXPECT_NE(message.find("levelized"), std::string::npos) << message;
+  }
+}
+
+TEST(EngineRegistry, FactoryReturnsFreshInstances) {
+  std::unique_ptr<sim::Engine> first = elab::make_engine("event");
+  std::unique_ptr<sim::Engine> second = elab::make_engine("event");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(first->name(), "event");
+}
+
+TEST(EngineRegistry, CustomEngineCanBeRegistered) {
+  class StubEngine final : public sim::Engine {
+   public:
+    const std::string& name() const override {
+      static const std::string kName = "stub";
+      return kName;
+    }
+    sim::EngineResult run(const ir::Design&, mem::MemoryPool&,
+                          const sim::EngineRunOptions&) override {
+      sim::EngineResult result;
+      result.completed = true;
+      return result;
+    }
+    sim::EnginePartition run_partition(const ir::Design&, const std::string&,
+                                       mem::MemoryPool&,
+                                       const sim::EngineRunOptions&,
+                                       std::size_t) override {
+      return {};
+    }
+  };
+  sim::register_engine("test_stub",
+                       [] { return std::make_unique<StubEngine>(); });
+  EXPECT_TRUE(sim::has_engine("test_stub"));
+  std::unique_ptr<sim::Engine> engine = elab::make_engine("test_stub");
+  ASSERT_NE(engine, nullptr);
+  mem::MemoryPool pool;
+  ir::Design design = accumulator_design(3);
+  EXPECT_TRUE(engine->run(design, pool, {}).completed);
+}
+
+// ---------------------------------------------------------------------------
+// Levelized static schedule.
+
+TEST(LevelizedSchedule, RanksRespectDependencies) {
+  ir::Configuration config = fti::testing::make_accumulator(10);
+  elab::LevelizedSchedule schedule =
+      elab::build_levelized_schedule(config.datapath);
+  // The two constants feed the adder and the comparator; the register is
+  // sequential and does not appear in the combinational schedule.
+  ASSERT_EQ(schedule.steps.size(), 4u);
+  EXPECT_EQ(schedule.depth, 2u);
+  std::map<std::string, std::size_t> rank;
+  for (const elab::LevelizedSchedule::Step& step : schedule.steps) {
+    rank[step.unit->name] = step.rank;
+  }
+  EXPECT_EQ(rank.at("k1"), 0u);
+  EXPECT_EQ(rank.at("kt"), 0u);
+  EXPECT_EQ(rank.at("add0"), 1u);
+  EXPECT_EQ(rank.at("cmp0"), 1u);
+  // Steps are emitted rank-major, so a straight-line sweep is in
+  // dependency order.
+  for (std::size_t i = 1; i < schedule.steps.size(); ++i) {
+    EXPECT_LE(schedule.steps[i - 1].rank, schedule.steps[i].rank);
+  }
+}
+
+TEST(LevelizedSchedule, DetectsCombinationalCycleAtBuildTime) {
+  ir::Design design = inverter_loop_design();
+  try {
+    elab::build_levelized_schedule(design.configuration("looped").datapath);
+    FAIL() << "cycle not detected";
+  } catch (const util::SimError& error) {
+    std::string message = error.what();
+    EXPECT_NE(message.find("combinational cycle"), std::string::npos)
+        << message;
+    // Names the units stuck on the cycle, for debuggability.
+    EXPECT_NE(message.find("inv_ab"), std::string::npos) << message;
+    EXPECT_NE(message.find("inv_bc"), std::string::npos) << message;
+    EXPECT_NE(message.find("inv_ca"), std::string::npos) << message;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parity edges, against every registered engine.
+
+class EngineParity : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<sim::Engine> engine() const {
+    return elab::make_engine(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineParity,
+                         ::testing::ValuesIn(all_engine_names()));
+
+TEST_P(EngineParity, AccumulatorRunMatchesEventEngine) {
+  ir::Design design = accumulator_design(25);
+
+  mem::MemoryPool event_pool;
+  sim::EngineRunOptions options;
+  options.collect_wire_data = true;
+  sim::EngineResult expected =
+      elab::EventEngine().run(design, event_pool, options);
+  ASSERT_TRUE(expected.completed);
+
+  mem::MemoryPool pool;
+  std::unique_ptr<sim::Engine> backend = engine();
+  sim::EngineResult result = backend->run(design, pool, options);
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.partitions.size(), 1u);
+  EXPECT_EQ(result.partitions[0].cycles, expected.partitions[0].cycles);
+  EXPECT_EQ(result.partitions[0].reason, sim::Kernel::StopReason::kDoneNet);
+  if (backend->reports_wire_data()) {
+    ASSERT_TRUE(result.has_wire_data);
+    // Moore timing: the edge leaving the running state still loads the
+    // register, so the final value is target + 1.
+    EXPECT_EQ(result.partitions[0].finals.at("acc_q"), 26u);
+    EXPECT_EQ(result.partitions[0].finals.at("done"), 1u);
+    EXPECT_EQ(result.partitions[0].finals, expected.partitions[0].finals);
+    EXPECT_EQ(result.partitions[0].traces, expected.partitions[0].traces);
+  }
+}
+
+TEST_P(EngineParity, DoneAtExactBudgetIsDoneNotMaxTime) {
+  ir::Design design = accumulator_design(25);
+  mem::MemoryPool probe_pool;
+  sim::EngineResult probe = engine()->run(design, probe_pool, {});
+  ASSERT_TRUE(probe.completed);
+  std::uint64_t cycles = probe.partitions[0].cycles;
+  ASSERT_GT(cycles, 1u);
+
+  // Budget exactly equal to the natural run length: done wins the tie.
+  sim::EngineRunOptions exact;
+  exact.max_cycles_per_partition = cycles;
+  mem::MemoryPool exact_pool;
+  sim::EngineResult at_budget = engine()->run(design, exact_pool, exact);
+  EXPECT_TRUE(at_budget.completed);
+  EXPECT_EQ(at_budget.partitions[0].reason,
+            sim::Kernel::StopReason::kDoneNet);
+  EXPECT_EQ(at_budget.partitions[0].cycles, cycles);
+
+  // One cycle short: the budget wins, and the reported cycle count is the
+  // budget, not wherever the engine happened to stop sweeping.
+  sim::EngineRunOptions short_budget;
+  short_budget.max_cycles_per_partition = cycles - 1;
+  mem::MemoryPool short_pool;
+  sim::EngineResult capped = engine()->run(design, short_pool, short_budget);
+  EXPECT_FALSE(capped.completed);
+  EXPECT_EQ(capped.partitions[0].reason, sim::Kernel::StopReason::kMaxTime);
+  EXPECT_EQ(capped.partitions[0].cycles, cycles - 1);
+}
+
+TEST_P(EngineParity, CombinationalLoopFailsLoudly) {
+  ir::Design design = inverter_loop_design();
+  sim::EngineRunOptions options;
+  options.max_cycles_per_partition = 100;  // the loop must hit first
+  options.max_sweeps = 64;
+  options.max_deltas = 64;
+  mem::MemoryPool pool;
+  try {
+    engine()->run(design, pool, options);
+    FAIL() << "engine '" << GetParam()
+           << "' did not fail on a combinational loop";
+  } catch (const util::SimError& error) {
+    // Every backend must diagnose the loop, not time out or hang: the
+    // event kernel via its delta limit, the sweep engines via their
+    // settle limit, the levelized engine at schedule-build time.
+    EXPECT_NE(std::string(error.what()).find("combinational"),
+              std::string::npos)
+        << GetParam() << ": " << error.what();
+  }
+}
+
+TEST_P(EngineParity, RunIsRepeatable) {
+  // Engines carry no per-run state: a second run() on the same instance
+  // starts fresh and reproduces the first (the "reprogram the fabric"
+  // contract used by cosim's lazy engine).
+  ir::Design design = accumulator_design(12);
+  std::unique_ptr<sim::Engine> backend = engine();
+  sim::EngineRunOptions options;
+  options.collect_wire_data = true;
+  mem::MemoryPool first_pool;
+  sim::EngineResult first = backend->run(design, first_pool, options);
+  mem::MemoryPool second_pool;
+  sim::EngineResult second = backend->run(design, second_pool, options);
+  ASSERT_TRUE(first.completed);
+  ASSERT_TRUE(second.completed);
+  EXPECT_EQ(first.partitions[0].cycles, second.partitions[0].cycles);
+  EXPECT_EQ(first.partitions[0].finals, second.partitions[0].finals);
+  EXPECT_EQ(first.partitions[0].stats.evaluations,
+            second.partitions[0].stats.evaluations);
+}
+
+TEST_P(EngineParity, CompiledKernelMemoriesMatchEventEngine) {
+  // A real compiled design with SRAM traffic: every engine must leave the
+  // pool bit-identical to the event kernel.
+  const char* source =
+      "kernel k(short s[16], short t[16], int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    t[i] = s[i] + 3;\n"
+      "  }\n"
+      "}\n";
+  compiler::CompileOptions compile_options;
+  compile_options.scalar_args = {{"n", 16}};
+  auto compiled = compiler::compile_source(source, compile_options);
+
+  auto prime = [](mem::MemoryPool& pool) {
+    pool.create("s", 16, 16);
+    pool.create("t", 16, 16);
+    auto& s = pool.get("s");
+    for (std::size_t i = 0; i < 16; ++i) {
+      s.write(i, 7 * i + 1);
+    }
+  };
+
+  mem::MemoryPool event_pool;
+  prime(event_pool);
+  sim::EngineResult expected =
+      elab::EventEngine().run(compiled.design, event_pool, {});
+  ASSERT_TRUE(expected.completed);
+
+  mem::MemoryPool pool;
+  prime(pool);
+  sim::EngineResult result = engine()->run(compiled.design, pool, {});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.total_cycles(), expected.total_cycles());
+  for (const std::string& array : event_pool.names()) {
+    EXPECT_EQ(pool.get(array).words(), event_pool.get(array).words())
+        << "array '" << array << "' differs from the event engine";
+  }
+}
+
+}  // namespace
+}  // namespace fti

@@ -182,6 +182,131 @@ TEST(Kernel, CombinationalLoopHitsDeltaLimit) {
   EXPECT_THROW(kernel.run(), util::SimError);
 }
 
+TEST(Kernel, DeltaLimitErrorNamesTimeAndSuspect) {
+  Netlist netlist;
+  Net& a = netlist.create_net("a", 1);
+  Net& b = netlist.create_net("b", 1);
+  netlist.add_component<InverterLoop>(a, b);
+  Kernel kernel(netlist);
+  kernel.set_max_deltas(100);
+  try {
+    kernel.run();
+    FAIL() << "loop did not throw";
+  } catch (const util::SimError& error) {
+    std::string message = error.what();
+    // The diagnosis must carry the stuck timestep and point at the likely
+    // cause, since this is the only loop report the event kernel gives.
+    EXPECT_NE(message.find("delta-cycle limit exceeded at t=0"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("combinational loop"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Kernel, PresetBeforeRunSetsValue) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  Kernel kernel(netlist);
+  kernel.preset(net, Bits(8, 42));
+  EXPECT_EQ(net.u(), 42u);
+}
+
+TEST(Kernel, PresetAfterRunStartsThrows) {
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{10, Bits(8, 1)}});
+  Kernel kernel(netlist);
+  kernel.run();
+  try {
+    kernel.preset(net, Bits(8, 42));
+    FAIL() << "preset after run() was accepted";
+  } catch (const util::SimError& error) {
+    std::string message = error.what();
+    EXPECT_NE(message.find("preset() of net 'n'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("use schedule()"), std::string::npos) << message;
+  }
+  EXPECT_EQ(net.u(), 1u);  // the failed preset must not leak through
+}
+
+/// Requests a stop from initialize() -- e.g. a stop controller that finds
+/// its precondition already violated before the first event.
+class StopAtInit : public Component {
+ public:
+  StopAtInit() : Component("stop_at_init") {}
+  void initialize(Kernel& kernel) override {
+    kernel.request_stop("init refuses to start");
+  }
+  void evaluate(Kernel&) override {}
+};
+
+TEST(Kernel, RequestStopInsideInitializeIsHonoured) {
+  Netlist netlist;
+  Net& clock = netlist.create_net("clk", 1);
+  netlist.add_component<ops::ClockGen>("cg", clock, 10);  // free-running
+  netlist.add_component<StopAtInit>();
+  Kernel kernel(netlist);
+  // Without the pre-initialization stop check this would run forever.
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kStopped);
+  EXPECT_EQ(kernel.now(), 0u);
+  EXPECT_EQ(kernel.stop_message(), "init refuses to start");
+}
+
+TEST(EventWheel, OverflowAndBucketInterleaveInTimeOrder) {
+  EventWheel wheel;  // default capacity 1024
+  // t=2000 is beyond the horizon (cursor 0): overflow.
+  wheel.push({2000, 1, nullptr, Bits(1, 0)});
+  // t=100 is near: bucket.
+  wheel.push({100, 2, nullptr, Bits(1, 0)});
+  std::vector<Event> out;
+  EXPECT_EQ(wheel.next_time(), 100u);
+  wheel.pop_time(100, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 2u);
+  // After the cursor advanced to 100, t=2000 was *still* pushed to
+  // overflow by the earlier call; a new same-time push now lands in a
+  // bucket (2000 < 100 + 1024 is false -- use 1100 to land in a bucket).
+  wheel.push({1100, 3, nullptr, Bits(1, 0)});
+  out.clear();
+  EXPECT_EQ(wheel.next_time(), 1100u);
+  wheel.pop_time(1100, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 3u);
+  // Cursor is 1100, so 2000 is now inside the horizon: this push goes to
+  // the bucket while seq 1 for the same time sits in overflow.
+  wheel.push({2000, 4, nullptr, Bits(1, 0)});
+  out.clear();
+  EXPECT_EQ(wheel.next_time(), 2000u);
+  wheel.pop_time(2000, out);
+  // Overflow drains before the bucket, which IS seq order: the overflow
+  // push strictly preceded the bucket push.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 4u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventWheel, FarFutureEventsSurviveTheHorizon) {
+  // Through the kernel: a script spanning many horizons must replay in
+  // time order regardless of which side of the wheel each event lands on.
+  Netlist netlist;
+  Net& net = netlist.create_net("n", 8);
+  netlist.add_component<Scripted>(
+      net, std::vector<std::pair<Time, Bits>>{{50000, Bits(8, 3)},
+                                              {10, Bits(8, 1)},
+                                              {5000, Bits(8, 2)}});
+  Probe& probe = netlist.add_component<Probe>("p", net);
+  Kernel kernel(netlist);
+  EXPECT_EQ(kernel.run(), Kernel::StopReason::kIdle);
+  ASSERT_EQ(probe.samples().size(), 3u);
+  EXPECT_EQ(probe.samples()[0].time, 10u);
+  EXPECT_EQ(probe.samples()[1].time, 5000u);
+  EXPECT_EQ(probe.samples()[2].time, 50000u);
+  EXPECT_EQ(probe.samples()[2].value.u(), 3u);
+}
+
 TEST(Kernel, WidthMismatchIsFatal) {
   Netlist netlist;
   Net& net = netlist.create_net("n", 8);

@@ -13,6 +13,8 @@
 //   --no-shrink      keep failing designs unshrunk
 //   --max-units N    upper bound on random units per design
 //   --max-configs N  upper bound on temporal partitions per design
+//   --engine NAME    engine lane compared against the kernel (repeatable;
+//                    replaces the default reference/naive/levelized set)
 //   --smoke          fixed quick profile used by ctest (equivalent to
 //                    --runs 25 with a smaller generator; ~seconds)
 //   --quiet          suppress per-case progress lines
@@ -37,7 +39,7 @@ namespace {
       << "usage: fti_fuzz [--seed N] [--runs N] [--jobs N]\n"
          "                [--max-failures N] [--corpus DIR] [--no-shrink]\n"
          "                [--max-units N] [--max-configs N] [--smoke]\n"
-         "                [--quiet]\n"
+         "                [--engine NAME]... [--quiet]\n"
          "       fti_fuzz replay FILE.xml\n"
          "       fti_fuzz corpus DIR\n";
   std::exit(2);
@@ -101,6 +103,7 @@ int run_corpus(int argc, char** argv) {
 int run_campaign(int argc, char** argv) {
   fti::fuzz::FuzzOptions options;
   bool quiet = false;
+  bool engines_overridden = false;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -127,6 +130,12 @@ int run_campaign(int argc, char** argv) {
     } else if (arg == "--max-configs") {
       options.generator.max_configurations =
           static_cast<std::uint32_t>(parse_u64(value()));
+    } else if (arg == "--engine") {
+      if (!engines_overridden) {
+        options.diff.engines.clear();
+        engines_overridden = true;
+      }
+      options.diff.engines.push_back(value());
     } else if (arg == "--smoke") {
       options.runs = 25;
       options.generator.max_units = 12;

@@ -6,6 +6,7 @@
 //   fti suite DIR [--emit DIR]        run every *.k test case in DIR
 //                                     (no compiler involved -- the designs
 //                                     are whatever the files describe)
+//   fti engines                       list the registered execution engines
 //
 // Common options:
 //   --arg NAME=VALUE       bind a scalar parameter (repeatable)
@@ -13,6 +14,8 @@
 //   --rom                  embed the memories into the XML (<init> tables)
 //   --limit CLASS=N        FU resource limit (e.g. --limit mul=1)
 //   --default-limit N      default FU limit (default 2)
+//   --engine NAME          execution engine for verify/run/suite
+//                          (default "event"; see `fti engines`)
 // verify options:
 //   --check ARRAY          compare only this array (repeatable; default all)
 //   --emit DIR             write all artefacts + verdict into DIR
@@ -33,6 +36,7 @@
 #include "fti/codegen/vhdl.hpp"
 #include "fti/compiler/parser.hpp"
 #include "fti/compiler/sema.hpp"
+#include "fti/elab/engines.hpp"
 #include "fti/harness/metrics.hpp"
 #include "fti/harness/suite_io.hpp"
 #include "fti/harness/testcase.hpp"
@@ -53,12 +57,13 @@ namespace {
       "                     [--check a] [--emit DIR] [--max-cycles N]\n"
       "                     [--vcd FILE] [--save a=F.dat]\n"
       "                     [--limit class=N] [--default-limit N]\n"
-      "                     [--read-ports N]\n"
+      "                     [--read-ports N] [--engine NAME]\n"
       "       fti translate KERNEL.k [--arg n=V] [--mem a=F.dat] [--rom]\n"
       "                     [--out DIR] [--limit class=N]\n"
       "       fti run       RTG.xml [--mem a=F.dat] [--save a=F.dat]\n"
-      "                     [--max-cycles N] [--vcd FILE]\n"
-      "       fti suite     DIR [--emit DIR]\n";
+      "                     [--max-cycles N] [--vcd FILE] [--engine NAME]\n"
+      "       fti suite     DIR [--emit DIR] [--engine NAME]\n"
+      "       fti engines\n";
   std::exit(2);
 }
 
@@ -79,6 +84,7 @@ struct Cli {
   std::filesystem::path out_dir;
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
+  std::string engine = "event";
   bool verbose = false;
 };
 
@@ -139,6 +145,8 @@ Cli parse_cli(int argc, char** argv) {
     } else if (flag == "--read-ports") {
       cli.test.resources.default_memory_read_ports =
           static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
+    } else if (flag == "--engine") {
+      cli.engine = need_value(i);
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -168,22 +176,28 @@ int run_saved(Cli& cli) {
                                 cli.test.inputs.at(memory.name));
     }
   }
+  auto engine = fti::elab::make_engine(cli.engine);
   fti::sim::VcdWriter vcd(design.name);
-  fti::elab::RtgRunOptions run_options;
+  fti::sim::EngineRunOptions run_options;
   run_options.max_cycles_per_partition = cli.test.max_cycles;
   if (!cli.vcd_path.empty()) {
+    if (!engine->supports_tracing()) {
+      std::cerr << "error: engine '" << engine->name()
+                << "' does not support --vcd (use --engine event)\n";
+      return 2;
+    }
     run_options.tracer = &vcd;
-    run_options.on_elaborated = [&vcd](const std::string&,
-                                       fti::elab::ElaboratedConfig& live) {
+    run_options.on_netlist = [&vcd](const std::string&,
+                                    fti::sim::Netlist& netlist) {
       if (vcd.watched_count() > 0) {
         return;
       }
-      for (const auto& net : live.netlist.nets()) {
+      for (const auto& net : netlist.nets()) {
         vcd.watch(*net);
       }
     };
   }
-  auto run = fti::elab::run_design(design, pool, run_options);
+  auto run = engine->run(design, pool, run_options);
   std::cout << "design '" << design.name << "': "
             << (run.completed ? "completed" : "DID NOT COMPLETE") << "\n";
   fti::util::TextTable table(
@@ -212,6 +226,7 @@ int run_verify(Cli& cli) {
   // Standard flow (with the emit directory when requested).
   fti::harness::VerifyOptions options;
   options.emit_dir = cli.out_dir;
+  options.engine = cli.engine;
   fti::harness::VerifyOutcome outcome =
       fti::harness::run_test_case(cli.test, options);
 
@@ -261,22 +276,28 @@ int run_verify(Cli& cli) {
     for (const auto& [name, values] : cli.test.inputs) {
       fti::harness::load_inputs(pool, name, values);
     }
+    auto engine = fti::elab::make_engine(cli.engine);
     fti::sim::VcdWriter vcd(cli.test.name);
-    fti::elab::RtgRunOptions run_options;
+    fti::sim::EngineRunOptions run_options;
     run_options.max_cycles_per_partition = cli.test.max_cycles;
     if (!cli.vcd_path.empty()) {
+      if (!engine->supports_tracing()) {
+        std::cerr << "error: engine '" << engine->name()
+                  << "' does not support --vcd (use --engine event)\n";
+        return 2;
+      }
       run_options.tracer = &vcd;
-      run_options.on_elaborated = [&vcd](const std::string&,
-                                         fti::elab::ElaboratedConfig& live) {
+      run_options.on_netlist = [&vcd](const std::string&,
+                                      fti::sim::Netlist& netlist) {
         if (vcd.watched_count() > 0) {
           return;
         }
-        for (const auto& net : live.netlist.nets()) {
+        for (const auto& net : netlist.nets()) {
           vcd.watch(*net);
         }
       };
     }
-    fti::elab::run_design(outcome.compiled.design, pool, run_options);
+    engine->run(outcome.compiled.design, pool, run_options);
     if (!cli.vcd_path.empty()) {
       vcd.write_file(cli.vcd_path);
       std::cout << "wrote " << cli.vcd_path.string() << "\n";
@@ -343,6 +364,12 @@ int run_translate(const Cli& cli) {
 
 int main(int argc, char** argv) {
   try {
+    if (argc == 2 && std::strcmp(argv[1], "engines") == 0) {
+      for (const std::string& name : fti::elab::engine_names()) {
+        std::cout << name << "\n";
+      }
+      return 0;
+    }
     Cli cli = parse_cli(argc, argv);
     if (cli.verbose) {
       fti::util::set_log_level(fti::util::LogLevel::kInfo);
@@ -361,6 +388,7 @@ int main(int argc, char** argv) {
           fti::harness::load_suite_dir(cli.source_path);
       fti::harness::VerifyOptions options;
       options.emit_dir = cli.out_dir;
+      options.engine = cli.engine;
       fti::harness::SuiteReport report = suite.run_all(
           options, [](const fti::harness::SuiteRow& row) {
             std::cout << (row.passed ? "PASS" : "FAIL") << "  " << row.name;
