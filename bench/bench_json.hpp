@@ -1,8 +1,10 @@
 // Shared --json support for the bench_* binaries.
 //
 // Every bench accepts `--json PATH` and writes a machine-readable record
-// of its run there (conventionally BENCH_<name>.json), so experiment
-// scripts can diff runs without scraping the human tables.  Schema:
+// of its run there (conventionally BENCH_<name>.json).  The document
+// writer itself is util::JsonReport (src/fti/util/json.hpp) -- promoted
+// there so `fti suite --json` shares it -- instantiated here with the
+// historical "bench"/"workloads" keys:
 //
 //   { "bench": "<name>",
 //     "workloads": [ { "name": "<workload>", <key>: <number|string>, ... },
@@ -13,94 +15,17 @@
 // engine prefix, e.g. "event.events").
 #pragma once
 
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
-#include <utility>
-#include <vector>
 
-#include "fti/sim/kernel.hpp"
-#include "fti/util/file_io.hpp"
-#include "fti/util/table.hpp"
+#include "fti/util/json.hpp"
 
 namespace fti::bench {
 
-inline std::string json_escape(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
-
-class JsonReport {
- public:
-  class Workload {
-   public:
-    void set(const std::string& key, std::uint64_t value) {
-      fields_.emplace_back(key, std::to_string(value));
-    }
-    void set(const std::string& key, double value) {
-      fields_.emplace_back(key, fti::util::format_double(value, 6));
-    }
-    void set(const std::string& key, const std::string& value) {
-      fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
-    }
-    void set(const std::string& key, bool value) {
-      fields_.emplace_back(key, value ? "true" : "false");
-    }
-    /// Flattens the kernel counters under "<prefix>.<counter>".
-    void stats(const std::string& prefix, const sim::KernelStats& stats) {
-      set(prefix + ".events", stats.events);
-      set(prefix + ".evaluations", stats.evaluations);
-      set(prefix + ".delta_cycles", stats.delta_cycles);
-      set(prefix + ".timesteps", stats.timesteps);
-      set(prefix + ".end_time", static_cast<std::uint64_t>(stats.end_time));
-    }
-
-   private:
-    friend class JsonReport;
-    explicit Workload(std::string name) : name_(std::move(name)) {}
-    std::string name_;
-    std::vector<std::pair<std::string, std::string>> fields_;
-  };
-
-  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
-
-  Workload& workload(const std::string& name) {
-    workloads_.push_back(Workload(name));
-    return workloads_.back();
-  }
-
-  std::string to_string() const {
-    std::string out = "{\n  \"bench\": \"" + json_escape(bench_) +
-                      "\",\n  \"workloads\": [";
-    for (std::size_t w = 0; w < workloads_.size(); ++w) {
-      const Workload& workload = workloads_[w];
-      out += w == 0 ? "\n" : ",\n";
-      out += "    {\"name\": \"" + json_escape(workload.name_) + "\"";
-      for (const auto& [key, value] : workload.fields_) {
-        out += ", \"" + json_escape(key) + "\": " + value;
-      }
-      out += "}";
-    }
-    out += "\n  ]\n}\n";
-    return out;
-  }
-
-  void write(const std::filesystem::path& path) const {
-    util::write_file(path, to_string());
-  }
-
- private:
-  std::string bench_;
-  std::vector<Workload> workloads_;
-};
+using util::json_escape;
+using util::JsonReport;
 
 /// Extracts `--json PATH` from the argument list (mutating argc/argv so
 /// the remaining flags parse as before).  Returns an empty path when the

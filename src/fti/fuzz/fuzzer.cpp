@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
-#include <thread>
 
 #include "fti/fuzz/corpus.hpp"
+#include "fti/util/thread_pool.hpp"
 
 namespace fti::fuzz {
 namespace {
@@ -25,8 +25,6 @@ std::uint64_t shrink_cycle_budget(const DiffResult& failure) {
 
 FuzzReport run_fuzz(const FuzzOptions& options) {
   FuzzReport report;
-  std::atomic<std::uint64_t> next_case{0};
-  std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> cases_run{0};
   std::atomic<std::uint64_t> multi_config{0};
   std::atomic<std::uint64_t> total_cycles{0};
@@ -39,104 +37,84 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     }
   };
 
-  auto worker = [&]() {
-    while (!stop.load(std::memory_order_relaxed)) {
-      std::uint64_t index = next_case.fetch_add(1);
-      if (index >= options.runs) {
-        return;
-      }
-      std::uint64_t case_seed = Rng::derive(options.seed, index);
-      ir::Design design;
-      try {
-        design = generate_design_seeded(case_seed, options.generator);
-      } catch (const std::exception& error) {
-        // A generator bug is a campaign failure too, minus the shrink.
-        FuzzFailure failure;
-        failure.case_index = index;
-        failure.case_seed = case_seed;
-        failure.mismatches = {std::string("generator threw: ") +
-                              error.what()};
-        emit("case " + std::to_string(index) + ": " +
-             failure.mismatches.front());
-        std::lock_guard<std::mutex> lock(sink_mutex);
-        report.failures.push_back(std::move(failure));
-        continue;
-      }
-      if (design.configuration_count() > 1) {
-        multi_config.fetch_add(1, std::memory_order_relaxed);
-      }
-      DiffResult diff = diff_design(design, options.diff);
-      cases_run.fetch_add(1, std::memory_order_relaxed);
-      if (!diff.observations.empty()) {
-        total_cycles.fetch_add(diff.observations.front().total_cycles,
-                               std::memory_order_relaxed);
-      }
-      if (diff.ok) {
-        continue;
-      }
-      emit("case " + std::to_string(index) + " (seed " +
-           std::to_string(case_seed) + "): " +
-           std::to_string(diff.mismatches.size()) + " mismatch line(s), " +
-           (diff.mismatches.empty() ? std::string("<none>")
-                                    : diff.mismatches.front()));
+  auto run_case = [&](std::uint64_t index) -> bool {
+    std::uint64_t case_seed = Rng::derive(options.seed, index);
+    ir::Design design;
+    try {
+      design = generate_design_seeded(case_seed, options.generator);
+    } catch (const std::exception& error) {
+      // A generator bug is a campaign failure too, minus the shrink.
       FuzzFailure failure;
       failure.case_index = index;
       failure.case_seed = case_seed;
-      failure.mismatches = diff.mismatches;
-      failure.original_nodes = ir_node_count(design);
-      failure.shrunk = design;
-      failure.shrunk_nodes = failure.original_nodes;
-      if (options.shrink_failures) {
-        DiffOptions shrink_diff = options.diff;
-        shrink_diff.check_roundtrip = false;
-        shrink_diff.max_cycles_per_partition = shrink_cycle_budget(diff);
-        FailurePredicate predicate = [&](const ir::Design& candidate) {
-          return !diff_design(candidate, shrink_diff).ok;
-        };
-        ShrinkOptions shrink_options;
-        shrink_options.max_evaluations = options.shrink_evaluations;
-        ShrinkResult shrunk = shrink(design, predicate, shrink_options);
-        failure.shrunk = std::move(shrunk.design);
-        failure.shrunk_nodes = ir_node_count(failure.shrunk);
-        emit("case " + std::to_string(index) + ": shrunk " +
-             std::to_string(failure.original_nodes) + " -> " +
-             std::to_string(failure.shrunk_nodes) + " IR nodes in " +
-             std::to_string(shrunk.evaluations) + " evaluations");
-      }
-      if (!options.corpus_dir.empty()) {
-        CorpusEntry entry;
-        entry.name = "seed-" + std::to_string(case_seed);
-        entry.seed = case_seed;
-        entry.design = failure.shrunk;
-        entry.mismatches = failure.mismatches;
-        failure.saved_path = save_entry(entry, options.corpus_dir);
-      }
-      std::size_t failure_count = 0;
-      {
-        std::lock_guard<std::mutex> lock(sink_mutex);
-        report.failures.push_back(std::move(failure));
-        failure_count = report.failures.size();
-      }
-      if (failure_count >= options.max_failures) {
-        stop.store(true, std::memory_order_relaxed);
-        return;
-      }
+      failure.mismatches = {std::string("generator threw: ") +
+                            error.what()};
+      emit("case " + std::to_string(index) + ": " +
+           failure.mismatches.front());
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      report.failures.push_back(std::move(failure));
+      return true;
     }
+    if (design.configuration_count() > 1) {
+      multi_config.fetch_add(1, std::memory_order_relaxed);
+    }
+    DiffResult diff = diff_design(design, options.diff);
+    cases_run.fetch_add(1, std::memory_order_relaxed);
+    if (!diff.observations.empty()) {
+      total_cycles.fetch_add(diff.observations.front().total_cycles,
+                             std::memory_order_relaxed);
+    }
+    if (diff.ok) {
+      return true;
+    }
+    emit("case " + std::to_string(index) + " (seed " +
+         std::to_string(case_seed) + "): " +
+         std::to_string(diff.mismatches.size()) + " mismatch line(s), " +
+         (diff.mismatches.empty() ? std::string("<none>")
+                                  : diff.mismatches.front()));
+    FuzzFailure failure;
+    failure.case_index = index;
+    failure.case_seed = case_seed;
+    failure.mismatches = diff.mismatches;
+    failure.original_nodes = ir_node_count(design);
+    failure.shrunk = design;
+    failure.shrunk_nodes = failure.original_nodes;
+    if (options.shrink_failures) {
+      DiffOptions shrink_diff = options.diff;
+      shrink_diff.check_roundtrip = false;
+      shrink_diff.max_cycles_per_partition = shrink_cycle_budget(diff);
+      FailurePredicate predicate = [&](const ir::Design& candidate) {
+        return !diff_design(candidate, shrink_diff).ok;
+      };
+      ShrinkOptions shrink_options;
+      shrink_options.max_evaluations = options.shrink_evaluations;
+      ShrinkResult shrunk = shrink(design, predicate, shrink_options);
+      failure.shrunk = std::move(shrunk.design);
+      failure.shrunk_nodes = ir_node_count(failure.shrunk);
+      emit("case " + std::to_string(index) + ": shrunk " +
+           std::to_string(failure.original_nodes) + " -> " +
+           std::to_string(failure.shrunk_nodes) + " IR nodes in " +
+           std::to_string(shrunk.evaluations) + " evaluations");
+    }
+    if (!options.corpus_dir.empty()) {
+      CorpusEntry entry;
+      entry.name = "seed-" + std::to_string(case_seed);
+      entry.seed = case_seed;
+      entry.design = failure.shrunk;
+      entry.mismatches = failure.mismatches;
+      failure.saved_path = save_entry(entry, options.corpus_dir);
+    }
+    std::size_t failure_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      report.failures.push_back(std::move(failure));
+      failure_count = report.failures.size();
+    }
+    // Returning false cancels the campaign: enough failures collected.
+    return failure_count < options.max_failures;
   };
 
-  std::uint32_t jobs = std::max<std::uint32_t>(1, options.jobs);
-  if (jobs == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(jobs);
-    for (std::uint32_t i = 0; i < jobs; ++i) {
-      threads.emplace_back(worker);
-    }
-    for (std::thread& thread : threads) {
-      thread.join();
-    }
-  }
+  util::parallel_for_indexed(options.jobs, options.runs, run_case);
 
   report.cases_run = cases_run.load();
   report.multi_configuration_designs = multi_config.load();

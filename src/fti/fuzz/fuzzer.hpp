@@ -4,8 +4,10 @@
 // not depend on thread scheduling), generates a random design per case,
 // pushes it through the N-way differential driver, and -- on mismatch --
 // shrinks the design to a local minimum and optionally serialises the
-// repro into a corpus directory.  A worker pool sized by `jobs` pulls case
-// indices from an atomic counter; every case is independent.
+// repro into a corpus directory.  Cases run on the shared
+// util::parallel_for_indexed worker pool (sized by `jobs`); every case is
+// independent, and per-case seeds derive from the index so results do not
+// depend on thread scheduling.
 #pragma once
 
 #include <cstdint>

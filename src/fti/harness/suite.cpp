@@ -1,9 +1,27 @@
 #include "fti/harness/suite.hpp"
 
+#include <mutex>
+
+#include "fti/elab/engines.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/table.hpp"
+#include "fti/util/thread_pool.hpp"
 
 namespace fti::harness {
+
+double aggregate_coverage_percent(
+    const std::vector<sim::FsmCoverage>& coverages) {
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  for (const sim::FsmCoverage& coverage : coverages) {
+    covered += coverage.states_visited() + coverage.transitions_taken();
+    total += coverage.states.size() + coverage.transitions.size();
+  }
+  if (total == 0) {
+    return 100.0;
+  }
+  return 100.0 * static_cast<double>(covered) / static_cast<double>(total);
+}
 
 bool SuiteReport::all_passed() const {
   for (const SuiteRow& row : rows) {
@@ -41,9 +59,23 @@ std::string SuiteReport::to_table() const {
 
 SuiteReport TestSuite::run_all(
     const VerifyOptions& options,
-    const std::function<void(const SuiteRow&)>& on_done) const {
+    const std::function<void(const SuiteRow&)>& on_done,
+    std::uint32_t jobs) const {
+  util::Stopwatch campaign;
   SuiteReport report;
-  for (const TestCase& test : tests_) {
+  report.rows.resize(tests_.size());
+  // Pre-register the engines and pre-create the shared emit directory on
+  // this thread, so workers only ever read the registry / write distinct
+  // per-test files (see DESIGN.md, "parallel suite" thread-safety notes).
+  elab::register_builtin_engines();
+  if (!options.emit_dir.empty()) {
+    std::filesystem::create_directories(options.emit_dir);
+  }
+  util::ThreadPool pool(jobs);
+  report.jobs = pool.jobs();
+  std::mutex done_mutex;
+  pool.parallel_for_indexed(tests_.size(), [&](std::uint64_t index) {
+    const TestCase& test = tests_[index];
     util::Stopwatch watch;
     SuiteRow row;
     row.name = test.name;
@@ -54,21 +86,23 @@ SuiteReport TestSuite::run_all(
     row.events = outcome.run.total_events();
     row.configurations = outcome.run.partitions.size();
     row.mismatches = outcome.mismatches;
-    if (!outcome.run.partitions.empty()) {
-      double sum = 0;
-      for (const auto& partition : outcome.run.partitions) {
-        sum += partition.coverage.percent();
-      }
-      row.coverage_percent =
-          sum / static_cast<double>(outcome.run.partitions.size());
+    std::vector<sim::FsmCoverage> coverages;
+    coverages.reserve(outcome.run.partitions.size());
+    for (const auto& partition : outcome.run.partitions) {
+      coverages.push_back(partition.coverage);
     }
+    row.coverage_percent = aggregate_coverage_percent(coverages);
     row.sim_seconds = outcome.sim_seconds;
     row.total_seconds = watch.seconds();
     if (on_done) {
+      std::lock_guard<std::mutex> lock(done_mutex);
       on_done(row);
     }
-    report.rows.push_back(std::move(row));
-  }
+    // Distinct slot per index; ordered by construction, no lock needed.
+    report.rows[index] = std::move(row);
+    return true;
+  });
+  report.wall_seconds = campaign.seconds();
   return report;
 }
 

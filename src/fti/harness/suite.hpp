@@ -4,13 +4,21 @@
 // problem the paper solves; a TestSuite runs every registered case through
 // the full flow and renders one summary table, so a compiler change is
 // re-validated with a single call.
+//
+// Cases are independent (each builds its own pools, netlists and engine
+// instance), so run_all executes them on the shared util worker pool when
+// `jobs > 1`.  The report is deterministic regardless of the jobs count:
+// rows land in test-registration order and every value derives from the
+// case alone (only the wall-clock columns vary run to run).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "fti/harness/testcase.hpp"
+#include "fti/sim/coverage.hpp"
 
 namespace fti::harness {
 
@@ -28,8 +36,20 @@ struct SuiteRow {
   double total_seconds = 0;
 };
 
+/// Pools visited states + taken transitions over the TOTAL states +
+/// transitions across every partition.  A per-partition mean would weight
+/// a 2-state FSM the same as a 40-state one and misreport suites of
+/// temporally partitioned designs.
+double aggregate_coverage_percent(
+    const std::vector<sim::FsmCoverage>& coverages);
+
 struct SuiteReport {
   std::vector<SuiteRow> rows;
+  /// Campaign wall-clock for the whole run_all call (the per-row
+  /// total_seconds overlap when jobs > 1, so they no longer sum to this).
+  double wall_seconds = 0;
+  /// Worker count the report was produced with (after clamping).
+  std::uint32_t jobs = 1;
 
   bool all_passed() const;
   std::size_t failures() const;
@@ -43,11 +63,16 @@ class TestSuite {
 
   std::size_t size() const { return tests_.size(); }
 
-  /// Runs every case; `on_done` (optional) observes each outcome as it
-  /// lands, for progress reporting.
+  /// Runs every case, `jobs` at a time (clamped to >= 1); `on_done`
+  /// (optional) observes each outcome as it lands, for progress
+  /// reporting.  It is called under a mutex, in completion order -- only
+  /// the returned report is ordered by test index.  Infrastructure
+  /// exceptions (bad source, malformed IR) cancel the run and propagate,
+  /// lowest test index first.
   SuiteReport run_all(
       const VerifyOptions& options = {},
-      const std::function<void(const SuiteRow&)>& on_done = nullptr) const;
+      const std::function<void(const SuiteRow&)>& on_done = nullptr,
+      std::uint32_t jobs = 1) const;
 
  private:
   std::vector<TestCase> tests_;

@@ -1,0 +1,131 @@
+// Machine-readable run reports (promoted from bench/bench_json.hpp so the
+// suite runner and the bench binaries share one writer).
+//
+// A JsonReport is one flat document: a kind tag, optional top-level
+// scalar fields (campaign-level data: wall-clock, jobs, totals), and a
+// list of per-item records:
+//
+//   { "<kind>": "<name>",
+//     <key>: <number|string|bool>, ...
+//     "<list_key>": [ { "name": "<item>", <key>: <value>, ... }, ... ] }
+//
+// The bench binaries instantiate it with the historical keys ("bench" /
+// "workloads"), so existing BENCH_*.json consumers see byte-identical
+// output; `fti suite --json` uses ("suite" / "rows").  Keys are whatever
+// the producer reports; per-item insertion order is preserved, so a
+// deterministic producer yields a byte-stable report.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fti/util/file_io.hpp"
+#include "fti/util/table.hpp"
+
+namespace fti::util {
+
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+class JsonReport {
+ public:
+  class Workload {
+   public:
+    void set(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+    }
+    void set(const std::string& key, double value) {
+      fields_.emplace_back(key, format_double(value, 6));
+    }
+    void set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+    }
+    // Without this a string literal would decay and pick the bool
+    // overload.
+    void set(const std::string& key, const char* value) {
+      set(key, std::string(value));
+    }
+    void set(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+    }
+    /// Flattens per-run counters under "<prefix>.<counter>".  Duck-typed
+    /// so util does not depend on the simulator: any struct with the
+    /// sim::KernelStats counter fields works.
+    template <typename Stats>
+    void stats(const std::string& prefix, const Stats& stats) {
+      set(prefix + ".events", stats.events);
+      set(prefix + ".evaluations", stats.evaluations);
+      set(prefix + ".delta_cycles", stats.delta_cycles);
+      set(prefix + ".timesteps", stats.timesteps);
+      set(prefix + ".end_time", static_cast<std::uint64_t>(stats.end_time));
+    }
+
+   private:
+    friend class JsonReport;
+    explicit Workload(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string name, std::string kind = "bench",
+                      std::string list_key = "workloads")
+      : name_(std::move(name)),
+        kind_(std::move(kind)),
+        list_key_(std::move(list_key)) {}
+
+  /// Top-level (campaign) fields, emitted between the kind tag and the
+  /// item list.
+  template <typename Value>
+  void set(const std::string& key, Value value) {
+    top_.set(key, value);
+  }
+
+  Workload& workload(const std::string& name) {
+    workloads_.push_back(Workload(name));
+    return workloads_.back();
+  }
+
+  std::string to_string() const {
+    std::string out = "{\n  \"" + json_escape(kind_) + "\": \"" +
+                      json_escape(name_) + "\"";
+    for (const auto& [key, value] : top_.fields_) {
+      out += ",\n  \"" + json_escape(key) + "\": " + value;
+    }
+    out += ",\n  \"" + json_escape(list_key_) + "\": [";
+    for (std::size_t w = 0; w < workloads_.size(); ++w) {
+      const Workload& workload = workloads_[w];
+      out += w == 0 ? "\n" : ",\n";
+      out += "    {\"name\": \"" + json_escape(workload.name_) + "\"";
+      for (const auto& [key, value] : workload.fields_) {
+        out += ", \"" + json_escape(key) + "\": " + value;
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  void write(const std::filesystem::path& path) const {
+    write_file(path, to_string());
+  }
+
+ private:
+  std::string name_;
+  std::string kind_;
+  std::string list_key_;
+  Workload top_{""};
+  std::vector<Workload> workloads_;
+};
+
+}  // namespace fti::util

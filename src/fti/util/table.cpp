@@ -4,12 +4,21 @@
 #include <cstdint>
 #include <sstream>
 
+#include "fti/util/error.hpp"
+
 namespace fti::util {
 
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    // Silently resizing away extra cells used to hide caller bugs (a row
+    // built for a wider header rendered truncated); fail loudly instead.
+    throw Error("table", "row has " + std::to_string(row.size()) +
+                             " cells but the header has " +
+                             std::to_string(header_.size()));
+  }
   row.resize(header_.size());
   rows_.push_back(std::move(row));
 }

@@ -12,6 +12,8 @@ class TextTable {
   explicit TextTable(std::vector<std::string> header);
 
   /// Appends one row; it may have fewer cells than the header (padded).
+  /// Throws util::Error("table", ...) when the row has MORE cells than
+  /// the header -- extra cells used to be dropped silently.
   void add_row(std::vector<std::string> row);
 
   /// Renders with a header underline and two-space column gaps.

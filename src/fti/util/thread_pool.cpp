@@ -1,0 +1,72 @@
+#include "fti/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fti::util {
+
+ThreadPool::ThreadPool(std::uint32_t jobs)
+    : jobs_(std::max<std::uint32_t>(1, jobs)) {}
+
+void ThreadPool::parallel_for_indexed(
+    std::uint64_t count,
+    const std::function<bool(std::uint64_t)>& body) const {
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;
+  std::uint64_t error_index = std::numeric_limits<std::uint64_t>::max();
+  std::exception_ptr error;
+
+  auto worker = [&]() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) {
+        return;
+      }
+      try {
+        if (!body(index)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (index < error_index) {
+          error_index = index;
+          error = std::current_exception();
+        }
+        cancelled.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (jobs_ == 1 || count <= 1) {
+    worker();
+  } else {
+    std::uint32_t spawned = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(jobs_, count));
+    std::vector<std::thread> threads;
+    threads.reserve(spawned);
+    for (std::uint32_t i = 0; i < spawned; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void parallel_for_indexed(std::uint32_t jobs, std::uint64_t count,
+                          const std::function<bool(std::uint64_t)>& body) {
+  ThreadPool(jobs).parallel_for_indexed(count, body);
+}
+
+}  // namespace fti::util

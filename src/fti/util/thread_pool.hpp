@@ -1,0 +1,57 @@
+// Shared parallel-execution layer for campaign-style workloads.
+//
+// Both long-running drivers in the infrastructure -- the differential
+// fuzzing campaign and the test-suite runner -- burn through a list of
+// independent cases.  This pool gives them one implementation of the
+// "pull the next index from a shared counter" loop instead of each
+// hand-rolling threads:
+//
+//  * Work stealing by index: workers fetch_add a shared atomic counter,
+//    so the *set* of indices processed is deterministic (0..count-1 or a
+//    prefix under cancellation) even though the index->thread assignment
+//    depends on scheduling.  Callers that need deterministic output
+//    derive everything from the index (per-case seeds, result slots).
+//  * Exception capture per task: a throwing body cancels the loop, the
+//    remaining workers drain, and the exception from the *lowest* index
+//    is rethrown on the calling thread -- reruns fail the same way
+//    regardless of the jobs count.
+//  * Cooperative cancellation: the body returns false to stop handing
+//    out new indices (early exit on "enough failures collected");
+//    in-flight bodies finish normally.
+//
+// jobs == 1 runs the bodies inline on the calling thread (no spawn, same
+// code path the serial callers always had), which keeps single-threaded
+// debugging and profiling trivial.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace fti::util {
+
+class ThreadPool {
+ public:
+  /// `jobs` is clamped to at least 1.  Threads are spawned per
+  /// parallel_for_indexed call (the workloads are campaign-sized, so
+  /// spawn cost is noise); the pool object pins the width so one --jobs
+  /// flag can drive several loops.
+  explicit ThreadPool(std::uint32_t jobs);
+
+  std::uint32_t jobs() const { return jobs_; }
+
+  /// Runs body(index) for every index in [0, count), `jobs()` at a time.
+  /// `body` returning false cancels the loop (see file comment); a thrown
+  /// exception cancels too and is rethrown here, lowest index first.
+  void parallel_for_indexed(
+      std::uint64_t count,
+      const std::function<bool(std::uint64_t)>& body) const;
+
+ private:
+  std::uint32_t jobs_;
+};
+
+/// One-shot convenience over a temporary pool.
+void parallel_for_indexed(std::uint32_t jobs, std::uint64_t count,
+                          const std::function<bool(std::uint64_t)>& body);
+
+}  // namespace fti::util

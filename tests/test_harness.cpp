@@ -118,6 +118,78 @@ TEST(Suite, RunsAllAndReports) {
   EXPECT_NE(table.find("cycles"), std::string::npos);
 }
 
+TEST(Suite, CoverageAggregationWeightsPartitionsBySize) {
+  // Two partitions with asymmetric FSMs: a tiny fully-covered one (2
+  // states + 1 transition) and a large half-covered one (10 states + 10
+  // transitions, 5 + 5 covered).  The old per-partition mean reported
+  // (100 + 50) / 2 = 75%; pooling the counts gives 13/23 = 56.5%.
+  sim::FsmCoverage tiny;
+  tiny.fsm = "tiny";
+  tiny.states = {{"s0", 1}, {"s1", 3}};
+  tiny.transitions = {{"s0", "s1", "1", 1}};
+  sim::FsmCoverage large;
+  large.fsm = "large";
+  for (int i = 0; i < 10; ++i) {
+    large.states.push_back(
+        {"s" + std::to_string(i), i < 5 ? std::uint64_t{1} : 0});
+    large.transitions.push_back({"s" + std::to_string(i), "s0", "1",
+                                 i < 5 ? std::uint64_t{1} : 0});
+  }
+  double percent = aggregate_coverage_percent({tiny, large});
+  EXPECT_NEAR(percent, 100.0 * 13.0 / 23.0, 1e-9);
+  EXPECT_LT(percent, 60.0);  // the unweighted mean was 75%
+  // Degenerate inputs keep the documented conventions.
+  EXPECT_DOUBLE_EQ(aggregate_coverage_percent({}), 100.0);
+  EXPECT_DOUBLE_EQ(aggregate_coverage_percent({tiny}), 100.0);
+}
+
+TEST(Suite, ParallelRunMatchesSerialRun) {
+  TestSuite suite;
+  for (int n : {2, 4, 6, 8}) {
+    TestCase test = square_case();
+    test.name = "square" + std::to_string(n);
+    test.scalar_args["n"] = n;
+    suite.add(test);
+  }
+  VerifyOptions options;
+  options.generate_artifacts = false;
+  SuiteReport serial = suite.run_all(options, nullptr, 1);
+  SuiteReport parallel = suite.run_all(options, nullptr, 4);
+  EXPECT_EQ(serial.jobs, 1u);
+  EXPECT_EQ(parallel.jobs, 4u);
+  EXPECT_GT(parallel.wall_seconds, 0.0);
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const SuiteRow& a = serial.rows[i];
+    const SuiteRow& b = parallel.rows[i];
+    // Row order and every non-timing value must be independent of jobs.
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.configurations, b.configurations);
+    EXPECT_EQ(a.mismatches, b.mismatches);
+    EXPECT_DOUBLE_EQ(a.coverage_percent, b.coverage_percent);
+  }
+}
+
+TEST(Suite, ParallelRunPropagatesLowestFailure) {
+  // Infrastructure errors (here: an input for an unknown array) must
+  // cancel the campaign and rethrow deterministically.
+  TestSuite suite;
+  for (int i = 0; i < 4; ++i) {
+    TestCase test = square_case();
+    test.name = "case" + std::to_string(i);
+    if (i >= 2) {
+      test.inputs["nothere"] = {1};
+    }
+    suite.add(test);
+  }
+  VerifyOptions options;
+  options.generate_artifacts = false;
+  EXPECT_THROW(suite.run_all(options, nullptr, 4), util::IoError);
+}
+
 TEST(Suite, FailureIsReported) {
   TestSuite suite;
   TestCase broken = square_case();

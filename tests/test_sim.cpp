@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "fti/compiler/hls.hpp"
+#include "fti/cosim/system.hpp"
+#include "fti/elab/engines.hpp"
 #include "fti/ops/clock.hpp"
 #include "fti/ops/constant.hpp"
 #include "fti/sim/bits.hpp"
@@ -286,6 +289,109 @@ TEST(EventWheel, OverflowAndBucketInterleaveInTimeOrder) {
   EXPECT_EQ(out[0].seq, 1u);
   EXPECT_EQ(out[1].seq, 4u);
   EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventWheel, MaskCollisionAcrossCursorWrap) {
+  // Regression for the ring addressing: with capacity 4 (mask 3) the
+  // bucket index `time & mask_` wraps every 4 time units, and distinct
+  // times that collide under the mask must never mix.
+  EventWheel wheel(4);
+  wheel.push({2, 1, nullptr, Bits(1, 0)});
+  std::vector<Event> out;
+  EXPECT_EQ(wheel.next_time(), 2u);
+  wheel.pop_time(2, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 1u);
+  // Cursor is 2: t=6 collides with the just-popped bucket index (6 & 3
+  // == 2 & 3) but lies exactly on the horizon, so it must overflow...
+  wheel.push({6, 2, nullptr, Bits(1, 0)});
+  // ...while t=4 and t=5 wrap around the ring into buckets 0 and 1.
+  wheel.push({4, 3, nullptr, Bits(1, 0)});
+  wheel.push({5, 4, nullptr, Bits(1, 0)});
+  EXPECT_EQ(wheel.size(), 3u);
+  out.clear();
+  EXPECT_EQ(wheel.next_time(), 4u);
+  wheel.pop_time(4, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 3u);
+  out.clear();
+  EXPECT_EQ(wheel.next_time(), 5u);
+  wheel.pop_time(5, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 4u);
+  out.clear();
+  EXPECT_EQ(wheel.next_time(), 6u);
+  wheel.pop_time(6, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(EventWheel, OverflowThenBucketAtOneTimestampKeepsSeqOrder) {
+  // An event pushed beyond the horizon (overflow) and one pushed later
+  // for the same, now in-horizon, timestamp must drain overflow-first --
+  // which is seq order, because the horizon only moves forward.  Uses a
+  // wrapped bucket index (9 & 3 == 1) to cover the ring arithmetic too.
+  EventWheel wheel(4);
+  wheel.push({1, 1, nullptr, Bits(1, 0)});
+  std::vector<Event> out;
+  wheel.pop_time(1, out);
+  out.clear();
+  wheel.push({9, 2, nullptr, Bits(1, 0)});  // 9 - 1 >= 4: overflow
+  wheel.push({7, 3, nullptr, Bits(1, 0)});  // 7 - 1 >= 4: overflow too
+  EXPECT_EQ(wheel.next_time(), 7u);
+  wheel.pop_time(7, out);  // advances the horizon past t=9
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 3u);
+  out.clear();
+  wheel.push({9, 4, nullptr, Bits(1, 0)});  // 9 - 7 < 4: bucket, index 1
+  EXPECT_EQ(wheel.size(), 2u);
+  EXPECT_EQ(wheel.next_time(), 9u);
+  wheel.pop_time(9, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_EQ(out[1].seq, 4u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+/// Both wheel-backed execution paths: the registered "event" engine and
+/// the cosim fabric drive the same Kernel (and therefore the same
+/// EventWheel); a run long enough to lap the default 1024-slot ring many
+/// times must still produce exact results through either client.
+class WheelClients : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(BothWheelUsers, WheelClients,
+                         ::testing::Values("event-engine", "cosim-fabric"));
+
+TEST_P(WheelClients, LongRunCrossesManyRingWraps) {
+  compiler::CompileOptions options;
+  auto compiled = compiler::compile_source(
+      "kernel wrap(int m[1]) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 300; i = i + 1) { m[0] = m[0] + i; }\n"
+      "}\n",
+      options);
+  mem::MemoryPool pool;
+  pool.create("m", 1, 32);
+  std::uint64_t cycles = 0;
+  if (std::string(GetParam()) == "event-engine") {
+    auto engine = elab::make_engine("event");
+    EngineRunOptions run_options;
+    EngineResult run = engine->run(compiled.design, pool, run_options);
+    ASSERT_TRUE(run.completed);
+    cycles = run.total_cycles();
+  } else {
+    cosim::CpuProgram program;
+    program.run_accel().halt();
+    cosim::CoSimResult result =
+        cosim::CoSimSystem(compiled.design, pool).run(program);
+    ASSERT_TRUE(result.halted);
+    cycles = result.fabric_cycles;
+  }
+  // One loop iteration takes several cycles at clock period 10, so 300
+  // iterations cross the 1024-time-unit ring horizon many times.
+  EXPECT_GT(cycles * 10, 4 * 1024u);
+  EXPECT_EQ(pool.get("m").words()[0], 44850u);  // sum 0..299
 }
 
 TEST(EventWheel, FarFutureEventsSurviveTheHorizon) {

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <vector>
+
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
+#include "fti/util/json.hpp"
 #include "fti/util/strings.hpp"
 #include "fti/util/table.hpp"
+#include "fti/util/thread_pool.hpp"
 
 namespace fti::util {
 namespace {
@@ -149,6 +155,96 @@ TEST(Table, PadsShortRows) {
   TextTable table({"a", "b", "c"});
   table.add_row({"only"});
   EXPECT_NE(table.to_string().find("only"), std::string::npos);
+}
+
+TEST(Table, OversizedRowThrowsInsteadOfTruncating) {
+  // add_row used to row.resize(header) and silently drop the extra cells.
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1", "2", "dropped"}), Error);
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(ThreadPool, VisitsEveryIndexExactlyOnce) {
+  for (std::uint32_t jobs : {1u, 4u}) {
+    ThreadPool pool(jobs);
+    EXPECT_EQ(pool.jobs(), jobs);
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallel_for_indexed(hits.size(), [&](std::uint64_t index) {
+      hits[index].fetch_add(1);
+      return true;
+    });
+    for (const auto& hit : hits) {
+      EXPECT_EQ(hit.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroJobsClampsToOne) {
+  EXPECT_EQ(ThreadPool(0).jobs(), 1u);
+}
+
+TEST(ThreadPool, CancellationStopsDispatch) {
+  // Single worker makes the dispatch order exact: cancelling at index 3
+  // must leave indices 4.. untouched.
+  ThreadPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for_indexed(hits.size(), [&](std::uint64_t index) {
+    hits[index] = 1;
+    return index != 3;
+  });
+  EXPECT_EQ(std::vector<int>(hits.begin(), hits.begin() + 4),
+            (std::vector<int>{1, 1, 1, 1}));
+  EXPECT_EQ(std::vector<int>(hits.begin() + 4, hits.end()),
+            std::vector<int>(6, 0));
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  for (std::uint32_t jobs : {1u, 4u}) {
+    try {
+      parallel_for_indexed(jobs, 64, [&](std::uint64_t index) -> bool {
+        if (index == 7 || index == 23) {
+          throw Error("test", "boom at " + std::to_string(index));
+        }
+        return true;
+      });
+      FAIL() << "expected the body's exception to propagate";
+    } catch (const Error& error) {
+      // With one worker, index 7 throws first and cancels before 23 is
+      // ever dispatched; with several workers both may throw, and the
+      // pool must still surface the lowest index.
+      EXPECT_NE(std::string(error.what()).find("boom at 7"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(JsonReport, TopLevelFieldsAndRows) {
+  JsonReport json("demo", "suite", "rows");
+  json.set("jobs", std::uint64_t{4});
+  json.set("all_passed", true);
+  JsonReport::Workload& row = json.workload("case \"a\"");
+  row.set("cycles", std::uint64_t{12});
+  row.set("note", "quoted \"text\"");
+  std::string text = json.to_string();
+  EXPECT_NE(text.find("\"suite\": \"demo\""), std::string::npos);
+  EXPECT_NE(text.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"all_passed\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(text.find("case \\\"a\\\""), std::string::npos);
+  EXPECT_NE(text.find("\"cycles\": 12"), std::string::npos);
+  EXPECT_NE(text.find("quoted \\\"text\\\""), std::string::npos);
+}
+
+TEST(JsonReport, BenchSchemaIsUnchanged) {
+  // The promoted writer must keep emitting the historical BENCH_*.json
+  // shape byte for byte when instantiated with the default keys.
+  JsonReport json("baseline");
+  json.workload("w").set("x", std::uint64_t{1});
+  EXPECT_EQ(json.to_string(),
+            "{\n  \"bench\": \"baseline\",\n  \"workloads\": [\n"
+            "    {\"name\": \"w\", \"x\": 1}\n  ]\n}\n");
 }
 
 TEST(Table, FormatHelpers) {

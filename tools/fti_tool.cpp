@@ -6,6 +6,12 @@
 //   fti suite DIR [--emit DIR]        run every *.k test case in DIR
 //                                     (no compiler involved -- the designs
 //                                     are whatever the files describe)
+//                 [--jobs N]          run N test cases concurrently (the
+//                                     report stays in test order and is
+//                                     identical to a --jobs 1 run apart
+//                                     from the wall-clock columns)
+//                 [--json PATH]       also write the report as JSON
+//                                     (per-row metrics + campaign totals)
 //   fti engines                       list the registered execution engines
 //
 // Common options:
@@ -26,6 +32,7 @@
 //   --out DIR              output directory (default: KERNEL name)
 //
 // Exit code: 0 on PASS, 1 on FAIL, 2 on usage/input errors.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 
@@ -45,6 +52,7 @@
 #include "fti/sim/vcd.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
+#include "fti/util/json.hpp"
 #include "fti/util/logging.hpp"
 #include "fti/util/strings.hpp"
 #include "fti/util/table.hpp"
@@ -62,7 +70,8 @@ namespace {
       "                     [--out DIR] [--limit class=N]\n"
       "       fti run       RTG.xml [--mem a=F.dat] [--save a=F.dat]\n"
       "                     [--max-cycles N] [--vcd FILE] [--engine NAME]\n"
-      "       fti suite     DIR [--emit DIR] [--engine NAME]\n"
+      "       fti suite     DIR [--emit DIR] [--engine NAME] [--jobs N]\n"
+      "                     [--json PATH]\n"
       "       fti engines\n";
   std::exit(2);
 }
@@ -85,6 +94,8 @@ struct Cli {
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
   std::string engine = "event";
+  std::uint32_t jobs = 1;
+  std::filesystem::path json_path;
   bool verbose = false;
 };
 
@@ -147,6 +158,20 @@ Cli parse_cli(int argc, char** argv) {
           static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
     } else if (flag == "--engine") {
       cli.engine = need_value(i);
+    } else if (flag == "--jobs") {
+      // Same validation the fuzzer CLI applies: reject non-numeric input
+      // with a usage error (not an uncaught parse exception) and clamp 0
+      // to one worker.
+      std::string value = need_value(i);
+      try {
+        cli.jobs = static_cast<std::uint32_t>(fti::util::parse_u64(value));
+      } catch (const fti::util::Error&) {
+        std::cerr << "--jobs needs a number, got '" << value << "'\n";
+        usage();
+      }
+      cli.jobs = std::max<std::uint32_t>(1, cli.jobs);
+    } else if (flag == "--json") {
+      cli.json_path = need_value(i);
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -390,13 +415,15 @@ int main(int argc, char** argv) {
       options.emit_dir = cli.out_dir;
       options.engine = cli.engine;
       fti::harness::SuiteReport report = suite.run_all(
-          options, [](const fti::harness::SuiteRow& row) {
+          options,
+          [](const fti::harness::SuiteRow& row) {
             std::cout << (row.passed ? "PASS" : "FAIL") << "  " << row.name;
             if (!row.passed) {
               std::cout << "  (" << row.message << ")";
             }
             std::cout << "\n";
-          });
+          },
+          cli.jobs);
       std::cout << "\n" << report.to_table();
       std::cout << (report.all_passed()
                         ? "suite PASSED"
@@ -404,6 +431,35 @@ int main(int argc, char** argv) {
                               std::to_string(report.failures()) + " of " +
                               std::to_string(report.rows.size()) + ")")
                 << "\n";
+      if (!cli.json_path.empty()) {
+        fti::util::JsonReport json(cli.source_path.filename().string(),
+                                   "suite", "rows");
+        json.set("engine", cli.engine);
+        json.set("jobs", static_cast<std::uint64_t>(report.jobs));
+        json.set("tests", static_cast<std::uint64_t>(report.rows.size()));
+        json.set("failures",
+                 static_cast<std::uint64_t>(report.failures()));
+        json.set("all_passed", report.all_passed());
+        json.set("wall_seconds", report.wall_seconds);
+        for (const fti::harness::SuiteRow& row : report.rows) {
+          fti::util::JsonReport::Workload& record = json.workload(row.name);
+          record.set("passed", row.passed);
+          record.set("configurations",
+                     static_cast<std::uint64_t>(row.configurations));
+          record.set("cycles", row.cycles);
+          record.set("events", row.events);
+          record.set("mismatches",
+                     static_cast<std::uint64_t>(row.mismatches));
+          record.set("coverage_percent", row.coverage_percent);
+          record.set("sim_seconds", row.sim_seconds);
+          record.set("total_seconds", row.total_seconds);
+          if (!row.passed) {
+            record.set("message", row.message);
+          }
+        }
+        json.write(cli.json_path);
+        std::cout << "wrote " << cli.json_path.string() << "\n";
+      }
       return report.all_passed() ? 0 : 1;
     }
     usage();
