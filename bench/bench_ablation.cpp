@@ -10,7 +10,8 @@
 //   bench_ablation [--json PATH]   (conventionally PATH=BENCH_ablation.json)
 #include <iostream>
 
-#include "bench_json.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/harness/metrics.hpp"
@@ -19,10 +20,10 @@
 
 namespace {
 
-void record(fti::bench::JsonReport& json,
+void record(fti::util::JsonReport& json,
             const fti::harness::TestCase& test,
             const fti::harness::VerifyOutcome& outcome) {
-  fti::bench::JsonReport::Workload& workload = json.workload(test.name);
+  fti::util::JsonReport::Workload& workload = json.workload(test.name);
   workload.set("passed", outcome.passed);
   workload.set("wall_seconds", outcome.sim_seconds);
   workload.set("cycles", outcome.run.total_cycles());
@@ -34,8 +35,14 @@ void record(fti::bench::JsonReport& json,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
-  fti::bench::JsonReport json("ablation");
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::util::JsonReport json("ablation");
   constexpr std::size_t kBlocks = 16;  // 1,024 pixels per configuration
   fti::util::TextTable table({"FU limit", "operators", "muxes",
                               "fsm states", "loXML datapath", "cycles",

@@ -11,9 +11,14 @@
 // strategy.
 //
 //   bench_baseline [--json PATH]   (conventionally PATH=BENCH_baseline.json)
+//                  [--obs]         record observability metrics + spans
+//                                  during the runs (E4 overhead harness:
+//                                  diff wall times against a run without)
 #include <iostream>
 
-#include "bench_json.hpp"
+#include "fti/obs/metrics.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/compiler/parser.hpp"
 #include "fti/elab/engines.hpp"
 #include "fti/golden/fdct.hpp"
@@ -34,7 +39,7 @@ struct EngineRun {
 void compare(const std::string& name, const std::string& source,
              std::map<std::string, std::int64_t> args,
              std::map<std::string, std::vector<std::uint64_t>> inputs,
-             fti::util::TextTable& table, fti::bench::JsonReport& report) {
+             fti::util::TextTable& table, fti::util::JsonReport& report) {
   fti::compiler::CompileOptions options;
   options.scalar_args = args;
   auto compiled = fti::compiler::compile_source(source, options);
@@ -90,7 +95,7 @@ void compare(const std::string& name, const std::string& source,
        fti::util::format_double(naive.seconds / levelized.seconds, 2),
        identical ? "yes" : "NO"});
 
-  fti::bench::JsonReport::Workload& workload = report.workload(name);
+  fti::util::JsonReport::Workload& workload = report.workload(name);
   workload.set("cycles", event.result.total_cycles());
   workload.set("bit_identical", identical);
   for (const std::string& engine_name : engines) {
@@ -114,8 +119,19 @@ void compare(const std::string& name, const std::string& source,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
-  fti::bench::JsonReport report("baseline");
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  bool obs_enabled = fti::util::extract_flag(argc, argv, "--obs");
+  if (obs_enabled) {
+    fti::obs::set_enabled(true);
+  }
+  fti::util::JsonReport report("baseline");
+  report.set("obs_enabled", obs_enabled);
   fti::util::TextTable table({"design", "cycles", "evals (event)",
                               "evals (naive)", "event (s)", "naive (s)",
                               "levelized (s)", "event spd", "lev spd",

@@ -1,4 +1,4 @@
-// E4 -- Figure 1 flow coverage.
+// E6 -- Figure 1 flow coverage.
 //
 // Figure 1 is the architecture diagram of the infrastructure; it carries
 // no measured series, so its reproduction is demonstrating that every box
@@ -10,7 +10,8 @@
 //   bench_flow [--json PATH]   (conventionally PATH=BENCH_flow.json)
 #include <iostream>
 
-#include "bench_json.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/codegen/dot.hpp"
 #include "fti/codegen/hds.hpp"
 #include "fti/codegen/verilog.hpp"
@@ -36,9 +37,9 @@ namespace {
 void run_flow(const std::string& name, const std::string& source,
               std::map<std::string, std::int64_t> args,
               std::map<std::string, std::vector<std::uint64_t>> inputs,
-              fti::bench::JsonReport& json) {
+              fti::util::JsonReport& json) {
   std::cout << "--- flow for '" << name << "' ---\n";
-  fti::bench::JsonReport::Workload& workload = json.workload(name);
+  fti::util::JsonReport::Workload& workload = json.workload(name);
   fti::util::TextTable table({"stage (Figure 1 element)", "time (ms)",
                               "artefact lines"});
   fti::util::Stopwatch watch;
@@ -153,9 +154,15 @@ void run_flow(const std::string& name, const std::string& source,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
-  fti::bench::JsonReport json("flow");
-  std::cout << "=== Figure 1 flow coverage (E4) ===\n\n";
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::util::JsonReport json("flow");
+  std::cout << "=== Figure 1 flow coverage (E6) ===\n\n";
   run_flow("fdct2 (8 blocks)", fti::golden::fdct_source(8, true),
            {{"nblocks", 8}},
            {{"in", fti::golden::make_test_image(512)}}, json);

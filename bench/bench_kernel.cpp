@@ -11,7 +11,10 @@
 //    --benchmark_out_format=json; conventionally PATH=BENCH_kernel.json)
 #include <benchmark/benchmark.h>
 
-#include "bench_json.hpp"
+#include <iostream>
+
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/compiler/hls.hpp"
 #include "fti/elab/elaborator.hpp"
 #include "fti/golden/fdct.hpp"
@@ -157,7 +160,13 @@ BENCHMARK(BM_CompileFdct);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
   std::vector<std::string> storage;
   if (!json_path.empty()) {
     storage.push_back("--benchmark_out=" + json_path.string());

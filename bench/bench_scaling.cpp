@@ -16,15 +16,22 @@
 #include <cstring>
 #include <iostream>
 
-#include "bench_json.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/harness/testcase.hpp"
 #include "fti/util/table.hpp"
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
-  fti::bench::JsonReport json("scaling");
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::util::JsonReport json("scaling");
   bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   struct Point {
     std::size_t pixels;
@@ -65,7 +72,7 @@ int main(int argc, char** argv) {
                    fti::util::format_count(outcome.run.total_events()),
                    fti::util::format_double(ns_per_pixel, 1),
                    outcome.passed ? "PASS" : "FAIL"});
-    fti::bench::JsonReport::Workload& workload = json.workload(test.name);
+    fti::util::JsonReport::Workload& workload = json.workload(test.name);
     workload.set("passed", outcome.passed);
     workload.set("pixels", static_cast<std::uint64_t>(point.pixels));
     workload.set("wall_seconds", outcome.sim_seconds);

@@ -17,7 +17,8 @@
 //   bench_table1 [--json PATH]   (conventionally PATH=BENCH_table1.json)
 #include <iostream>
 
-#include "bench_json.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/golden/hamming.hpp"
@@ -57,7 +58,7 @@ std::string join_per_config(const std::vector<std::string>& values) {
 
 void report(const std::string& name, const fti::harness::TestCase& test,
             fti::util::TextTable& table,
-            fti::bench::JsonReport& json) {
+            fti::util::JsonReport& json) {
   fti::harness::VerifyOptions options;
   options.generate_artifacts = true;
   fti::harness::VerifyOutcome outcome =
@@ -87,7 +88,7 @@ void report(const std::string& name, const fti::harness::TestCase& test,
                  join_per_config(gen_lines), join_per_config(operators),
                  join_per_config(times),
                  fti::util::format_count(outcome.run.total_cycles())});
-  fti::bench::JsonReport::Workload& workload = json.workload(name);
+  fti::util::JsonReport::Workload& workload = json.workload(name);
   workload.set("passed", outcome.passed);
   workload.set("cycles", outcome.run.total_cycles());
   workload.set("wall_seconds", outcome.run.total_wall_seconds());
@@ -100,8 +101,14 @@ void report(const std::string& name, const fti::harness::TestCase& test,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::filesystem::path json_path = fti::bench::parse_json_flag(argc, argv);
-  fti::bench::JsonReport json("table1");
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::util::JsonReport json("table1");
   constexpr std::size_t kBlocks = 64;       // 4,096 pixels, as in the paper
   constexpr std::size_t kHammingWords = 4096;
 

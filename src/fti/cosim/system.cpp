@@ -1,5 +1,7 @@
 #include "fti/cosim/system.hpp"
 
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/logging.hpp"
 
@@ -93,6 +95,8 @@ CoSimResult CoSimSystem::run(const CpuProgram& program,
         break;
       case CpuOp::kRun: {
         ++result.reconfigurations;
+        obs::counter("cosim.reconfigurations").inc();
+        obs::ScopedSpan span("reconfigure:" + insn.node, "cosim");
         result.cpu_cycles += options.cycles_per_reconfiguration;
         if (fabric == nullptr) {
           fabric = elab::make_engine(options.engine);

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "fti/elab/levelized.hpp"
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 #include "fti/ops/alu.hpp"
 #include "fti/sim/probe.hpp"
 #include "fti/util/error.hpp"
@@ -36,8 +38,26 @@ sim::EngineResult PartitionedEngine::run(const ir::Design& design,
   std::string node = design.rtg.initial;
   std::size_t index = 0;
   while (!node.empty()) {
-    sim::EnginePartition run =
-        run_partition(design, node, pool, options, index);
+    sim::EnginePartition run;
+    {
+      obs::ScopedSpan span(name() + ":" + node, "engine");
+      run = run_partition(design, node, pool, options, index);
+    }
+    // Partition-granularity aggregation from the kernel's own stats --
+    // the per-event loops stay untouched, so the instrumented engines
+    // cost the same as the uninstrumented ones.
+    if (obs::enabled()) {
+      obs::counter("engine.partitions").inc();
+      obs::counter("engine.events_popped").add(run.stats.events);
+      obs::counter("engine.evaluations").add(run.stats.evaluations);
+      obs::counter("engine.delta_cycles").add(run.stats.delta_cycles);
+      obs::counter("engine.wheel_rotations").add(run.stats.timesteps);
+      obs::counter("engine.cycles").add(run.cycles);
+      if (run.wall_seconds > 0.0) {
+        obs::gauge("engine.cycles_per_sec")
+            .set(static_cast<double>(run.cycles) / run.wall_seconds);
+      }
+    }
     sim::Kernel::StopReason reason = run.reason;
     result.partitions.push_back(std::move(run));
     if (reason != sim::Kernel::StopReason::kDoneNet) {

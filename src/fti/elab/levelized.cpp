@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "fti/obs/metrics.hpp"
 #include "fti/ops/alu.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
@@ -515,6 +516,12 @@ sim::EnginePartition LevelizedEngine::run_partition(
   LevelizedSim simulator(design.configuration(node), pool, options);
   sim::EnginePartition run = simulator.run(node);
   run.wall_seconds = watch.seconds();
+  // Each delta is one full sweep of the levelized schedule, so the
+  // number of levels visited is sweeps x schedule depth.
+  if (obs::enabled()) {
+    obs::counter("engine.levels_swept")
+        .add(run.stats.delta_cycles * simulator.depth());
+  }
   return run;
 }
 

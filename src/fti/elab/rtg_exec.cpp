@@ -1,5 +1,7 @@
 #include "fti/elab/rtg_exec.hpp"
 
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/logging.hpp"
@@ -15,8 +17,12 @@ PartitionRun run_one_partition(const ir::Configuration& config,
   // Reconfiguration: the previous partition's netlist is gone; only the
   // pool persists.  Elaboration cost is part of the configuration's wall
   // time, as bitstream loading would be on the FPGA.
-  std::unique_ptr<ElaboratedConfig> live =
-      elaborate(config, pool, options.elab);
+  std::unique_ptr<ElaboratedConfig> live;
+  {
+    obs::ScopedSpan span("elaborate:" + node, "elab");
+    live = elaborate(config, pool, options.elab);
+    obs::counter("elab.configurations").inc();
+  }
   if (options.on_elaborated) {
     options.on_elaborated(node, *live);
   }

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "fti/fuzz/corpus.hpp"
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 #include "fti/util/thread_pool.hpp"
 
 namespace fti::fuzz {
@@ -39,9 +41,11 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
 
   auto run_case = [&](std::uint64_t index) -> bool {
     std::uint64_t case_seed = Rng::derive(options.seed, index);
+    obs::ScopedSpan case_span("case:" + std::to_string(index), "fuzz");
     ir::Design design;
     try {
       design = generate_design_seeded(case_seed, options.generator);
+      obs::counter("fuzz.designs_generated").inc();
     } catch (const std::exception& error) {
       // A generator bug is a campaign failure too, minus the shrink.
       FuzzFailure failure;
@@ -67,6 +71,7 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     if (diff.ok) {
       return true;
     }
+    obs::counter("fuzz.divergences").inc();
     emit("case " + std::to_string(index) + " (seed " +
          std::to_string(case_seed) + "): " +
          std::to_string(diff.mismatches.size()) + " mismatch line(s), " +
@@ -88,7 +93,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       };
       ShrinkOptions shrink_options;
       shrink_options.max_evaluations = options.shrink_evaluations;
+      obs::ScopedSpan shrink_span("shrink:" + std::to_string(index), "fuzz");
       ShrinkResult shrunk = shrink(design, predicate, shrink_options);
+      obs::counter("fuzz.shrink_steps").add(shrunk.evaluations);
       failure.shrunk = std::move(shrunk.design);
       failure.shrunk_nodes = ir_node_count(failure.shrunk);
       emit("case " + std::to_string(index) + ": shrunk " +

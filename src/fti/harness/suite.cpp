@@ -3,6 +3,8 @@
 #include <mutex>
 
 #include "fti/elab/engines.hpp"
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/table.hpp"
 #include "fti/util/thread_pool.hpp"
@@ -79,6 +81,7 @@ SuiteReport TestSuite::run_all(
     util::Stopwatch watch;
     SuiteRow row;
     row.name = test.name;
+    obs::ScopedSpan span("test:" + test.name, "suite");
     VerifyOutcome outcome = run_test_case(test, options);
     row.passed = outcome.passed;
     row.message = outcome.message;
@@ -98,11 +101,18 @@ SuiteReport TestSuite::run_all(
       std::lock_guard<std::mutex> lock(done_mutex);
       on_done(row);
     }
+    if (obs::enabled()) {
+      obs::counter("suite.tests").inc();
+      obs::counter(row.passed ? "suite.passed" : "suite.failed").inc();
+      obs::counter("suite.cycles").add(row.cycles);
+      obs::gauge("suite.coverage_pct").set(row.coverage_percent);
+    }
     // Distinct slot per index; ordered by construction, no lock needed.
     report.rows[index] = std::move(row);
     return true;
   });
   report.wall_seconds = campaign.seconds();
+  obs::gauge("suite.wall_seconds").set(report.wall_seconds);
   return report;
 }
 

@@ -1,0 +1,77 @@
+// Renders a MetricsSnapshot as a util::JsonReport.  Header-only and kept
+// out of the fti_obs library on purpose: obs sits below util in the link
+// order (util's thread pool is instrumented), so the obs *library* cannot
+// include util headers -- but every consumer that wants JSON (tools,
+// tests, benches) already links both, and includes this bridge.
+//
+// Schema (kind "snapshot", list "metrics"), one record per metric:
+//
+//   { "snapshot": "<name>",
+//     "dropped_spans": N,
+//     "metrics": [
+//       {"name": "engine.events_popped", "type": "counter", "value": N},
+//       {"name": "suite.coverage_pct",   "type": "gauge",   "value": X},
+//       {"name": "pool.task_us", "type": "histogram", "count": N,
+//        "sum": X, "le_100": N, ..., "le_inf": N} ] }
+#pragma once
+
+#include <string>
+
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
+#include "fti/util/json.hpp"
+#include "fti/util/table.hpp"
+
+namespace fti::obs {
+
+/// Compact bound formatting for histogram bucket keys: "le_100",
+/// "le_2.5" -- fixed precision with trailing zeros trimmed, so keys stay
+/// readable and stable.
+inline std::string bucket_key(double bound) {
+  std::string text = util::format_double(bound, 6);
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') {
+      text.pop_back();
+    }
+    if (!text.empty() && text.back() == '.') {
+      text.pop_back();
+    }
+  }
+  return "le_" + text;
+}
+
+inline util::JsonReport metrics_report(const MetricsSnapshot& snap,
+                                       const std::string& name = "fti") {
+  util::JsonReport report(name, "snapshot", "metrics");
+  report.set("dropped_spans", Tracer::instance().dropped_total());
+  for (const CounterSnapshot& c : snap.counters) {
+    auto& row = report.workload(c.name);
+    row.set("type", "counter");
+    row.set("value", c.value);
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    auto& row = report.workload(g.name);
+    row.set("type", "gauge");
+    row.set("value", g.value);
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    auto& row = report.workload(h.name);
+    row.set("type", "histogram");
+    row.set("count", h.count);
+    row.set("sum", h.sum);
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      row.set(bucket_key(h.bounds[i]), h.bucket_counts[i]);
+    }
+    row.set("le_inf", h.bucket_counts.back());
+  }
+  return report;
+}
+
+/// Snapshot the process registry and write it to `path`.  Throws
+/// util::IoError on write failure (same contract as JsonReport::write).
+inline void write_metrics_file(const std::filesystem::path& path,
+                               const std::string& name = "fti") {
+  metrics_report(Registry::instance().snapshot(), name).write(path);
+}
+
+}  // namespace fti::obs

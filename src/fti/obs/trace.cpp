@@ -1,0 +1,221 @@
+#include "fti/obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "fti/obs/metrics.hpp"
+
+namespace fti::obs {
+namespace {
+
+thread_local std::shared_ptr<SpanRing> t_ring;
+thread_local std::uint32_t t_depth = 0;
+
+/// Minimal JSON string escaping, duplicated from util::json_escape on
+/// purpose: fti_obs sits below fti_util in the link order (util's thread
+/// pool is instrumented with obs), so it cannot include util headers.
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  static const char* kHex = "0123456789abcdef";
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SpanRing::SpanRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void SpanRing::push(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (records_.size() < capacity_) {
+    records_.push_back(std::move(record));
+    return;
+  }
+  records_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void SpanRing::set_thread_name(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_name_ = std::move(name);
+}
+
+std::vector<SpanRecord> SpanRing::drain_copy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(records_.size());
+  // head_ is the oldest surviving record once the ring has wrapped.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t SpanRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::string SpanRing::thread_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return thread_name_;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+SpanRing& Tracer::ring_for_this_thread() {
+  if (t_ring == nullptr) {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    auto ring = std::make_shared<SpanRing>(ring_capacity_);
+    ring->tid_ = static_cast<std::uint32_t>(rings_.size() + 1);
+    ring->thread_name_ = "thread-" + std::to_string(ring->tid_);
+    rings_.push_back(ring);
+    t_ring = std::move(ring);
+  }
+  return *t_ring;
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  ring_capacity_ = std::max<std::size_t>(1, capacity);
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ring_for_this_thread().set_thread_name(std::move(name));
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  std::vector<std::shared_ptr<SpanRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings = rings_;
+  }
+  struct Entry {
+    SpanRecord record;
+    std::uint32_t tid;
+  };
+  std::vector<Entry> entries;
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  const char* sep = "\n";
+  for (const auto& ring : rings) {
+    out << sep << "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1"
+        << ", \"tid\": " << ring->tid() << ", \"args\": {\"name\": \""
+        << escape(ring->thread_name()) << "\"}}";
+    sep = ",\n";
+    for (SpanRecord& record : ring->drain_copy()) {
+      entries.push_back({std::move(record), ring->tid()});
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.record.start_us < b.record.start_us;
+                   });
+  for (const Entry& entry : entries) {
+    out << sep << "    {\"name\": \"" << escape(entry.record.name)
+        << "\", \"cat\": \"" << escape(entry.record.category)
+        << "\", \"ph\": \"X\", \"ts\": " << entry.record.start_us
+        << ", \"dur\": " << entry.record.dur_us << ", \"pid\": 1, \"tid\": "
+        << entry.tid << "}";
+    sep = ",\n";
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool Tracer::write_chrome_trace_file(
+    const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_chrome_trace(out);
+  return out.good();
+}
+
+std::uint64_t Tracer::dropped_total() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+void Tracer::reset_values() {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex_);
+    ring->records_.clear();
+    ring->head_ = 0;
+    ring->dropped_ = 0;
+  }
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const char* category)
+    : category_(category) {
+  if (!enabled()) {
+    return;
+  }
+  active_ = true;
+  name_.assign(name);
+  start_us_ = Tracer::instance().now_us();
+  ++t_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) {
+    return;
+  }
+  --t_depth;
+  Tracer& tracer = Tracer::instance();
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.category = category_;
+  record.start_us = start_us_;
+  std::uint64_t end = tracer.now_us();
+  record.dur_us = end > start_us_ ? end - start_us_ : 0;
+  record.depth = t_depth;
+  tracer.ring_for_this_thread().push(std::move(record));
+}
+
+}  // namespace fti::obs

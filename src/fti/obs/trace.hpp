@@ -1,0 +1,142 @@
+// Process-wide observability: the span half (see metrics.hpp for the
+// counters).  Records wall-clock spans -- "this thread spent [t0, t1) in
+// partition fdct/run, inside suite test saxpy, inside pool task 3" -- and
+// exports them as Chrome trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+//
+// Recording model:
+//  * RAII.  A ScopedSpan stamps steady-clock microseconds at construction
+//    and appends one record at destruction.  Nesting falls out of the
+//    timeline: Perfetto stacks same-thread spans by containment, so no
+//    parent bookkeeping is needed beyond a per-thread depth counter.
+//  * Per-thread ring buffers.  Each thread lazily registers a
+//    fixed-capacity ring; pushes lock only the thread's own (uncontended)
+//    mutex, so recording never serialises workers against each other.
+//    The mutex -- rather than a lock-free ring -- is deliberate: the
+//    tracer must be TSan-clean, exports can happen while workers still
+//    run, and an uncontended lock costs nanoseconds at span granularity.
+//  * Bounded memory.  A full ring overwrites its oldest records (the most
+//    recent window is what a timeline viewer wants) and counts what it
+//    dropped; exporters surface the total so truncation is never silent.
+//  * Rings outlive their threads.  The global list holds shared
+//    ownership, so spans recorded by pool workers survive the join and
+//    appear in a trace exported later from the main thread.
+//
+// Everything is gated on the same obs::enabled() flag as the metrics
+// registry: while disabled, ScopedSpan construction is a relaxed atomic
+// load and two stores, with no clock read and no allocation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fti::obs {
+
+struct SpanRecord {
+  std::string name;
+  /// Layer tag ("engine", "pool", "suite", ...); expected to be a string
+  /// literal, stored by pointer.
+  const char* category;
+  std::uint64_t start_us;  ///< microseconds since the tracer epoch
+  std::uint64_t dur_us;
+  std::uint32_t depth;  ///< nesting depth on this thread (0 = outermost)
+};
+
+/// One thread's span storage.  Public only for the exporter and tests;
+/// instrumentation goes through ScopedSpan.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity);
+
+  void push(SpanRecord record);
+  void set_thread_name(std::string name);
+
+  /// Records in chronological (insertion) order, oldest surviving first.
+  std::vector<SpanRecord> drain_copy() const;
+  std::uint64_t dropped() const;
+  std::string thread_name() const;
+  std::uint32_t tid() const { return tid_; }
+
+ private:
+  friend class Tracer;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::size_t head_ = 0;  ///< next write slot once the ring is full
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+  std::string thread_name_;
+  std::uint32_t tid_ = 0;  ///< dense id assigned at registration
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// The calling thread's ring, registered (and named "thread-<tid>") on
+  /// first use.
+  SpanRing& ring_for_this_thread();
+
+  /// Microseconds since the tracer's epoch (process-start steady clock).
+  std::uint64_t now_us() const;
+
+  /// Ring capacity for threads that register AFTER this call (existing
+  /// rings keep their size).  Default 16384 spans per thread.
+  void set_ring_capacity(std::size_t capacity);
+
+  /// Renames the calling thread in the exported trace.
+  void set_thread_name(std::string name);
+
+  /// Chrome trace-event JSON: {"displayTimeUnit": "ms", "traceEvents":
+  /// [...]} with one "M" thread_name metadata event per thread and one
+  /// complete ("X") event per span, sorted by start time.  Safe to call
+  /// while other threads are still recording (their rings are locked one
+  /// at a time).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// write_chrome_trace into `path`; false (with no throw) when the file
+  /// cannot be opened, so obs stays usable from layers that must not
+  /// depend on util's error types.
+  bool write_chrome_trace_file(const std::filesystem::path& path) const;
+
+  /// Spans overwritten across all rings since the last reset.
+  std::uint64_t dropped_total() const;
+
+  /// Empties every ring (capacity and registration survive).  For tests.
+  void reset_values();
+
+ private:
+  Tracer();
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::shared_ptr<SpanRing>> rings_;
+  std::size_t ring_capacity_ = 16384;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Records the enclosing scope as one span.  `category` must be a string
+/// literal (stored by pointer); `name` is copied, and only when recording
+/// is enabled -- but note the *argument* is built by the caller either
+/// way, so hot paths should pass literals or pre-built strings.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, const char* category);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace fti::obs

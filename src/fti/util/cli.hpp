@@ -1,0 +1,93 @@
+// Shared command-line parsing helpers for the front ends (fti, fti_fuzz)
+// and the bench binaries.  Before this header each tool hand-rolled its
+// own numeric validation -- fti wrapped parse_u64 in a try/catch per
+// flag, fti_fuzz had a strtoull copy that called exit(2) -- so error
+// wording and exit behaviour drifted.  Every helper here reports bad
+// input by throwing UsageError naming the flag; the tools catch it at
+// main() and map it to exit code 2 next to their usage text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fti/util/error.hpp"
+#include "fti/util/strings.hpp"
+
+namespace fti::util {
+
+/// Malformed command line (bad flag value, missing operand).  Tools map
+/// this to exit code 2.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& message)
+      : Error("usage", message) {}
+};
+
+/// parse_u64 with the flag name folded into the error message:
+/// "--runs needs a number, got 'abc'".
+inline std::uint64_t parse_u64_flag(const std::string& flag,
+                                    const std::string& value) {
+  try {
+    return parse_u64(value);
+  } catch (const Error&) {
+    throw UsageError(flag + " needs a number, got '" + value + "'");
+  }
+}
+
+/// parse_u64_flag narrowed to 32 bits (resource limits, port counts).
+inline std::uint32_t parse_u32_flag(const std::string& flag,
+                                    const std::string& value) {
+  std::uint64_t parsed = parse_u64_flag(flag, value);
+  if (parsed > 0xffffffffull) {
+    throw UsageError(flag + " value '" + value + "' is out of range");
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+/// Worker-count flags: numeric, with 0 clamped to one worker.
+inline std::uint32_t parse_jobs_flag(const std::string& flag,
+                                     const std::string& value) {
+  std::uint32_t jobs = parse_u32_flag(flag, value);
+  return jobs == 0 ? 1 : jobs;
+}
+
+/// Scans argv for a valueless `flag`, removes it and returns whether it
+/// was present.  Companion to extract_path_flag for the bench binaries.
+inline bool extract_flag(int& argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag != argv[i]) {
+      continue;
+    }
+    for (int j = i; j + 1 < argc; ++j) {
+      argv[j] = argv[j + 1];
+    }
+    argc -= 1;
+    return true;
+  }
+  return false;
+}
+
+/// Scans argv for `flag PATH`, removes both from the argument list and
+/// returns PATH ("" when the flag is absent).  For binaries whose main
+/// loop positionally consumes the remaining arguments (the bench
+/// binaries); throws UsageError when the flag is last with no value.
+inline std::string extract_path_flag(int& argc, char** argv,
+                                     const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag != argv[i]) {
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw UsageError(flag + " needs a file path");
+    }
+    std::string path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) {
+      argv[j] = argv[j + 2];
+    }
+    argc -= 2;
+    return path;
+  }
+  return "";
+}
+
+}  // namespace fti::util

@@ -1,5 +1,5 @@
-// Machine-readable run reports (promoted from bench/bench_json.hpp so the
-// suite runner and the bench binaries share one writer).
+// Machine-readable run reports, shared by the suite runner and the bench
+// binaries (the read half lives in json_reader.hpp).
 //
 // A JsonReport is one flat document: a kind tag, optional top-level
 // scalar fields (campaign-level data: wall-clock, jobs, totals), and a
@@ -16,6 +16,7 @@
 // deterministic producer yields a byte-stable report.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -29,11 +30,43 @@ namespace fti::util {
 
 inline std::string json_escape(const std::string& text) {
   std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
+  out.reserve(text.size());
+  static const char* kHex = "0123456789abcdef";
+  for (char ch : text) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // Remaining control characters (RFC 8259 requires escaping all
+        // of U+0000..U+001F) go out as \u00XX.
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += ch;
+        }
     }
-    out += c;
   }
   return out;
 }
@@ -46,7 +79,10 @@ class JsonReport {
       fields_.emplace_back(key, std::to_string(value));
     }
     void set(const std::string& key, double value) {
-      fields_.emplace_back(key, format_double(value, 6));
+      // JSON has no NaN/Infinity literals; map non-finite values to null
+      // rather than emitting an unparseable document.
+      fields_.emplace_back(
+          key, std::isfinite(value) ? format_double(value, 6) : "null");
     }
     void set(const std::string& key, const std::string& value) {
       fields_.emplace_back(key, "\"" + json_escape(value) + "\"");

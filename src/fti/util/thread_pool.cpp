@@ -5,8 +5,12 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "fti/obs/metrics.hpp"
+#include "fti/obs/trace.hpp"
 
 namespace fti::util {
 
@@ -22,12 +26,30 @@ void ThreadPool::parallel_for_indexed(
   std::uint64_t error_index = std::numeric_limits<std::uint64_t>::max();
   std::exception_ptr error;
 
-  auto worker = [&]() {
+  // Registration is once per loop (not per task) so the disabled-path
+  // cost stays at one relaxed load per task inside Counter::add.
+  obs::Counter& tasks_executed = obs::counter("pool.tasks");
+  obs::Counter& tasks_stolen = obs::counter("pool.steals");
+
+  auto worker = [&](std::uint32_t worker_id, bool spawned_thread) {
+    if (spawned_thread && obs::enabled()) {
+      obs::Tracer::instance().set_thread_name(
+          "pool-worker-" + std::to_string(worker_id));
+    }
+    obs::ScopedSpan worker_span("worker", "pool");
     while (!cancelled.load(std::memory_order_relaxed)) {
       std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) {
         return;
       }
+      tasks_executed.inc();
+      // "Stolen" relative to a static block assignment: with fetch_add
+      // distribution, an index landing off its round-robin home thread
+      // means this worker outran a slower sibling.
+      if (index % jobs_ != worker_id) {
+        tasks_stolen.inc();
+      }
+      obs::ScopedSpan task_span("task", "pool");
       try {
         if (!body(index)) {
           cancelled.store(true, std::memory_order_relaxed);
@@ -46,14 +68,14 @@ void ThreadPool::parallel_for_indexed(
   };
 
   if (jobs_ == 1 || count <= 1) {
-    worker();
+    worker(0, false);
   } else {
     std::uint32_t spawned = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(jobs_, count));
     std::vector<std::thread> threads;
     threads.reserve(spawned);
     for (std::uint32_t i = 0; i < spawned; ++i) {
-      threads.emplace_back(worker);
+      threads.emplace_back([&worker, i]() { worker(i, true); });
     }
     for (std::thread& thread : threads) {
       thread.join();

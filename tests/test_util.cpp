@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <vector>
 
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/json.hpp"
+#include "fti/util/json_reader.hpp"
 #include "fti/util/strings.hpp"
 #include "fti/util/table.hpp"
 #include "fti/util/thread_pool.hpp"
@@ -255,6 +258,97 @@ TEST(Table, FormatHelpers) {
   EXPECT_EQ(format_count(1000), "1,000");
   EXPECT_EQ(format_count(345600), "345,600");
   EXPECT_EQ(format_count(1234567890), "1,234,567,890");
+}
+
+TEST(JsonEscape, ControlCharactersAndBackslashes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(json_escape("bell\x07!"), "bell\\u0007!");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(json_escape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonReport, ControlCharactersSurviveARoundTrip) {
+  JsonReport json("demo", "suite", "rows");
+  JsonReport::Workload& row = json.workload("case\nwith\tweird \x01chars");
+  row.set("message", "a\\b \"c\"\r\n");
+  JsonValue doc = parse_json(json.to_string());
+  const JsonValue& item = doc.at("rows").items.at(0);
+  EXPECT_EQ(item.at("name").as_string(), "case\nwith\tweird \x01chars");
+  EXPECT_EQ(item.at("message").as_string(), "a\\b \"c\"\r\n");
+}
+
+TEST(JsonReport, NonFiniteDoublesSerialiseAsNull) {
+  JsonReport json("demo", "suite", "rows");
+  JsonReport::Workload& row = json.workload("w");
+  row.set("nan", std::nan(""));
+  row.set("inf", std::numeric_limits<double>::infinity());
+  row.set("neg_inf", -std::numeric_limits<double>::infinity());
+  row.set("finite", 1.5);
+  std::string text = json.to_string();
+  EXPECT_NE(text.find("\"nan\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"inf\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"neg_inf\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"finite\": 1.5"), std::string::npos);
+  // The emitted document stays parseable.
+  JsonValue doc = parse_json(text);
+  EXPECT_TRUE(doc.at("rows").items.at(0).at("nan").is_null());
+}
+
+TEST(JsonReader, ParsesScalarsObjectsAndArrays) {
+  JsonValue doc = parse_json(
+      "{\"s\": \"text\", \"n\": -2.5e2, \"i\": 42, \"t\": true,"
+      " \"f\": false, \"z\": null, \"a\": [1, \"two\", {\"k\": 3}]}");
+  EXPECT_EQ(doc.at("s").as_string(), "text");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), -250.0);
+  EXPECT_EQ(doc.at("i").as_u64(), 42u);
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  const JsonValue& array = doc.at("a");
+  ASSERT_EQ(array.items.size(), 3u);
+  EXPECT_DOUBLE_EQ(array.items[0].as_number(), 1.0);
+  EXPECT_EQ(array.items[1].as_string(), "two");
+  EXPECT_EQ(array.items[2].at("k").as_u64(), 3u);
+}
+
+TEST(JsonReader, DecodesStringEscapes) {
+  JsonValue doc =
+      parse_json("{\"s\": \"a\\n\\t\\\"\\\\\\u0041\\u00e9\"}");
+  EXPECT_EQ(doc.at("s").as_string(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\": }"), JsonError);
+  EXPECT_THROW(parse_json("[1, 2,]"), JsonError);
+  EXPECT_THROW(parse_json("nulle"), JsonError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonError);
+  EXPECT_THROW(parse_json("\"raw\ncontrol\""), JsonError);
+  EXPECT_THROW(parse_json("01"), JsonError);
+  // Errors carry a line:column position.
+  try {
+    parse_json("{\n  \"a\": oops\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_NE(std::string(error.what()).find("2:8"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(JsonReader, TypedAccessorMismatchesThrow) {
+  JsonValue doc = parse_json("{\"s\": \"x\", \"n\": 1.5, \"neg\": -1}");
+  EXPECT_THROW(doc.at("s").as_number(), JsonError);
+  EXPECT_THROW(doc.at("n").as_string(), JsonError);
+  EXPECT_THROW(doc.at("n").as_u64(), JsonError);   // not integral
+  EXPECT_THROW(doc.at("neg").as_u64(), JsonError); // negative
+  EXPECT_THROW(doc.at("missing"), JsonError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
 }
 
 }  // namespace

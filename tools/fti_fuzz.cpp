@@ -17,6 +17,8 @@
 //                    replaces the default reference/naive/levelized set)
 //   --smoke          fixed quick profile used by ctest (equivalent to
 //                    --runs 25 with a smaller generator; ~seconds)
+//   --metrics PATH   record observability counters, write snapshot JSON
+//   --trace PATH     record spans, write a Chrome trace-event file
 //   --quiet          suppress per-case progress lines
 //
 // Exit code: 0 when every case agreed, 1 on any mismatch, 2 on usage
@@ -29,6 +31,8 @@
 
 #include "fti/fuzz/corpus.hpp"
 #include "fti/fuzz/fuzzer.hpp"
+#include "fti/obs/json.hpp"
+#include "fti/util/cli.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 
@@ -39,20 +43,11 @@ namespace {
       << "usage: fti_fuzz [--seed N] [--runs N] [--jobs N]\n"
          "                [--max-failures N] [--corpus DIR] [--no-shrink]\n"
          "                [--max-units N] [--max-configs N] [--smoke]\n"
-         "                [--engine NAME]... [--quiet]\n"
+         "                [--engine NAME]... [--metrics PATH]\n"
+         "                [--trace PATH] [--quiet]\n"
          "       fti_fuzz replay FILE.xml\n"
          "       fti_fuzz corpus DIR\n";
   std::exit(2);
-}
-
-std::uint64_t parse_u64(const char* text) {
-  char* end = nullptr;
-  std::uint64_t value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') {
-    std::cerr << "fti_fuzz: bad number '" << text << "'\n";
-    std::exit(2);
-  }
-  return value;
 }
 
 int report_diff(const std::string& label, const fti::fuzz::DiffResult& diff) {
@@ -104,6 +99,8 @@ int run_campaign(int argc, char** argv) {
   fti::fuzz::FuzzOptions options;
   bool quiet = false;
   bool engines_overridden = false;
+  std::string metrics_path;
+  std::string trace_path;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -113,23 +110,26 @@ int run_campaign(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      options.seed = parse_u64(value());
+      options.seed = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--runs") {
-      options.runs = parse_u64(value());
+      options.runs = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--jobs") {
-      options.jobs = static_cast<std::uint32_t>(parse_u64(value()));
+      options.jobs = fti::util::parse_jobs_flag(arg, value());
     } else if (arg == "--max-failures") {
-      options.max_failures = parse_u64(value());
+      options.max_failures = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--corpus") {
       options.corpus_dir = value();
     } else if (arg == "--no-shrink") {
       options.shrink_failures = false;
     } else if (arg == "--max-units") {
-      options.generator.max_units =
-          static_cast<std::uint32_t>(parse_u64(value()));
+      options.generator.max_units = fti::util::parse_u32_flag(arg, value());
     } else if (arg == "--max-configs") {
       options.generator.max_configurations =
-          static_cast<std::uint32_t>(parse_u64(value()));
+          fti::util::parse_u32_flag(arg, value());
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
     } else if (arg == "--engine") {
       if (!engines_overridden) {
         options.diff.engines.clear();
@@ -151,8 +151,23 @@ int run_campaign(int argc, char** argv) {
       std::cerr << "fti_fuzz: " << line << "\n";
     };
   }
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    fti::obs::set_enabled(true);
+  }
 
   fti::fuzz::FuzzReport report = fti::fuzz::run_fuzz(options);
+  if (!metrics_path.empty()) {
+    fti::obs::write_metrics_file(metrics_path, "fti_fuzz");
+    std::cout << "wrote " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    if (!fti::obs::Tracer::instance().write_chrome_trace_file(trace_path)) {
+      std::cerr << "fti_fuzz: cannot write trace file '" << trace_path
+                << "'\n";
+      return 2;
+    }
+    std::cout << "wrote " << trace_path << "\n";
+  }
   std::cout << "fuzzed " << report.cases_run << " design(s), "
             << report.multi_configuration_designs
             << " with multiple partitions, "
@@ -188,6 +203,9 @@ int main(int argc, char** argv) {
       return run_corpus(argc - 2, argv + 2);
     }
     return run_campaign(argc - 1, argv + 1);
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << "fti_fuzz: " << error.what() << "\n";
+    usage();
   } catch (const fti::util::Error& error) {
     std::cerr << "fti_fuzz: " << error.what() << "\n";
     return 2;

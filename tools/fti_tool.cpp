@@ -13,6 +13,7 @@
 //                 [--json PATH]       also write the report as JSON
 //                                     (per-row metrics + campaign totals)
 //   fti engines                       list the registered execution engines
+//   fti obs METRICS.json              pretty-print a --metrics snapshot
 //
 // Common options:
 //   --arg NAME=VALUE       bind a scalar parameter (repeatable)
@@ -22,6 +23,10 @@
 //   --default-limit N      default FU limit (default 2)
 //   --engine NAME          execution engine for verify/run/suite
 //                          (default "event"; see `fti engines`)
+//   --metrics PATH         record observability counters during the run
+//                          and write the snapshot as JSON
+//   --trace PATH           record spans and write a Chrome trace-event
+//                          file (open in Perfetto / chrome://tracing)
 // verify options:
 //   --check ARRAY          compare only this array (repeatable; default all)
 //   --emit DIR             write all artefacts + verdict into DIR
@@ -49,10 +54,13 @@
 #include "fti/harness/testcase.hpp"
 #include "fti/ir/serde.hpp"
 #include "fti/mem/memfile.hpp"
+#include "fti/obs/json.hpp"
 #include "fti/sim/vcd.hpp"
+#include "fti/util/cli.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/json.hpp"
+#include "fti/util/json_reader.hpp"
 #include "fti/util/logging.hpp"
 #include "fti/util/strings.hpp"
 #include "fti/util/table.hpp"
@@ -72,7 +80,10 @@ namespace {
       "                     [--max-cycles N] [--vcd FILE] [--engine NAME]\n"
       "       fti suite     DIR [--emit DIR] [--engine NAME] [--jobs N]\n"
       "                     [--json PATH]\n"
-      "       fti engines\n";
+      "       fti engines\n"
+      "       fti obs       METRICS.json\n"
+      "options common to verify/run/suite:\n"
+      "                     [--metrics PATH] [--trace PATH]\n";
   std::exit(2);
 }
 
@@ -96,6 +107,8 @@ struct Cli {
   std::string engine = "event";
   std::uint32_t jobs = 1;
   std::filesystem::path json_path;
+  std::filesystem::path metrics_path;
+  std::filesystem::path trace_path;
   bool verbose = false;
 };
 
@@ -140,7 +153,8 @@ Cli parse_cli(int argc, char** argv) {
     } else if (flag == "--out") {
       cli.out_dir = need_value(i);
     } else if (flag == "--max-cycles") {
-      cli.test.max_cycles = fti::util::parse_u64(need_value(i));
+      cli.test.max_cycles =
+          fti::util::parse_u64_flag("--max-cycles", need_value(i));
     } else if (flag == "--vcd") {
       cli.vcd_path = need_value(i);
     } else if (flag == "--save") {
@@ -149,29 +163,23 @@ Cli parse_cli(int argc, char** argv) {
     } else if (flag == "--limit") {
       auto [cls, value] = split_kv(need_value(i), "--limit");
       cli.test.resources.limits[cls] =
-          static_cast<unsigned>(fti::util::parse_u64(value));
+          fti::util::parse_u32_flag("--limit", value);
     } else if (flag == "--default-limit") {
       cli.test.resources.default_limit =
-          static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
+          fti::util::parse_u32_flag("--default-limit", need_value(i));
     } else if (flag == "--read-ports") {
       cli.test.resources.default_memory_read_ports =
-          static_cast<unsigned>(fti::util::parse_u64(need_value(i)));
+          fti::util::parse_u32_flag("--read-ports", need_value(i));
     } else if (flag == "--engine") {
       cli.engine = need_value(i);
     } else if (flag == "--jobs") {
-      // Same validation the fuzzer CLI applies: reject non-numeric input
-      // with a usage error (not an uncaught parse exception) and clamp 0
-      // to one worker.
-      std::string value = need_value(i);
-      try {
-        cli.jobs = static_cast<std::uint32_t>(fti::util::parse_u64(value));
-      } catch (const fti::util::Error&) {
-        std::cerr << "--jobs needs a number, got '" << value << "'\n";
-        usage();
-      }
-      cli.jobs = std::max<std::uint32_t>(1, cli.jobs);
+      cli.jobs = fti::util::parse_jobs_flag("--jobs", need_value(i));
     } else if (flag == "--json") {
       cli.json_path = need_value(i);
+    } else if (flag == "--metrics") {
+      cli.metrics_path = need_value(i);
+    } else if (flag == "--trace") {
+      cli.trace_path = need_value(i);
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -385,6 +393,48 @@ int run_translate(const Cli& cli) {
   return 0;
 }
 
+/// `fti obs`: pretty-print a --metrics snapshot written by an earlier
+/// run, so nobody needs jq to read one.
+int run_obs(const std::filesystem::path& path) {
+  fti::util::JsonValue doc =
+      fti::util::parse_json(fti::util::read_file(path));
+  const fti::util::JsonValue& metrics = doc.at("metrics");
+  if (!metrics.is_array()) {
+    throw fti::util::JsonError("\"metrics\" is not an array");
+  }
+  std::cout << "snapshot '" << doc.at("snapshot").as_string() << "', "
+            << metrics.items.size() << " metric(s)";
+  if (const fti::util::JsonValue* dropped = doc.find("dropped_spans")) {
+    if (dropped->is_number() && dropped->as_u64() > 0) {
+      std::cout << " (" << dropped->as_u64()
+                << " spans dropped by full rings)";
+    }
+  }
+  std::cout << "\n";
+  fti::util::TextTable table({"metric", "type", "value"});
+  for (const fti::util::JsonValue& item : metrics.items) {
+    const std::string& type = item.at("type").as_string();
+    std::string value;
+    if (type == "histogram") {
+      value = "count " + fti::util::format_count(item.at("count").as_u64()) +
+              ", sum " +
+              fti::util::format_double(item.at("sum").as_number(), 3);
+    } else {
+      const fti::util::JsonValue& raw = item.at("value");
+      if (!raw.is_number()) {
+        value = "null";  // non-finite gauge, serialised as JSON null
+      } else if (type == "counter") {
+        value = fti::util::format_count(raw.as_u64());
+      } else {
+        value = fti::util::format_double(raw.as_number(), 3);
+      }
+    }
+    table.add_row({item.at("name").as_string(), type, value});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -395,18 +445,42 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (argc == 3 && std::strcmp(argv[1], "obs") == 0) {
+      return run_obs(argv[2]);
+    }
     Cli cli = parse_cli(argc, argv);
     if (cli.verbose) {
       fti::util::set_log_level(fti::util::LogLevel::kInfo);
     }
+    // --metrics / --trace turn recording on for the whole command; the
+    // snapshots are written after the command returns.
+    if (!cli.metrics_path.empty() || !cli.trace_path.empty()) {
+      fti::obs::set_enabled(true);
+    }
+    auto finish = [&cli](int code) {
+      if (!cli.metrics_path.empty()) {
+        fti::obs::write_metrics_file(cli.metrics_path.string());
+        std::cout << "wrote " << cli.metrics_path.string() << "\n";
+      }
+      if (!cli.trace_path.empty()) {
+        if (!fti::obs::Tracer::instance().write_chrome_trace_file(
+                cli.trace_path)) {
+          std::cerr << "error: cannot write trace file '"
+                    << cli.trace_path.string() << "'\n";
+          return 2;
+        }
+        std::cout << "wrote " << cli.trace_path.string() << "\n";
+      }
+      return code;
+    };
     if (cli.command == "verify") {
-      return run_verify(cli);
+      return finish(run_verify(cli));
     }
     if (cli.command == "translate") {
-      return run_translate(cli);
+      return finish(run_translate(cli));
     }
     if (cli.command == "run") {
-      return run_saved(cli);
+      return finish(run_saved(cli));
     }
     if (cli.command == "suite") {
       fti::harness::TestSuite suite =
@@ -460,8 +534,11 @@ int main(int argc, char** argv) {
         json.write(cli.json_path);
         std::cout << "wrote " << cli.json_path.string() << "\n";
       }
-      return report.all_passed() ? 0 : 1;
+      return finish(report.all_passed() ? 0 : 1);
     }
+    usage();
+  } catch (const fti::util::UsageError& e) {
+    std::cerr << e.what() << "\n";
     usage();
   } catch (const fti::util::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
