@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "fti/ir/comb_graph.hpp"
 #include "fti/obs/metrics.hpp"
 #include "fti/ops/alu.hpp"
 #include "fti/util/error.hpp"
@@ -15,46 +16,9 @@ namespace {
 
 using sim::Bits;
 
-bool is_combinational(const ir::Unit& unit) {
-  switch (unit.kind) {
-    case ir::UnitKind::kBinOp:
-      return unit.latency == 0;
-    case ir::UnitKind::kUnOp:
-    case ir::UnitKind::kConst:
-    case ir::UnitKind::kMux:
-      return true;
-    case ir::UnitKind::kMemPort:
-      // The asynchronous read path; write commits happen at the edge.
-      return unit.mem_mode != ir::MemMode::kWrite;
-    case ir::UnitKind::kRegister:
-      return false;
-  }
-  return false;
-}
-
-/// Wires a combinational unit reads (its schedule dependencies).
-std::vector<std::string> comb_inputs(const ir::Unit& unit) {
-  switch (unit.kind) {
-    case ir::UnitKind::kBinOp:
-      return {unit.port("a"), unit.port("b")};
-    case ir::UnitKind::kUnOp:
-      return {unit.port("a")};
-    case ir::UnitKind::kConst:
-      return {};
-    case ir::UnitKind::kMux: {
-      std::vector<std::string> inputs{unit.port("sel")};
-      for (std::uint32_t i = 0; i < unit.mux_inputs; ++i) {
-        inputs.push_back(unit.port("in" + std::to_string(i)));
-      }
-      return inputs;
-    }
-    case ir::UnitKind::kMemPort:
-      return {unit.port("addr")};
-    case ir::UnitKind::kRegister:
-      break;
-  }
-  return {};
-}
+// The combinational classification and per-unit dependency lists live in
+// ir/comb_graph.hpp, shared with the lint analyzer so both agree on what
+// a combinational cycle is.
 
 const std::string& comb_output(const ir::Unit& unit) {
   return unit.kind == ir::UnitKind::kMemPort ? unit.port("dout")
@@ -66,7 +30,7 @@ const std::string& comb_output(const ir::Unit& unit) {
 LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath) {
   std::vector<const ir::Unit*> comb;
   for (const ir::Unit& unit : datapath.units) {
-    if (is_combinational(unit)) {
+    if (ir::is_combinational(unit)) {
       comb.push_back(&unit);
     }
   }
@@ -77,7 +41,7 @@ LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath) {
   std::vector<std::vector<std::size_t>> successors(comb.size());
   std::vector<std::size_t> indegree(comb.size(), 0);
   for (std::size_t i = 0; i < comb.size(); ++i) {
-    for (const std::string& wire : comb_inputs(*comb[i])) {
+    for (const std::string& wire : ir::comb_input_wires(*comb[i])) {
       auto it = producer.find(wire);
       if (it == producer.end()) {
         continue;  // sequential output, control wire or primary input
@@ -113,17 +77,13 @@ LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath) {
     ++schedule.depth;
   }
   if (scheduled != comb.size()) {
-    std::string names;
-    for (std::size_t i = 0; i < comb.size(); ++i) {
-      if (indegree[i] > 0) {
-        if (!names.empty()) {
-          names += ", ";
-        }
-        names += comb[i]->name;
-      }
+    std::string message = "levelized: combinational cycle in datapath '" +
+                          datapath.name + "':";
+    for (const ir::CombCycle& cycle :
+         ir::find_combinational_cycles(datapath)) {
+      message += " [" + cycle.to_string() + "]";
     }
-    throw util::SimError("levelized: combinational cycle in datapath '" +
-                         datapath.name + "' involving: " + names);
+    throw util::SimError(message);
   }
   return schedule;
 }
@@ -170,7 +130,7 @@ class LevelizedSim {
       op.unop = unit.unop;
       op.value = unit.value;
       op.mux_inputs = unit.mux_inputs;
-      for (const std::string& wire : comb_inputs(unit)) {
+      for (const std::string& wire : ir::comb_input_wires(unit)) {
         op.ins.push_back(index_of(wire));
       }
       if (unit.kind == ir::UnitKind::kMemPort) {

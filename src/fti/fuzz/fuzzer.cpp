@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "fti/fuzz/corpus.hpp"
+#include "fti/lint/lint.hpp"
 #include "fti/obs/metrics.hpp"
 #include "fti/obs/trace.hpp"
 #include "fti/util/thread_pool.hpp"
@@ -102,6 +103,15 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
            std::to_string(failure.original_nodes) + " -> " +
            std::to_string(failure.shrunk_nodes) + " IR nodes in " +
            std::to_string(shrunk.evaluations) + " evaluations");
+    }
+    // Classify the divergence: a lint-clean shrunk design points at a
+    // simulator-side bug rather than a malformed design.
+    lint::Report lint_report = lint::lint_design(failure.shrunk);
+    failure.lint_errors = lint_report.errors();
+    failure.lint_warnings = lint_report.warnings();
+    if (failure.lints_clean()) {
+      emit("case " + std::to_string(index) +
+           ": shrunk design lints clean -> likely simulator-side bug");
     }
     if (!options.corpus_dir.empty()) {
       CorpusEntry entry;

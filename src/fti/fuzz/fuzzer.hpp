@@ -48,6 +48,12 @@ struct FuzzFailure {
   ir::Design shrunk;
   std::size_t original_nodes = 0;
   std::size_t shrunk_nodes = 0;
+  /// Static-analysis verdict on the shrunk design.  A diverging design
+  /// that lints clean is a strong hint the bug is in a simulator, not in
+  /// the design; lint findings point at the design (or the generator).
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  bool lints_clean() const { return lint_errors == 0 && lint_warnings == 0; }
   /// Empty unless FuzzOptions::corpus_dir was set.
   std::filesystem::path saved_path;
 };

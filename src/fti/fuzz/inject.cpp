@@ -1,0 +1,363 @@
+#include "fti/fuzz/inject.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fti/lint/lint.hpp"
+#include "fti/ops/alu.hpp"
+
+namespace fti::fuzz {
+
+std::string_view to_string(DefectClass defect) {
+  switch (defect) {
+    case DefectClass::kMultiDriver:
+      return "multi-driver";
+    case DefectClass::kWidthMismatch:
+      return "width-mismatch";
+    case DefectClass::kCombCycle:
+      return "comb-cycle";
+    case DefectClass::kDeadState:
+      return "dead-state";
+    case DefectClass::kUnreachableTransition:
+      return "unreachable-transition";
+    case DefectClass::kReadBeforeWrite:
+      return "read-before-write";
+  }
+  return "unknown";
+}
+
+std::string_view expected_rule(DefectClass defect) {
+  switch (defect) {
+    case DefectClass::kMultiDriver:
+      return "FTI-L001";
+    case DefectClass::kWidthMismatch:
+      return "FTI-L004";
+    case DefectClass::kCombCycle:
+      return "FTI-L005";
+    case DefectClass::kDeadState:
+      return "FTI-L006";
+    case DefectClass::kUnreachableTransition:
+      return "FTI-L007";
+    case DefectClass::kReadBeforeWrite:
+      return "FTI-L009";
+  }
+  return "";
+}
+
+const std::vector<DefectClass>& all_defect_classes() {
+  static const std::vector<DefectClass> kClasses = {
+      DefectClass::kMultiDriver,           DefectClass::kWidthMismatch,
+      DefectClass::kCombCycle,             DefectClass::kDeadState,
+      DefectClass::kUnreachableTransition, DefectClass::kReadBeforeWrite,
+  };
+  return kClasses;
+}
+
+namespace {
+
+/// Configuration node names in execution order (RTG chain walk).
+std::vector<std::string> chain_order(const ir::Design& design) {
+  std::vector<std::string> chain;
+  std::set<std::string> visited;
+  std::string node = design.rtg.initial;
+  while (!node.empty() && design.rtg.has_node(node) &&
+         visited.insert(node).second) {
+    chain.push_back(node);
+    node = design.rtg.successor(node);
+  }
+  return chain;
+}
+
+std::vector<ir::Configuration*> chain_configurations(ir::Design& design) {
+  std::vector<ir::Configuration*> configurations;
+  for (const std::string& node : chain_order(design)) {
+    auto it = design.configurations.find(node);
+    if (it != design.configurations.end()) {
+      configurations.push_back(&it->second);
+    }
+  }
+  return configurations;
+}
+
+bool inject_multi_driver(ir::Design& design, Rng& rng) {
+  // Redirect a random output port onto another already-driven wire.
+  struct Site {
+    ir::Unit* unit;
+    std::string port;
+    std::vector<std::string> targets;  ///< other driven wires
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    std::vector<std::string> driven;
+    for (ir::Unit& unit : config->datapath.units) {
+      for (const std::string& output : ir::port_spec(unit).outputs) {
+        if (unit.has_port(output)) {
+          driven.push_back(unit.port(output));
+        }
+      }
+    }
+    for (ir::Unit& unit : config->datapath.units) {
+      for (const std::string& output : ir::port_spec(unit).outputs) {
+        if (!unit.has_port(output)) {
+          continue;
+        }
+        std::vector<std::string> targets;
+        for (const std::string& wire : driven) {
+          if (wire != unit.port(output)) {
+            targets.push_back(wire);
+          }
+        }
+        if (!targets.empty()) {
+          sites.push_back({&unit, output, std::move(targets)});
+        }
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  Site& site = sites[rng.index(sites.size())];
+  site.unit->ports[site.port] = site.targets[rng.index(site.targets.size())];
+  return true;
+}
+
+bool inject_width_mismatch(ir::Design& design, Rng& rng) {
+  // Resize a wire out from under a port with a hard width expectation.
+  struct Site {
+    ir::Datapath* datapath;
+    std::string wire;
+    std::uint32_t expected;
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (const ir::Unit& unit : config->datapath.units) {
+      for (const auto& [port, wire] : unit.ports) {
+        std::uint32_t expected =
+            ir::expected_port_width(unit, port, config->datapath);
+        const ir::Wire* decl = config->datapath.find_wire(wire);
+        if (expected != 0 && decl != nullptr && decl->width == expected) {
+          sites.push_back({&config->datapath, wire, expected});
+        }
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  const Site& site = sites[rng.index(sites.size())];
+  for (ir::Wire& wire : site.datapath->wires) {
+    if (wire.name == site.wire) {
+      wire.width = site.expected == 64 ? 32 : site.expected + 1;
+    }
+  }
+  return true;
+}
+
+bool inject_comb_cycle(ir::Design& design, Rng& rng) {
+  // Feed a latency-0 binop its own output: the smallest possible loop.
+  // Comparisons are skipped so the self-loop is width-clean and FTI-L005
+  // is the only rule the edit can trigger.
+  std::vector<ir::Unit*> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (ir::Unit& unit : config->datapath.units) {
+      if (unit.kind == ir::UnitKind::kBinOp && unit.latency == 0 &&
+          !ops::is_comparison(unit.binop) && unit.has_port("a") &&
+          unit.has_port("out")) {
+        sites.push_back(&unit);
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  ir::Unit* unit = sites[rng.index(sites.size())];
+  unit->ports["a"] = unit->ports["out"];
+  return true;
+}
+
+bool inject_dead_state(ir::Design& design, Rng& rng) {
+  std::vector<ir::Fsm*> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    if (config->fsm.find_state(config->fsm.initial) != nullptr) {
+      sites.push_back(&config->fsm);
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  ir::Fsm* fsm = sites[rng.index(sites.size())];
+  std::string name = "injected_dead";
+  while (fsm->find_state(name) != nullptr) {
+    name += "_";
+  }
+  ir::State dead;
+  dead.name = name;
+  // A valid outgoing edge keeps FTI-L011 quiet; nothing targets the
+  // state, so only reachability (FTI-L006) is violated.
+  dead.transitions.push_back({ir::Guard{}, fsm->initial});
+  fsm->states.push_back(std::move(dead));
+  return true;
+}
+
+bool inject_unreachable_transition(ir::Design& design, Rng& rng) {
+  std::vector<ir::State*> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (ir::State& state : config->fsm.states) {
+      if (!state.transitions.empty()) {
+        sites.push_back(&state);
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  ir::State* state = sites[rng.index(sites.size())];
+  // An unconditional transition in front shadows everything after it.
+  ir::Transition shadow{ir::Guard{}, state->transitions.front().target};
+  state->transitions.insert(state->transitions.begin(), std::move(shadow));
+  return true;
+}
+
+bool inject_read_before_write(ir::Design& design, Rng& rng) {
+  // Find a memory written by an earlier partition and read (not written)
+  // by a later one, then reverse the reconfiguration chain and drop the
+  // memory's power-up image: the reader now runs before every writer.
+  std::vector<std::string> chain = chain_order(design);
+  if (chain.size() < 2) {
+    return false;
+  }
+  std::map<std::string, std::size_t> last_write;
+  std::map<std::string, std::vector<std::size_t>> pure_reads;
+  for (std::size_t position = 0; position < chain.size(); ++position) {
+    auto it = design.configurations.find(chain[position]);
+    if (it == design.configurations.end()) {
+      return false;
+    }
+    std::set<std::string> reads;
+    std::set<std::string> writes;
+    for (const ir::Unit& unit : it->second.datapath.units) {
+      if (unit.kind != ir::UnitKind::kMemPort) {
+        continue;
+      }
+      if (unit.mem_mode != ir::MemMode::kWrite) {
+        reads.insert(unit.memory);
+      }
+      if (unit.mem_mode != ir::MemMode::kRead) {
+        writes.insert(unit.memory);
+      }
+    }
+    for (const std::string& memory : writes) {
+      last_write[memory] = position;
+    }
+    for (const std::string& memory : reads) {
+      if (!writes.count(memory)) {
+        pure_reads[memory].push_back(position);
+      }
+    }
+  }
+  std::vector<std::string> candidates;
+  for (const auto& [memory, positions] : pure_reads) {
+    auto write = last_write.find(memory);
+    if (write != last_write.end() && positions.back() > write->second) {
+      candidates.push_back(memory);
+    }
+  }
+  if (candidates.empty()) {
+    return false;
+  }
+  const std::string& memory = candidates[rng.index(candidates.size())];
+  for (auto& [node, config] : design.configurations) {
+    (void)node;
+    for (ir::MemoryDecl& decl : config.datapath.memories) {
+      if (decl.name == memory) {
+        decl.init.clear();
+      }
+    }
+  }
+  design.rtg.initial = chain.back();
+  design.rtg.edges.clear();
+  for (std::size_t position = chain.size(); position-- > 1;) {
+    design.rtg.edges.push_back({chain[position], chain[position - 1]});
+  }
+  return true;
+}
+
+bool rule_fired(const lint::Report& report, std::string_view rule) {
+  for (const lint::Finding& finding : report.findings) {
+    if (finding.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool inject_defect(ir::Design& design, DefectClass defect, Rng& rng) {
+  switch (defect) {
+    case DefectClass::kMultiDriver:
+      return inject_multi_driver(design, rng);
+    case DefectClass::kWidthMismatch:
+      return inject_width_mismatch(design, rng);
+    case DefectClass::kCombCycle:
+      return inject_comb_cycle(design, rng);
+    case DefectClass::kDeadState:
+      return inject_dead_state(design, rng);
+    case DefectClass::kUnreachableTransition:
+      return inject_unreachable_transition(design, rng);
+    case DefectClass::kReadBeforeWrite:
+      return inject_read_before_write(design, rng);
+  }
+  return false;
+}
+
+bool InjectionReport::ok() const {
+  for (const InjectionOutcome& outcome : outcomes) {
+    if (outcome.injected == 0 || outcome.missed != 0) {
+      return false;
+    }
+  }
+  return !outcomes.empty();
+}
+
+InjectionReport run_injection(std::uint64_t seed, std::uint64_t runs,
+                              const GeneratorOptions& options) {
+  InjectionReport report;
+  for (DefectClass defect : all_defect_classes()) {
+    InjectionOutcome outcome;
+    outcome.defect = defect;
+    GeneratorOptions generator = options;
+    if (defect == DefectClass::kReadBeforeWrite) {
+      // Injection sites need a memory flowing between partitions; bias
+      // the generator toward them or most seeds offer nothing to break.
+      generator.shared_memory_percent = 100;
+      generator.max_configurations = std::max(2u, generator.max_configurations);
+    }
+    for (std::uint64_t index = 0; index < runs; ++index) {
+      std::uint64_t case_seed = Rng::derive(seed, index);
+      ir::Design design = generate_design_seeded(case_seed, generator);
+      ++outcome.cases_tried;
+      // A case only counts when the rule was silent before the edit;
+      // otherwise "detection" would not be attributable to the defect.
+      if (rule_fired(lint::lint_design(design), expected_rule(defect))) {
+        continue;
+      }
+      Rng rng(Rng::derive(case_seed, 0x11a7));
+      if (!inject_defect(design, defect, rng)) {
+        continue;
+      }
+      ++outcome.injected;
+      if (rule_fired(lint::lint_design(design), expected_rule(defect))) {
+        ++outcome.detected;
+      } else {
+        ++outcome.missed;
+        outcome.missed_seeds.push_back(case_seed);
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+}  // namespace fti::fuzz

@@ -1,0 +1,70 @@
+// Defect injection -- the lint-recall half of the fuzz/lint loop.
+//
+// The differential fuzzer proves the simulators agree on *valid* designs;
+// defect injection proves the static analyzer notices *invalid* ones.
+// Each DefectClass is one known-bad structural edit planted into an
+// otherwise valid generated design; the cross-check asserts the matching
+// lint rule fires after the edit (and did not fire before it), measuring
+// rule recall instead of trusting it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fti/fuzz/generate.hpp"
+#include "fti/fuzz/rand.hpp"
+#include "fti/ir/rtg.hpp"
+
+namespace fti::fuzz {
+
+enum class DefectClass {
+  kMultiDriver,            ///< second driver onto a driven wire (FTI-L001)
+  kWidthMismatch,          ///< wire resized under a connected port (FTI-L004)
+  kCombCycle,              ///< combinational unit fed its own output (FTI-L005)
+  kDeadState,              ///< FSM state nothing transitions to (FTI-L006)
+  kUnreachableTransition,  ///< shadowed by an unconditional one (FTI-L007)
+  kReadBeforeWrite,        ///< memory read in an earlier partition than its
+                           ///< first write (FTI-L009)
+};
+
+std::string_view to_string(DefectClass defect);
+
+/// Lint rule ID the injected defect must trigger.
+std::string_view expected_rule(DefectClass defect);
+
+/// All classes, in declaration order.
+const std::vector<DefectClass>& all_defect_classes();
+
+/// Plants the defect into the design (one random applicable site).
+/// Returns false -- leaving the design untouched -- when the design has
+/// no applicable site.  Deterministic for a fixed (design, rng state).
+bool inject_defect(ir::Design& design, DefectClass defect, Rng& rng);
+
+struct InjectionOutcome {
+  DefectClass defect{};
+  std::uint64_t cases_tried = 0;  ///< generated designs examined
+  std::uint64_t injected = 0;     ///< designs that offered a site
+  std::uint64_t detected = 0;     ///< expected rule fired post-edit
+  std::uint64_t missed = 0;       ///< rule stayed silent (a recall bug)
+  /// Seeds of missed cases, for reproduction.
+  std::vector<std::uint64_t> missed_seeds;
+};
+
+struct InjectionReport {
+  std::vector<InjectionOutcome> outcomes;
+
+  /// Recall holds: every class found at least one applicable site and no
+  /// injected defect went undetected.
+  bool ok() const;
+};
+
+/// Runs the cross-check: for every defect class, generate up to `runs`
+/// designs (case seeds derived from `seed`), plant the defect where a
+/// site exists, and lint before/after.  A case counts as injected only
+/// when the expected rule was silent pre-edit; it must fire post-edit.
+InjectionReport run_injection(std::uint64_t seed, std::uint64_t runs,
+                              const GeneratorOptions& options = {});
+
+}  // namespace fti::fuzz

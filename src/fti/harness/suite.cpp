@@ -48,7 +48,9 @@ std::string SuiteReport::to_table() const {
   util::TextTable table({"test", "verdict", "configs", "cycles", "events",
                          "fsm cov", "sim(s)", "total(s)"});
   for (const SuiteRow& row : rows) {
-    table.add_row({row.name, row.passed ? "PASS" : "FAIL",
+    table.add_row({row.name,
+                   row.passed ? "PASS"
+                              : (row.lint_blocked ? "LINT" : "FAIL"),
                    std::to_string(row.configurations),
                    util::format_count(row.cycles),
                    util::format_count(row.events),
@@ -85,6 +87,9 @@ SuiteReport TestSuite::run_all(
     VerifyOutcome outcome = run_test_case(test, options);
     row.passed = outcome.passed;
     row.message = outcome.message;
+    row.lint_errors = outcome.lint.errors();
+    row.lint_warnings = outcome.lint.warnings();
+    row.lint_blocked = outcome.lint_blocked;
     row.cycles = outcome.run.total_cycles();
     row.events = outcome.run.total_events();
     row.configurations = outcome.run.partitions.size();

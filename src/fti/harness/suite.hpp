@@ -30,6 +30,11 @@ struct SuiteRow {
   std::uint64_t events = 0;
   std::size_t configurations = 0;
   std::size_t mismatches = 0;
+  /// Static-analysis pre-check results (zeros when the gate is off).
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  /// True when the lint gate rejected the design before simulation.
+  bool lint_blocked = false;
   /// Aggregate FSM coverage over all partitions, percent [0,100].
   double coverage_percent = 100.0;
   double sim_seconds = 0;

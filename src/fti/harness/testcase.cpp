@@ -8,6 +8,7 @@
 #include "fti/compiler/parser.hpp"
 #include "fti/compiler/sema.hpp"
 #include "fti/ir/serde.hpp"
+#include "fti/lint/lint.hpp"
 #include "fti/mem/memfile.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
@@ -115,8 +116,33 @@ VerifyOutcome run_test_case(const TestCase& test,
   }
   outcome.compiled = compiler::compile_program(program, compile_options);
   outcome.compile_seconds = watch.seconds();
+  if (options.post_compile) {
+    options.post_compile(outcome.compiled.design);
+  }
 
-  // 2. XML round-trip (the simulator consumes the re-parsed design).
+  // 2. Lint gate.  Runs on the raw compiled design (lint never throws on
+  //    malformed IR, unlike the round-trip below), so a structural defect
+  //    is reported with rule IDs instead of a parse-time exception, and a
+  //    gated design never reaches the simulator.
+  if (options.lint_gate != lint::Gate::kOff) {
+    outcome.lint = lint::lint_design(outcome.compiled.design);
+    if (lint::blocks(options.lint_gate, outcome.lint)) {
+      outcome.lint_blocked = true;
+      outcome.passed = false;
+      outcome.message =
+          "lint gate: design '" + outcome.lint.design + "' has " +
+          std::to_string(outcome.lint.errors()) + " error(s), " +
+          std::to_string(outcome.lint.warnings()) +
+          " warning(s); simulation not started";
+      if (!options.emit_dir.empty()) {
+        util::write_file(options.emit_dir / (test.name + ".verdict"),
+                         outcome.message + "\n");
+      }
+      return outcome;
+    }
+  }
+
+  // 3. XML round-trip (the simulator consumes the re-parsed design).
   ir::Design design;
   if (!options.emit_dir.empty()) {
     auto paths = ir::save_design_files(outcome.compiled.design,
@@ -136,7 +162,7 @@ VerifyOutcome run_test_case(const TestCase& test,
   }
   outcome.artifacts = collect_artifacts(design, test, options);
 
-  // 3. Golden run.
+  // 4. Golden run.
   watch.reset();
   mem::MemoryPool golden_pool;
   prime_pool(program, sema, test, golden_pool, /*load_values=*/true);
@@ -146,7 +172,7 @@ VerifyOutcome run_test_case(const TestCase& test,
       compiler::run_program(program, golden_pool, interp_options);
   outcome.golden_seconds = watch.seconds();
 
-  // 4. Simulated run.
+  // 5. Simulated run.
   watch.reset();
   mem::MemoryPool sim_pool;
   // With embedded inputs elaboration itself applies the power-up contents.
@@ -171,7 +197,7 @@ VerifyOutcome run_test_case(const TestCase& test,
     return outcome;
   }
 
-  // 5. Compare memory contents ("a simple comparison of data content is
+  // 6. Compare memory contents ("a simple comparison of data content is
   //    performed to verify results").
   std::vector<std::string> arrays = test.check_arrays;
   if (arrays.empty()) {

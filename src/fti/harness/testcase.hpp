@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "fti/compiler/hls.hpp"
 #include "fti/compiler/interp.hpp"
 #include "fti/elab/engines.hpp"
+#include "fti/lint/lint.hpp"
 
 namespace fti::harness {
 
@@ -52,6 +54,15 @@ struct VerifyOptions {
   /// "naive", "levelized", ...).  Every engine must produce the same
   /// verdict; `fti verify --engine=` exposes this for cross-checking.
   std::string engine = "event";
+  /// Static-analysis pre-check, run on the compiled design before the
+  /// XML round-trip and simulation.  At the default kError threshold a
+  /// design with lint errors is rejected without starting simulation
+  /// (outcome.lint_blocked); kWarn also blocks on warnings; kOff skips
+  /// the analysis entirely.
+  lint::Gate lint_gate = lint::Gate::kError;
+  /// Test seam: mutates the compiled design before lint and round-trip.
+  /// The seeded-defect tests use this to plant known-bad edits.
+  std::function<void(ir::Design&)> post_compile;
 };
 
 /// Line counts of every artefact the flow produced (Table I's "lines of
@@ -71,6 +82,12 @@ struct FlowArtifacts {
 struct VerifyOutcome {
   bool passed = false;
   std::string message;  ///< empty when passed; first failure otherwise
+  /// Static-analysis findings on the compiled design (always collected
+  /// unless the gate is kOff).
+  lint::Report lint;
+  /// True when the lint gate rejected the design; simulation and the
+  /// golden run were skipped, and passed is false.
+  bool lint_blocked = false;
   compiler::CompileResult compiled;
   elab::RtgRunResult run;
   compiler::InterpStats golden_stats;

@@ -146,16 +146,6 @@ std::uint32_t select_width(std::uint32_t inputs) {
   return width;
 }
 
-namespace {
-
-/// Port sets per unit kind: required and optional port names.
-struct PortSpec {
-  std::vector<std::string> required;
-  std::vector<std::string> optional;
-  /// Ports that drive their wire (outputs of the unit).
-  std::vector<std::string> outputs;
-};
-
 PortSpec port_spec(const Unit& unit) {
   switch (unit.kind) {
     case UnitKind::kBinOp:
@@ -188,8 +178,6 @@ PortSpec port_spec(const Unit& unit) {
   }
   FTI_ASSERT(false, "unhandled UnitKind");
 }
-
-}  // namespace
 
 std::uint32_t expected_port_width(const Unit& unit, std::string_view port,
                                   const Datapath& datapath) {

@@ -110,6 +110,17 @@ void validate(const Datapath& datapath);
 /// Width a mux select wire must have to address `inputs` inputs.
 std::uint32_t select_width(std::uint32_t inputs);
 
+/// Port sets per unit kind: required and optional port names.
+struct PortSpec {
+  std::vector<std::string> required;
+  std::vector<std::string> optional;
+  /// Ports that drive their wire (outputs of the unit).
+  std::vector<std::string> outputs;
+};
+
+/// The port contract of `unit` given its kind / mux arity / memory mode.
+PortSpec port_spec(const Unit& unit);
+
 /// The wire width each port of `unit` must have; used by validation and by
 /// the elaborator.  Returns 0 when any width is accepted (memport addr).
 std::uint32_t expected_port_width(const Unit& unit, std::string_view port,

@@ -1,0 +1,127 @@
+// Report rendering: text for humans, util::JsonReport for scripts, and
+// SARIF 2.1.0 for CI annotation.  SARIF is nested (runs / tool / driver /
+// rules / results), which the flat JsonReport schema cannot express, so
+// the SARIF writer builds the document directly on top of json_escape.
+#include <cstddef>
+#include <string>
+
+#include "fti/lint/lint.hpp"
+#include "fti/util/json.hpp"
+
+namespace fti::lint {
+
+namespace {
+
+std::string quoted(const std::string& text) {
+  return "\"" + util::json_escape(text) + "\"";
+}
+
+/// design/configuration/object with empty segments dropped.
+std::string qualified_name(const Report& report, const Finding& finding) {
+  std::string name = report.design;
+  if (!finding.configuration.empty()) {
+    name += "/" + finding.configuration;
+  }
+  if (!finding.object.empty()) {
+    name += "/" + finding.object;
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string to_text(const Report& report) {
+  std::string out;
+  for (const Finding& finding : report.findings) {
+    out += std::string(to_string(finding.severity)) + " " + finding.rule;
+    out += " [" + qualified_name(report, finding) + "] ";
+    out += finding.message + "\n";
+  }
+  out += "design '" + report.design + "': ";
+  if (report.clean()) {
+    out += "clean\n";
+  } else {
+    out += std::to_string(report.errors()) + " error(s), " +
+           std::to_string(report.warnings()) + " warning(s), " +
+           std::to_string(report.count(Severity::kNote)) + " note(s)\n";
+  }
+  return out;
+}
+
+std::string to_json(const Report& report) {
+  util::JsonReport json(report.design, "lint", "findings");
+  if (!report.source.empty()) {
+    json.set("source", report.source);
+  }
+  json.set("errors", static_cast<std::uint64_t>(report.errors()));
+  json.set("warnings", static_cast<std::uint64_t>(report.warnings()));
+  json.set("notes", static_cast<std::uint64_t>(report.count(Severity::kNote)));
+  for (const Finding& finding : report.findings) {
+    util::JsonReport::Workload& row = json.workload(finding.rule);
+    row.set("severity", std::string(to_string(finding.severity)));
+    row.set("configuration", finding.configuration);
+    row.set("object", finding.object);
+    row.set("message", finding.message);
+  }
+  return json.to_string();
+}
+
+std::string to_sarif(const std::vector<Report>& reports) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"fti-lint\",\n";
+  out += "          \"informationUri\": "
+         "\"https://example.invalid/fti/docs/lint.md\",\n";
+  out += "          \"rules\": [\n";
+  const std::vector<RuleInfo>& catalog = rules();
+  for (std::size_t r = 0; r < catalog.size(); ++r) {
+    const RuleInfo& rule = catalog[r];
+    out += "            {\"id\": " + quoted(std::string(rule.id)) +
+           ", \"name\": " + quoted(std::string(rule.name)) +
+           ", \"shortDescription\": {\"text\": " +
+           quoted(std::string(rule.summary)) +
+           "}, \"defaultConfiguration\": {\"level\": " +
+           quoted(std::string(to_string(rule.severity))) + "}}";
+    out += r + 1 < catalog.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n        }\n      },\n";
+  out += "      \"results\": [";
+  bool first = true;
+  for (const Report& report : reports) {
+    for (const Finding& finding : report.findings) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      std::size_t rule_index = catalog.size();
+      for (std::size_t r = 0; r < catalog.size(); ++r) {
+        if (catalog[r].id == finding.rule) {
+          rule_index = r;
+          break;
+        }
+      }
+      out += "        {\"ruleId\": " + quoted(finding.rule);
+      if (rule_index < catalog.size()) {
+        out += ", \"ruleIndex\": " + std::to_string(rule_index);
+      }
+      out += ", \"level\": " +
+             quoted(std::string(to_string(finding.severity)));
+      out += ", \"message\": {\"text\": " + quoted(finding.message) + "}";
+      out += ", \"locations\": [{";
+      if (!report.source.empty()) {
+        out += "\"physicalLocation\": {\"artifactLocation\": {\"uri\": " +
+               quoted(report.source) + "}}, ";
+      }
+      out += "\"logicalLocations\": [{\"fullyQualifiedName\": " +
+             quoted(qualified_name(report, finding)) + "}]}]}";
+    }
+  }
+  out += first ? "]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace fti::lint

@@ -215,17 +215,34 @@ class Parser {
           break;
         case 'u': {
           unsigned code = parse_hex4();
-          if (code >= 0xd800 && code <= 0xdfff) {
-            fail("surrogate \\u escapes are not supported");
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          // Encode the BMP code point as UTF-8.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // UTF-16 surrogate pair: a high surrogate must be followed
+            // immediately by an escaped low surrogate (RFC 8259 §7).
+            if (!consume_literal("\\u")) {
+              fail("high surrogate not followed by \\u escape");
+            }
+            unsigned low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          // Encode the code point as UTF-8.
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xc0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3f));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xf0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
             out += static_cast<char>(0x80 | (code & 0x3f));
           }

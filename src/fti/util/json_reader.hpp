@@ -4,9 +4,10 @@
 // and the unit tests schema-check Chrome trace exports and round-trip
 // JsonReport documents instead of string-matching them.
 //
-// Scope: full JSON per RFC 8259 minus surrogate-pair decoding (\uXXXX
-// escapes above the BMP are rejected; our writers never emit them).
-// Numbers are doubles -- fine for the magnitudes reports carry, and
+// Scope: full JSON per RFC 8259, including UTF-16 surrogate-pair
+// decoding (a \uD800-\uDBFF escape followed by \uDC00-\uDFFF becomes
+// one 4-byte UTF-8 sequence; lone or mismatched surrogates are
+// rejected).  Numbers are doubles -- fine for the magnitudes reports carry, and
 // callers that need exact integers use as_u64 which re-checks
 // integrality.
 #pragma once

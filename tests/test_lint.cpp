@@ -1,0 +1,562 @@
+// fti::lint unit tests: per-rule minimal failing designs paired with
+// near-miss passing ones, report writers (text / JSON / SARIF 2.1.0,
+// schema-checked through util::parse_json), the verify-flow lint gate,
+// and the defect-injection recall cross-check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fti/fuzz/inject.hpp"
+#include "fti/harness/testcase.hpp"
+#include "fti/lint/lint.hpp"
+#include "fti/util/json_reader.hpp"
+#include "test_designs.hpp"
+
+namespace fti::lint {
+namespace {
+
+ir::Design accumulator_design() {
+  return ir::make_single_design("acc_design",
+                                testing::make_accumulator(5));
+}
+
+std::size_t count_rule(const Report& report, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings.begin(), report.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* first_of(const Report& report, std::string_view rule) {
+  for (const Finding& finding : report.findings) {
+    if (finding.rule == rule) {
+      return &finding;
+    }
+  }
+  return nullptr;
+}
+
+/// Two-partition design sharing memory "m": one configuration reads it
+/// through a read port, the other writes it.  `reader_first` orders the
+/// RTG chain reader -> writer; `initialized` bakes in an init image.
+ir::Design make_memory_chain(bool reader_first, bool initialized,
+                             bool with_writer = true) {
+  ir::Configuration reader = testing::make_accumulator(3);
+  reader.datapath.name = "read_dp";
+  reader.fsm.name = "read_fsm";
+  reader.datapath.memories.push_back(
+      {"m", 16, 32, initialized ? std::vector<std::uint64_t>{7} :
+                                  std::vector<std::uint64_t>{}});
+  reader.datapath.wires.push_back({"m_addr", 4});
+  reader.datapath.wires.push_back({"m_dout", 32});
+  ir::Unit addr_const;
+  addr_const.name = "addr0";
+  addr_const.kind = ir::UnitKind::kConst;
+  addr_const.width = 4;
+  addr_const.value = 0;
+  addr_const.ports = {{"out", "m_addr"}};
+  reader.datapath.units.push_back(addr_const);
+  ir::Unit read_port;
+  read_port.name = "rp0";
+  read_port.kind = ir::UnitKind::kMemPort;
+  read_port.mem_mode = ir::MemMode::kRead;
+  read_port.memory = "m";
+  read_port.width = 32;
+  read_port.ports = {{"addr", "m_addr"}, {"dout", "m_dout"}};
+  reader.datapath.units.push_back(read_port);
+
+  ir::Configuration writer = testing::make_accumulator(3);
+  writer.datapath.name = "write_dp";
+  writer.fsm.name = "write_fsm";
+  writer.datapath.memories.push_back(
+      {"m", 16, 32, initialized ? std::vector<std::uint64_t>{7} :
+                                  std::vector<std::uint64_t>{}});
+  writer.datapath.wires.push_back({"w_addr", 4});
+  writer.datapath.wires.push_back({"w_din", 32});
+  writer.datapath.wires.push_back({"w_we", 1});
+  for (auto [name, width, value] :
+       {std::tuple<const char*, std::uint32_t, std::uint64_t>
+            {"waddr0", 4u, 0ull},
+        {"wdin0", 32u, 11ull},
+        {"wwe0", 1u, 1ull}}) {
+    ir::Unit constant;
+    constant.name = name;
+    constant.kind = ir::UnitKind::kConst;
+    constant.width = width;
+    constant.value = value;
+    constant.ports = {{"out", std::string("w_") +
+                                  (std::string(name) == "waddr0" ? "addr"
+                                   : std::string(name) == "wdin0" ? "din"
+                                                                  : "we")}};
+    writer.datapath.units.push_back(constant);
+  }
+  ir::Unit write_port;
+  write_port.name = "wp0";
+  write_port.kind = ir::UnitKind::kMemPort;
+  write_port.mem_mode = ir::MemMode::kWrite;
+  write_port.memory = "m";
+  write_port.width = 32;
+  write_port.ports = {{"addr", "w_addr"}, {"din", "w_din"}, {"we", "w_we"}};
+  writer.datapath.units.push_back(write_port);
+
+  ir::Design design;
+  design.name = "memchain";
+  design.rtg.name = "memchain_rtg";
+  if (with_writer) {
+    design.rtg.nodes = {"p0", "p1"};
+    design.rtg.edges = {{"p0", "p1"}};
+    design.rtg.initial = "p0";
+    design.configurations["p0"] =
+        reader_first ? std::move(reader) : std::move(writer);
+    design.configurations["p1"] =
+        reader_first ? std::move(writer) : std::move(reader);
+  } else {
+    design.rtg.nodes = {"p0"};
+    design.rtg.initial = "p0";
+    design.configurations["p0"] = std::move(reader);
+  }
+  return design;
+}
+
+TEST(LintRules, CleanDesignHasNoFindings) {
+  Report report = lint_design(accumulator_design());
+  EXPECT_TRUE(report.clean()) << to_text(report);
+  EXPECT_EQ(report.design, "acc_design");
+}
+
+TEST(LintRules, MultiDriverIsAnError) {
+  ir::Design design = accumulator_design();
+  // k1's output lands on add_out, which add0 already drives.
+  design.configurations.at("acc").datapath.units[0].ports["out"] =
+      "add_out";
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L001"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L001")->severity, Severity::kError);
+  EXPECT_EQ(first_of(report, "FTI-L001")->object, "add_out");
+}
+
+TEST(LintRules, UndrivenButReadWireWarns) {
+  ir::Design design = accumulator_design();
+  auto& units = design.configurations.at("acc").datapath.units;
+  units.erase(units.begin());  // delete k1; add0 still reads k1_out
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L002"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L002")->severity, Severity::kWarning);
+  EXPECT_EQ(first_of(report, "FTI-L002")->object, "k1_out");
+}
+
+TEST(LintRules, DeadWireSeverityTracksConnectivity) {
+  ir::Design design = accumulator_design();
+  ir::Datapath& dp = design.configurations.at("acc").datapath;
+  dp.wires.push_back({"floating", 8});  // never connected: warning
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L003"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L003")->severity, Severity::kWarning);
+
+  // Driven but never read is only a note.
+  dp.wires.push_back({"k2_out", 32});
+  ir::Unit k2;
+  k2.name = "k2";
+  k2.kind = ir::UnitKind::kConst;
+  k2.width = 32;
+  k2.value = 9;
+  k2.ports = {{"out", "k2_out"}};
+  dp.units.push_back(k2);
+  report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L003"), 2u) << to_text(report);
+  EXPECT_EQ(report.count(Severity::kNote), 1u);
+}
+
+TEST(LintRules, WidthMismatchIsAnError) {
+  ir::Design design = accumulator_design();
+  for (ir::Wire& wire :
+       design.configurations.at("acc").datapath.wires) {
+    if (wire.name == "add_out") {
+      wire.width = 16;  // add0 (width 32) expects 32 on "out"
+    }
+  }
+  Report report = lint_design(design);
+  ASSERT_GE(count_rule(report, "FTI-L004"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L004")->severity, Severity::kError);
+}
+
+TEST(LintRules, ConstLiteralOverflowWarns) {
+  ir::Design design = accumulator_design();
+  ir::Datapath& dp = design.configurations.at("acc").datapath;
+  // 2-bit constant holding 4: representable widths stay silent,
+  // overflow warns without being a gate-blocking error.
+  dp.wires.push_back({"k3_out", 2});
+  ir::Unit k3;
+  k3.name = "k3";
+  k3.kind = ir::UnitKind::kConst;
+  k3.width = 2;
+  k3.value = 4;
+  k3.ports = {{"out", "k3_out"}};
+  dp.units.push_back(k3);
+  Report report = lint_design(design);
+  const Finding* overflow = first_of(report, "FTI-L004");
+  ASSERT_NE(overflow, nullptr) << to_text(report);
+  EXPECT_EQ(overflow->severity, Severity::kWarning);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST(LintRules, CombinationalCycleIsAnErrorWithPath) {
+  ir::Design design = accumulator_design();
+  for (ir::Unit& unit :
+       design.configurations.at("acc").datapath.units) {
+    if (unit.name == "add0") {
+      unit.ports["a"] = "add_out";  // latency-0 self-loop
+    }
+  }
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L005"), 1u) << to_text(report);
+  const Finding& finding = *first_of(report, "FTI-L005");
+  EXPECT_EQ(finding.severity, Severity::kError);
+  EXPECT_NE(finding.message.find("add0"), std::string::npos);
+}
+
+TEST(LintRules, RegisterLoopIsNotACycle) {
+  // The accumulator's acc_q -> add0 -> r_acc -> acc_q loop goes through
+  // a register; near-miss for FTI-L005.
+  Report report = lint_design(accumulator_design());
+  EXPECT_EQ(count_rule(report, "FTI-L005"), 0u) << to_text(report);
+}
+
+TEST(LintRules, UnreachableStateWarns) {
+  ir::Design design = accumulator_design();
+  ir::Fsm& fsm = design.configurations.at("acc").fsm;
+  ir::State ghost;
+  ghost.name = "ghost";
+  ghost.transitions.push_back({ir::Guard{}, "run"});
+  fsm.states.push_back(ghost);
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L006"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L006")->severity, Severity::kWarning);
+  EXPECT_EQ(first_of(report, "FTI-L006")->object, "ghost");
+}
+
+TEST(LintRules, ShadowedTransitionWarns) {
+  ir::Design design = accumulator_design();
+  ir::State& run =
+      design.configurations.at("acc").fsm.states.front();
+  run.transitions.insert(run.transitions.begin(), {ir::Guard{}, "halt"});
+  Report report = lint_design(design);
+  ASSERT_EQ(count_rule(report, "FTI-L007"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L007")->severity, Severity::kWarning);
+}
+
+TEST(LintRules, GuardedThenUnconditionalIsFine) {
+  // Near-miss for FTI-L007: the guarded transition comes first, so the
+  // trailing unconditional one is the legitimate fallthrough.
+  ir::Design design = accumulator_design();
+  ir::State& run =
+      design.configurations.at("acc").fsm.states.front();
+  run.transitions.push_back({ir::Guard{}, "run"});
+  Report report = lint_design(design);
+  EXPECT_EQ(count_rule(report, "FTI-L007"), 0u) << to_text(report);
+}
+
+TEST(LintRules, TrapStateWarns) {
+  ir::Design design = accumulator_design();
+  // halt stops asserting done: reachable, no way out, never done.
+  design.configurations.at("acc").fsm.states.back().controls.clear();
+  Report report = lint_design(design);
+  ASSERT_GE(count_rule(report, "FTI-L008"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L008")->severity, Severity::kWarning);
+  EXPECT_EQ(first_of(report, "FTI-L008")->object, "halt");
+}
+
+TEST(LintRules, ReadBeforeWriteAcrossPartitionsWarns) {
+  Report report =
+      lint_design(make_memory_chain(/*reader_first=*/true,
+                                    /*initialized=*/false));
+  ASSERT_EQ(count_rule(report, "FTI-L009"), 1u) << to_text(report);
+  const Finding& finding = *first_of(report, "FTI-L009");
+  EXPECT_EQ(finding.severity, Severity::kWarning);
+  EXPECT_EQ(finding.configuration, "p0");
+  EXPECT_EQ(finding.object, "m");
+}
+
+TEST(LintRules, WriteBeforeReadIsFine) {
+  Report report =
+      lint_design(make_memory_chain(/*reader_first=*/false,
+                                    /*initialized=*/false));
+  EXPECT_EQ(count_rule(report, "FTI-L009"), 0u) << to_text(report);
+  EXPECT_EQ(count_rule(report, "FTI-L010"), 0u) << to_text(report);
+}
+
+TEST(LintRules, InitializedMemorySilencesLiveness) {
+  Report report =
+      lint_design(make_memory_chain(/*reader_first=*/true,
+                                    /*initialized=*/true));
+  EXPECT_EQ(count_rule(report, "FTI-L009"), 0u) << to_text(report);
+  EXPECT_EQ(count_rule(report, "FTI-L010"), 0u) << to_text(report);
+}
+
+TEST(LintRules, ReadWithNoWriterAnywhereIsANote) {
+  Report report = lint_design(make_memory_chain(/*reader_first=*/true,
+                                                /*initialized=*/false,
+                                                /*with_writer=*/false));
+  EXPECT_EQ(count_rule(report, "FTI-L009"), 0u) << to_text(report);
+  ASSERT_EQ(count_rule(report, "FTI-L010"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L010")->severity, Severity::kNote);
+}
+
+TEST(LintRules, DanglingWireReferenceIsAnError) {
+  ir::Design design = accumulator_design();
+  for (ir::Unit& unit :
+       design.configurations.at("acc").datapath.units) {
+    if (unit.name == "add0") {
+      unit.ports["b"] = "no_such_wire";
+    }
+  }
+  Report report = lint_design(design);
+  ASSERT_GE(count_rule(report, "FTI-L011"), 1u) << to_text(report);
+  EXPECT_EQ(first_of(report, "FTI-L011")->severity, Severity::kError);
+}
+
+TEST(LintRules, DanglingTransitionTargetIsAnError) {
+  ir::Design design = accumulator_design();
+  design.configurations.at("acc")
+      .fsm.states.front()
+      .transitions.front()
+      .target = "nowhere";
+  Report report = lint_design(design);
+  EXPECT_GE(count_rule(report, "FTI-L011"), 1u) << to_text(report);
+}
+
+TEST(LintRules, LintNeverThrowsOnMalformedDesigns) {
+  ir::Design empty;
+  empty.name = "hollow";
+  EXPECT_NO_THROW(lint_design(empty));
+
+  ir::Design bad_rtg = accumulator_design();
+  bad_rtg.rtg.initial = "phantom";
+  EXPECT_NO_THROW(lint_design(bad_rtg));
+  EXPECT_GE(count_rule(lint_design(bad_rtg), "FTI-L011"), 1u);
+}
+
+TEST(LintCatalog, RuleIdsAreStableAndDense) {
+  const std::vector<RuleInfo>& catalog = rules();
+  ASSERT_EQ(catalog.size(), 11u);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    char expected[16];
+    std::snprintf(expected, sizeof expected, "FTI-L%03zu", i + 1);
+    EXPECT_EQ(catalog[i].id, expected);
+    EXPECT_FALSE(catalog[i].name.empty());
+    EXPECT_FALSE(catalog[i].summary.empty());
+  }
+  EXPECT_EQ(find_rule("FTI-L005")->name, "combinational-cycle");
+  EXPECT_EQ(find_rule("FTI-L999"), nullptr);
+}
+
+TEST(LintGate, ThresholdsAndParsing) {
+  EXPECT_EQ(gate_from_string("off"), Gate::kOff);
+  EXPECT_EQ(gate_from_string("warn"), Gate::kWarn);
+  EXPECT_EQ(gate_from_string("error"), Gate::kError);
+  EXPECT_EQ(gate_from_string("loud"), std::nullopt);
+
+  Report clean;
+  Report warned;
+  warned.findings.push_back({"FTI-L002", Severity::kWarning, "", "w", "m"});
+  Report errored = warned;
+  errored.findings.push_back({"FTI-L001", Severity::kError, "", "w", "m"});
+  EXPECT_FALSE(blocks(Gate::kOff, errored));
+  EXPECT_FALSE(blocks(Gate::kWarn, clean));
+  EXPECT_TRUE(blocks(Gate::kWarn, warned));
+  EXPECT_FALSE(blocks(Gate::kError, warned));
+  EXPECT_TRUE(blocks(Gate::kError, errored));
+}
+
+TEST(LintReport, TextListsFindingsAndSummary) {
+  ir::Design design = accumulator_design();
+  design.configurations.at("acc").datapath.units[0].ports["out"] =
+      "add_out";
+  std::string text = to_text(lint_design(design));
+  EXPECT_NE(text.find("error FTI-L001"), std::string::npos) << text;
+  EXPECT_NE(text.find("[acc_design/acc/add_out]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos) << text;
+}
+
+TEST(LintReport, JsonRoundTripsThroughParseJson) {
+  ir::Design design = accumulator_design();
+  design.configurations.at("acc").datapath.units[0].ports["out"] =
+      "add_out";
+  Report report = lint_design(design);
+  report.source = "acc.xml";
+  util::JsonValue doc = util::parse_json(to_json(report));
+  EXPECT_EQ(doc.at("source").as_string(), "acc.xml");
+  EXPECT_EQ(doc.at("errors").as_u64(), report.errors());
+  EXPECT_EQ(doc.at("warnings").as_u64(), report.warnings());
+  const util::JsonValue& findings = doc.at("findings");
+  ASSERT_EQ(findings.items.size(), report.findings.size());
+  EXPECT_EQ(findings.items[0].at("name").as_string(), "FTI-L001");
+  EXPECT_EQ(findings.items[0].at("severity").as_string(), "error");
+}
+
+TEST(LintReport, SarifValidatesAgainst210Shape) {
+  ir::Design bad = accumulator_design();
+  bad.configurations.at("acc").datapath.units[0].ports["out"] =
+      "add_out";
+  Report with_source = lint_design(bad);
+  with_source.source = "designs/bad.xml";
+  Report clean = lint_design(accumulator_design());
+  util::JsonValue doc =
+      util::parse_json(to_sarif({with_source, clean}));
+
+  // SARIF 2.1.0 required top-level members.
+  EXPECT_NE(doc.at("$schema").as_string().find("sarif-2.1.0"),
+            std::string::npos);
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  ASSERT_EQ(doc.at("runs").items.size(), 1u);
+  const util::JsonValue& run = doc.at("runs").items[0];
+
+  // tool.driver carries the full rule catalog.
+  const util::JsonValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "fti-lint");
+  const util::JsonValue& sarif_rules = driver.at("rules");
+  ASSERT_EQ(sarif_rules.items.size(), rules().size());
+  for (std::size_t i = 0; i < sarif_rules.items.size(); ++i) {
+    const util::JsonValue& rule = sarif_rules.items[i];
+    EXPECT_EQ(rule.at("id").as_string(), rules()[i].id);
+    rule.at("shortDescription").at("text").as_string();
+    std::string level =
+        rule.at("defaultConfiguration").at("level").as_string();
+    EXPECT_TRUE(level == "note" || level == "warning" || level == "error");
+  }
+
+  // One result per finding, each pointing back into the catalog.
+  const util::JsonValue& results = run.at("results");
+  ASSERT_EQ(results.items.size(), with_source.findings.size());
+  for (const util::JsonValue& result : results.items) {
+    const std::string& rule_id = result.at("ruleId").as_string();
+    std::uint64_t rule_index = result.at("ruleIndex").as_u64();
+    ASSERT_LT(rule_index, rules().size());
+    EXPECT_EQ(rules()[rule_index].id, rule_id);
+    result.at("message").at("text").as_string();
+    const util::JsonValue& location = result.at("locations").items.at(0);
+    EXPECT_EQ(location.at("physicalLocation")
+                  .at("artifactLocation")
+                  .at("uri")
+                  .as_string(),
+              "designs/bad.xml");
+    location.at("logicalLocations")
+        .items.at(0)
+        .at("fullyQualifiedName")
+        .as_string();
+  }
+}
+
+TEST(LintGateFlow, SeededDefectBlocksBeforeSimulation) {
+  harness::TestCase test;
+  test.name = "gate_block";
+  test.source =
+      "kernel gate_block(int x[16], int a, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) { x[i] = a * x[i]; }\n"
+      "}\n";
+  test.scalar_args = {{"a", 3}, {"n", 8}};
+  test.inputs = {{"x", {1, 2, 3, 4, 5, 6, 7, 8}}};
+  harness::VerifyOptions options;
+  options.generate_artifacts = false;
+  options.post_compile = [](ir::Design& design) {
+    // Plant a multi-driver defect: redirect one unit's output onto a
+    // wire some other unit already drives.
+    ir::Datapath& dp = design.configurations.begin()->second.datapath;
+    ir::Unit* attacker = nullptr;
+    std::string attacker_port;
+    for (ir::Unit& unit : dp.units) {
+      for (const std::string& output : ir::port_spec(unit).outputs) {
+        if (unit.has_port(output)) {
+          attacker = &unit;
+          attacker_port = output;
+          break;
+        }
+      }
+      if (attacker != nullptr) {
+        break;
+      }
+    }
+    ASSERT_NE(attacker, nullptr);
+    for (const ir::Unit& unit : dp.units) {
+      for (const std::string& output : ir::port_spec(unit).outputs) {
+        if (unit.has_port(output) &&
+            unit.port(output) != attacker->port(attacker_port)) {
+          attacker->ports[attacker_port] = unit.port(output);
+          return;
+        }
+      }
+    }
+    FAIL() << "no second driven wire to collide with";
+  };
+  harness::VerifyOutcome outcome = harness::run_test_case(test, options);
+  EXPECT_FALSE(outcome.passed);
+  EXPECT_TRUE(outcome.lint_blocked);
+  EXPECT_GE(outcome.lint.errors(), 1u);
+  // Fail-fast: simulation never started.
+  EXPECT_TRUE(outcome.run.partitions.empty());
+  EXPECT_EQ(outcome.run.total_cycles(), 0u);
+  EXPECT_NE(outcome.message.find("lint gate"), std::string::npos)
+      << outcome.message;
+
+  // The same defect sails through with the gate off (and then fails or
+  // passes on simulation grounds alone -- multi-driven wires are caught
+  // by ir::validate during the round-trip, so expect a throw there).
+  options.lint_gate = Gate::kOff;
+  EXPECT_THROW(harness::run_test_case(test, options), util::Error);
+}
+
+TEST(LintGateFlow, CleanDesignIsNotBlocked) {
+  harness::TestCase test;
+  test.name = "gate_pass";
+  test.source =
+      "kernel gate_pass(int x[16], int a, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) { x[i] = a + x[i]; }\n"
+      "}\n";
+  test.scalar_args = {{"a", 5}, {"n", 8}};
+  test.inputs = {{"x", {1, 2, 3, 4, 5, 6, 7, 8}}};
+  harness::VerifyOptions options;
+  options.generate_artifacts = false;
+  harness::VerifyOutcome outcome = harness::run_test_case(test, options);
+  EXPECT_TRUE(outcome.passed) << outcome.message;
+  EXPECT_FALSE(outcome.lint_blocked);
+  EXPECT_EQ(outcome.lint.errors(), 0u) << to_text(outcome.lint);
+}
+
+TEST(LintInjection, EveryDefectClassIsDetected) {
+  fuzz::GeneratorOptions generator;
+  generator.max_units = 10;
+  generator.max_run_cycles = 16;
+  fuzz::InjectionReport report = fuzz::run_injection(21, 6, generator);
+  ASSERT_EQ(report.outcomes.size(), fuzz::all_defect_classes().size());
+  for (const fuzz::InjectionOutcome& outcome : report.outcomes) {
+    EXPECT_GT(outcome.injected, 0u)
+        << "no applicable site for " << fuzz::to_string(outcome.defect);
+    EXPECT_EQ(outcome.missed, 0u)
+        << fuzz::to_string(outcome.defect) << " missed "
+        << outcome.missed << " case(s)";
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(LintInjection, InjectionIsDeterministic) {
+  ir::Design a = fuzz::generate_design_seeded(99, {});
+  ir::Design b = fuzz::generate_design_seeded(99, {});
+  fuzz::Rng rng_a(5);
+  fuzz::Rng rng_b(5);
+  bool did_a =
+      fuzz::inject_defect(a, fuzz::DefectClass::kMultiDriver, rng_a);
+  bool did_b =
+      fuzz::inject_defect(b, fuzz::DefectClass::kMultiDriver, rng_b);
+  ASSERT_EQ(did_a, did_b);
+  Report report_a = lint_design(a);
+  Report report_b = lint_design(b);
+  ASSERT_EQ(report_a.findings.size(), report_b.findings.size());
+  for (std::size_t i = 0; i < report_a.findings.size(); ++i) {
+    EXPECT_EQ(report_a.findings[i].message, report_b.findings[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace fti::lint

@@ -322,6 +322,38 @@ TEST(JsonReader, DecodesStringEscapes) {
   EXPECT_EQ(doc.at("s").as_string(), "a\n\t\"\\A\xc3\xa9");
 }
 
+TEST(JsonReader, DecodesSurrogatePairs) {
+  // U+1F600 as the canonical \uD83D\uDE00 pair -> 4-byte UTF-8.
+  JsonValue doc = parse_json("{\"s\": \"\\uD83D\\uDE00\"}");
+  EXPECT_EQ(doc.at("s").as_string(), "\xf0\x9f\x98\x80");
+  // First and last code points expressible as pairs.
+  EXPECT_EQ(parse_json("\"\\ud800\\udc00\"").as_string(),
+            "\xf0\x90\x80\x80");  // U+10000
+  EXPECT_EQ(parse_json("\"\\uDBFF\\uDFFF\"").as_string(),
+            "\xf4\x8f\xbf\xbf");  // U+10FFFF
+  // Pairs compose with surrounding text and other escapes.
+  EXPECT_EQ(parse_json("\"a\\uD83D\\uDE00\\n\"").as_string(),
+            "a\xf0\x9f\x98\x80\n");
+}
+
+TEST(JsonReader, RejectsLoneAndMismatchedSurrogates) {
+  EXPECT_THROW(parse_json("\"\\uD800\""), JsonError);        // lone high
+  EXPECT_THROW(parse_json("\"\\uDC00\""), JsonError);        // lone low
+  EXPECT_THROW(parse_json("\"\\uD800x\""), JsonError);       // high + text
+  EXPECT_THROW(parse_json("\"\\uD800\\n\""), JsonError);     // high + escape
+  EXPECT_THROW(parse_json("\"\\uD800\\u0041\""), JsonError); // high + BMP
+  EXPECT_THROW(parse_json("\"\\uD800\\uD800\""), JsonError); // high + high
+  EXPECT_THROW(parse_json("\"\\uDC00\\uD800\""), JsonError); // reversed
+}
+
+TEST(JsonReader, RoundTripsAstralCharactersThroughJsonEscape) {
+  // json_escape passes non-ASCII bytes through untouched, so UTF-8 text
+  // written by our reporters must come back byte-identical.
+  std::string astral = "emoji \xf0\x9f\x98\x80 and \xf4\x8f\xbf\xbf end";
+  JsonValue doc = parse_json("\"" + json_escape(astral) + "\"");
+  EXPECT_EQ(doc.as_string(), astral);
+}
+
 TEST(JsonReader, RejectsMalformedInput) {
   EXPECT_THROW(parse_json(""), JsonError);
   EXPECT_THROW(parse_json("{"), JsonError);

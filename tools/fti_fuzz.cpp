@@ -3,6 +3,9 @@
 //   fti_fuzz [options]                 run a fuzzing campaign
 //   fti_fuzz replay FILE.xml           re-run one corpus <repro> entry
 //   fti_fuzz corpus DIR                re-run every entry in a corpus dir
+//   fti_fuzz inject [options]          lint-recall cross-check: plant one
+//                                      known defect per generated design
+//                                      and assert the matching rule fires
 //
 // Campaign options:
 //   --seed N         campaign seed (default 1)
@@ -21,7 +24,11 @@
 //   --trace PATH     record spans, write a Chrome trace-event file
 //   --quiet          suppress per-case progress lines
 //
-// Exit code: 0 when every case agreed, 1 on any mismatch, 2 on usage
+// Inject options: --seed N, --runs N (cases per defect class),
+// --max-units N, --max-configs N, --smoke (quick ctest profile).
+//
+// Exit code: 0 when every case agreed (or, for inject, every planted
+// defect was detected), 1 on any mismatch / missed defect, 2 on usage
 // errors.
 #include <cstdint>
 #include <cstring>
@@ -31,6 +38,7 @@
 
 #include "fti/fuzz/corpus.hpp"
 #include "fti/fuzz/fuzzer.hpp"
+#include "fti/fuzz/inject.hpp"
 #include "fti/obs/json.hpp"
 #include "fti/util/cli.hpp"
 #include "fti/util/error.hpp"
@@ -46,7 +54,9 @@ namespace {
          "                [--engine NAME]... [--metrics PATH]\n"
          "                [--trace PATH] [--quiet]\n"
          "       fti_fuzz replay FILE.xml\n"
-         "       fti_fuzz corpus DIR\n";
+         "       fti_fuzz corpus DIR\n"
+         "       fti_fuzz inject [--seed N] [--runs N] [--max-units N]\n"
+         "                       [--max-configs N] [--smoke]\n";
   std::exit(2);
 }
 
@@ -93,6 +103,62 @@ int run_corpus(int argc, char** argv) {
     exit_code |= replay_entry(entry);
   }
   return exit_code;
+}
+
+int run_inject(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 40;
+  fti::fuzz::GeneratorOptions generator;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = fti::util::parse_u64_flag(arg, value());
+    } else if (arg == "--runs") {
+      runs = fti::util::parse_u64_flag(arg, value());
+    } else if (arg == "--max-units") {
+      generator.max_units = fti::util::parse_u32_flag(arg, value());
+    } else if (arg == "--max-configs") {
+      generator.max_configurations = fti::util::parse_u32_flag(arg, value());
+    } else if (arg == "--smoke") {
+      runs = 20;
+      generator.max_units = 12;
+      generator.max_run_cycles = 24;
+    } else {
+      usage();
+    }
+  }
+  fti::fuzz::InjectionReport report =
+      fti::fuzz::run_injection(seed, runs, generator);
+  for (const fti::fuzz::InjectionOutcome& outcome : report.outcomes) {
+    std::cout << fti::fuzz::to_string(outcome.defect) << " ("
+              << fti::fuzz::expected_rule(outcome.defect) << "): "
+              << outcome.detected << "/" << outcome.injected
+              << " detected across " << outcome.cases_tried
+              << " case(s)";
+    if (outcome.injected == 0) {
+      std::cout << "  [NO APPLICABLE SITE]";
+    }
+    if (outcome.missed > 0) {
+      std::cout << "  [MISSED " << outcome.missed << ", seeds:";
+      for (std::uint64_t missed_seed : outcome.missed_seeds) {
+        std::cout << " " << missed_seed;
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+  if (report.ok()) {
+    std::cout << "PASS: every planted defect class was detected\n";
+    return 0;
+  }
+  std::cout << "FAIL: lint recall gap (see above)\n";
+  return 1;
 }
 
 int run_campaign(int argc, char** argv) {
@@ -181,6 +247,12 @@ int run_campaign(int argc, char** argv) {
               << failure.case_seed << "), shrunk "
               << failure.original_nodes << " -> " << failure.shrunk_nodes
               << " IR nodes";
+    if (failure.lints_clean()) {
+      std::cout << ", lints clean (likely simulator-side bug)";
+    } else {
+      std::cout << ", lint: " << failure.lint_errors << " error(s) "
+                << failure.lint_warnings << " warning(s)";
+    }
     if (!failure.saved_path.empty()) {
       std::cout << ", saved to " << failure.saved_path.string();
     }
@@ -201,6 +273,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 2 && std::strcmp(argv[1], "corpus") == 0) {
       return run_corpus(argc - 2, argv + 2);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "inject") == 0) {
+      return run_inject(argc - 2, argv + 2);
     }
     return run_campaign(argc - 1, argv + 1);
   } catch (const fti::util::UsageError& error) {

@@ -14,6 +14,13 @@
 //                                     (per-row metrics + campaign totals)
 //   fti engines                       list the registered execution engines
 //   fti obs METRICS.json              pretty-print a --metrics snapshot
+//   fti lint PATH...                  static analysis without simulating:
+//                                     PATH is a KERNEL.k (compiled first),
+//                                     a saved rtg.xml / design XML, a
+//                                     corpus <repro> XML, or a directory
+//                                     (lints every *.k and *.xml inside)
+//        [--json PATH]                write the findings as JSON
+//        [--sarif PATH]               write a SARIF 2.1.0 log (CI annotation)
 //
 // Common options:
 //   --arg NAME=VALUE       bind a scalar parameter (repeatable)
@@ -23,6 +30,9 @@
 //   --default-limit N      default FU limit (default 2)
 //   --engine NAME          execution engine for verify/run/suite
 //                          (default "event"; see `fti engines`)
+//   --lint error|warn|off  static-analysis gate for verify/suite (default
+//                          "error"): a design whose lint report reaches
+//                          the threshold is rejected before simulation
 //   --metrics PATH         record observability counters during the run
 //                          and write the snapshot as JSON
 //   --trace PATH           record spans and write a Chrome trace-event
@@ -36,7 +46,12 @@
 // translate options:
 //   --out DIR              output directory (default: KERNEL name)
 //
-// Exit code: 0 on PASS, 1 on FAIL, 2 on usage/input errors.
+// Exit codes (the contract CI scripts rely on, see README):
+//   0  PASS / lint clean (notes allowed)
+//   1  FAIL -- simulation mismatch or incomplete run
+//   2  usage or input error (bad flags, unreadable files, malformed XML)
+//   3  lint errors (fti lint), or the --lint gate blocked on errors
+//   4  lint warnings only (fti lint), or the gate blocked on warnings
 #include <algorithm>
 #include <cstring>
 #include <iostream>
@@ -49,10 +64,12 @@
 #include "fti/compiler/parser.hpp"
 #include "fti/compiler/sema.hpp"
 #include "fti/elab/engines.hpp"
+#include "fti/fuzz/corpus.hpp"
 #include "fti/harness/metrics.hpp"
 #include "fti/harness/suite_io.hpp"
 #include "fti/harness/testcase.hpp"
 #include "fti/ir/serde.hpp"
+#include "fti/lint/lint.hpp"
 #include "fti/mem/memfile.hpp"
 #include "fti/obs/json.hpp"
 #include "fti/sim/vcd.hpp"
@@ -64,6 +81,7 @@
 #include "fti/util/logging.hpp"
 #include "fti/util/strings.hpp"
 #include "fti/util/table.hpp"
+#include "fti/xml/parser.hpp"
 
 namespace {
 
@@ -82,8 +100,12 @@ namespace {
       "                     [--json PATH]\n"
       "       fti engines\n"
       "       fti obs       METRICS.json\n"
+      "       fti lint      PATH... [--json PATH] [--sarif PATH]\n"
       "options common to verify/run/suite:\n"
-      "                     [--metrics PATH] [--trace PATH]\n";
+      "                     [--metrics PATH] [--trace PATH]\n"
+      "                     [--lint error|warn|off]  (verify/suite gate)\n"
+      "exit codes: 0 pass/clean, 1 simulation mismatch, 2 usage/input\n"
+      "error, 3 lint errors, 4 lint warnings only\n";
   std::exit(2);
 }
 
@@ -105,6 +127,7 @@ struct Cli {
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
   std::string engine = "event";
+  fti::lint::Gate lint_gate = fti::lint::Gate::kError;
   std::uint32_t jobs = 1;
   std::filesystem::path json_path;
   std::filesystem::path metrics_path;
@@ -172,6 +195,18 @@ Cli parse_cli(int argc, char** argv) {
           fti::util::parse_u32_flag("--read-ports", need_value(i));
     } else if (flag == "--engine") {
       cli.engine = need_value(i);
+    } else if (flag == "--lint" ||
+               fti::util::starts_with(flag, "--lint=")) {
+      std::string value = flag == "--lint"
+                              ? need_value(i)
+                              : flag.substr(std::strlen("--lint="));
+      auto gate = fti::lint::gate_from_string(value);
+      if (!gate) {
+        std::cerr << "bad --lint value '" << value
+                  << "' (expected error, warn or off)\n";
+        usage();
+      }
+      cli.lint_gate = *gate;
     } else if (flag == "--jobs") {
       cli.jobs = fti::util::parse_jobs_flag("--jobs", need_value(i));
     } else if (flag == "--json") {
@@ -255,14 +290,24 @@ int run_saved(Cli& cli) {
   return run.completed ? 0 : 1;
 }
 
+/// Exit code for a gate-blocked verify/suite: errors beat warnings.
+int lint_exit_code(std::size_t errors) { return errors > 0 ? 3 : 4; }
+
 int run_verify(Cli& cli) {
   // Standard flow (with the emit directory when requested).
   fti::harness::VerifyOptions options;
   options.emit_dir = cli.out_dir;
   options.engine = cli.engine;
+  options.lint_gate = cli.lint_gate;
   fti::harness::VerifyOutcome outcome =
       fti::harness::run_test_case(cli.test, options);
 
+  if (outcome.lint_blocked) {
+    std::cout << "LINT  " << cli.test.name << "\n"
+              << fti::lint::to_text(outcome.lint)
+              << "  " << outcome.message << "\n";
+    return lint_exit_code(outcome.lint.errors());
+  }
   std::cout << (outcome.passed ? "PASS" : "FAIL") << "  " << cli.test.name
             << "\n";
   if (!outcome.passed) {
@@ -393,6 +438,112 @@ int run_translate(const Cli& cli) {
   return 0;
 }
 
+/// `fti lint`: static analysis over one or more designs, no simulation.
+/// Accepts kernel sources (compiled first), saved rtg.xml file sets,
+/// bare <design> documents, corpus <repro> documents and directories.
+int run_lint(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  std::filesystem::path json_path;
+  std::filesystem::path sarif_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (flag == "--json") {
+      json_path = need_value();
+    } else if (flag == "--sarif") {
+      sarif_path = need_value();
+    } else if (fti::util::starts_with(flag, "--")) {
+      std::cerr << "unknown option '" << flag << "'\n";
+      usage();
+    } else {
+      inputs.emplace_back(flag);
+    }
+  }
+  if (inputs.empty()) {
+    usage();
+  }
+
+  // Directories expand to every lintable file inside, sorted.
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& input : inputs) {
+    if (std::filesystem::is_directory(input)) {
+      std::vector<std::filesystem::path> found;
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        std::string ext = entry.path().extension().string();
+        if (ext == ".k" || ext == ".xml") {
+          found.push_back(entry.path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "error: no .k or .xml designs found\n";
+    return 2;
+  }
+
+  std::vector<fti::lint::Report> reports;
+  for (const std::filesystem::path& file : files) {
+    fti::ir::Design design;
+    if (file.extension() == ".k") {
+      fti::harness::TestCase test = fti::harness::load_test_case(file);
+      fti::compiler::CompileOptions options;
+      options.scalar_args = test.scalar_args;
+      options.resources = test.resources;
+      if (test.embed_inputs) {
+        options.rom_contents = test.inputs;
+      }
+      design = fti::compiler::compile_source(test.source, options).design;
+    } else {
+      std::string text = fti::util::read_file(file);
+      std::unique_ptr<fti::xml::Element> root = fti::xml::parse(text);
+      if (root->name() == "repro") {
+        design = fti::fuzz::repro_from_xml(text).design;
+      } else if (root->name() == "rtg") {
+        design = fti::ir::load_design_files(file);
+      } else {
+        design = fti::ir::design_from_xml(*root);
+      }
+    }
+    fti::lint::Report report = fti::lint::lint_design(design);
+    report.source = file.string();
+    std::cout << fti::lint::to_text(report);
+    reports.push_back(std::move(report));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const fti::lint::Report& report : reports) {
+    errors += report.errors();
+    warnings += report.warnings();
+  }
+  if (reports.size() > 1) {
+    std::cout << reports.size() << " design(s): " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+  }
+  if (!json_path.empty()) {
+    std::string out;
+    for (const fti::lint::Report& report : reports) {
+      out += fti::lint::to_json(report);
+    }
+    fti::util::write_file(json_path, out);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
+  if (!sarif_path.empty()) {
+    fti::util::write_file(sarif_path, fti::lint::to_sarif(reports));
+    std::cout << "wrote " << sarif_path.string() << "\n";
+  }
+  return errors > 0 ? 3 : (warnings > 0 ? 4 : 0);
+}
+
 /// `fti obs`: pretty-print a --metrics snapshot written by an earlier
 /// run, so nobody needs jq to read one.
 int run_obs(const std::filesystem::path& path) {
@@ -448,6 +599,9 @@ int main(int argc, char** argv) {
     if (argc == 3 && std::strcmp(argv[1], "obs") == 0) {
       return run_obs(argv[2]);
     }
+    if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
+      return run_lint(argc, argv);
+    }
     Cli cli = parse_cli(argc, argv);
     if (cli.verbose) {
       fti::util::set_log_level(fti::util::LogLevel::kInfo);
@@ -488,10 +642,13 @@ int main(int argc, char** argv) {
       fti::harness::VerifyOptions options;
       options.emit_dir = cli.out_dir;
       options.engine = cli.engine;
+      options.lint_gate = cli.lint_gate;
       fti::harness::SuiteReport report = suite.run_all(
           options,
           [](const fti::harness::SuiteRow& row) {
-            std::cout << (row.passed ? "PASS" : "FAIL") << "  " << row.name;
+            std::cout << (row.passed ? "PASS"
+                                     : (row.lint_blocked ? "LINT" : "FAIL"))
+                      << "  " << row.name;
             if (!row.passed) {
               std::cout << "  (" << row.message << ")";
             }
@@ -527,6 +684,11 @@ int main(int argc, char** argv) {
           record.set("coverage_percent", row.coverage_percent);
           record.set("sim_seconds", row.sim_seconds);
           record.set("total_seconds", row.total_seconds);
+          record.set("lint_errors",
+                     static_cast<std::uint64_t>(row.lint_errors));
+          record.set("lint_warnings",
+                     static_cast<std::uint64_t>(row.lint_warnings));
+          record.set("lint_blocked", row.lint_blocked);
           if (!row.passed) {
             record.set("message", row.message);
           }
@@ -534,7 +696,26 @@ int main(int argc, char** argv) {
         json.write(cli.json_path);
         std::cout << "wrote " << cli.json_path.string() << "\n";
       }
-      return finish(report.all_passed() ? 0 : 1);
+      // Simulation mismatches dominate the exit code; a suite whose only
+      // failures are lint-gate rejections reports 3 (errors) or 4.
+      int code = 0;
+      std::size_t blocked_errors = 0;
+      std::size_t blocked = 0;
+      for (const fti::harness::SuiteRow& row : report.rows) {
+        if (row.passed) {
+          continue;
+        }
+        if (!row.lint_blocked) {
+          code = 1;
+        } else {
+          ++blocked;
+          blocked_errors += row.lint_errors;
+        }
+      }
+      if (code == 0 && blocked > 0) {
+        code = lint_exit_code(blocked_errors);
+      }
+      return finish(code);
     }
     usage();
   } catch (const fti::util::UsageError& e) {
