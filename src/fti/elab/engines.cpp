@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "fti/elab/batched.hpp"
 #include "fti/elab/levelized.hpp"
 #include "fti/obs/metrics.hpp"
 #include "fti/obs/trace.hpp"
@@ -484,6 +485,8 @@ void register_builtin_engines() {
                          [] { return std::make_unique<NaiveEngine>(); });
     sim::register_engine(
         "levelized", [] { return std::make_unique<LevelizedEngine>(); });
+    sim::register_engine(
+        "batched", [] { return std::make_unique<BatchedEngine>(); });
   });
 }
 

@@ -14,43 +14,31 @@ namespace {
 
 constexpr std::size_t kMaxMismatchLines = 25;
 
-void harvest_memories(const mem::MemoryPool& pool, Observation& obs) {
-  for (const std::string& name : pool.names()) {
-    obs.memories.emplace(name, pool.get(name).words());
-  }
-}
-
 /// One lane: a fresh pool, one engine, observables flattened to the
 /// "<node>/<wire>" keys the comparison uses.  Engine exceptions become
 /// `error` so a crashing lane is itself a reportable disagreement.
 Observation run_engine_path(const ir::Design& design,
                             const DiffOptions& options, sim::Engine& engine,
                             std::string label) {
-  Observation obs;
-  obs.engine = std::move(label);
-  obs.has_wire_data = engine.reports_wire_data();
   mem::MemoryPool pool;
   try {
     sim::EngineRunOptions ropts;
     ropts.max_cycles_per_partition = options.max_cycles_per_partition;
     ropts.collect_wire_data = true;
     sim::EngineResult result = engine.run(design, pool, ropts);
-    obs.completed = result.completed;
-    obs.total_cycles = result.total_cycles();
-    for (sim::EnginePartition& partition : result.partitions) {
-      obs.cycles.push_back(partition.cycles);
-      for (auto& [wire, value] : partition.finals) {
-        obs.finals.emplace(partition.node + "/" + wire, value);
-      }
-      for (auto& [wire, trace] : partition.traces) {
-        obs.traces.emplace(partition.node + "/" + wire, std::move(trace));
-      }
-    }
+    Observation obs = observe_result(std::move(label), std::move(result), pool);
+    obs.has_wire_data = engine.reports_wire_data();
+    return obs;
   } catch (const std::exception& error) {
+    Observation obs;
+    obs.engine = std::move(label);
+    obs.has_wire_data = engine.reports_wire_data();
     obs.error = error.what();
+    for (const std::string& name : pool.names()) {
+      obs.memories.emplace(name, pool.get(name).words());
+    }
+    return obs;
   }
-  harvest_memories(pool, obs);
-  return obs;
 }
 
 Observation run_lane(const ir::Design& design, const DiffOptions& options,
@@ -182,6 +170,46 @@ void compare_observations(const Observation& a, const Observation& b,
 }
 
 }  // namespace
+
+Observation observe_result(std::string label, sim::EngineResult result,
+                           const mem::MemoryPool& pool) {
+  Observation obs;
+  obs.engine = std::move(label);
+  obs.has_wire_data = result.has_wire_data;
+  obs.completed = result.completed;
+  obs.total_cycles = result.total_cycles();
+  for (sim::EnginePartition& partition : result.partitions) {
+    obs.cycles.push_back(partition.cycles);
+    for (auto& [wire, value] : partition.finals) {
+      obs.finals.emplace(partition.node + "/" + wire, value);
+    }
+    for (auto& [wire, trace] : partition.traces) {
+      obs.traces.emplace(partition.node + "/" + wire, std::move(trace));
+    }
+  }
+  for (const std::string& name : pool.names()) {
+    obs.memories.emplace(name, pool.get(name).words());
+  }
+  return obs;
+}
+
+std::vector<std::string> compare_observation_pair(const Observation& a,
+                                                  const Observation& b) {
+  DiffResult scratch;
+  {
+    Reporter report(scratch);
+    if (!a.error.empty()) {
+      report.mismatch("engine " + a.engine + " failed: " + a.error);
+    }
+    if (!b.error.empty()) {
+      report.mismatch("engine " + b.engine + " failed: " + b.error);
+    }
+    if (a.error.empty() && b.error.empty()) {
+      compare_observations(a, b, report);
+    }
+  }
+  return std::move(scratch.mismatches);
+}
 
 DiffResult diff_design(const ir::Design& design, const DiffOptions& options) {
   register_reference_engine();

@@ -45,7 +45,8 @@ struct DiffOptions {
   /// "reference" lane is special-cased to honour `reference` above (so
   /// injected operator bugs reach it); every other name goes through
   /// elab::make_engine.
-  std::vector<std::string> engines{"reference", "naive", "levelized"};
+  std::vector<std::string> engines{"reference", "naive", "levelized",
+                                   "batched"};
 };
 
 /// What one execution lane observed.  Engines that cannot report a given
@@ -81,5 +82,18 @@ struct DiffResult {
 /// observation against the first (the event kernel).
 DiffResult diff_design(const ir::Design& design,
                        const DiffOptions& options = {});
+
+/// Flattens one finished engine run plus its memory pool into the
+/// Observation shape the comparison machinery consumes (finals/traces
+/// keyed "<node>/<wire>").  Shared with the batched lane checker, which
+/// builds per-lane observations out of one run_batch call.
+Observation observe_result(std::string label, sim::EngineResult result,
+                           const mem::MemoryPool& pool);
+
+/// Cross-checks two observations with the same machinery diff_design
+/// uses (completion, cycles, finals, traces, memories; mismatch lines
+/// are capped) and returns the mismatch lines -- empty means agreement.
+std::vector<std::string> compare_observation_pair(const Observation& a,
+                                                  const Observation& b);
 
 }  // namespace fti::fuzz

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "fti/fuzz/corpus.hpp"
+#include "fti/fuzz/lanes.hpp"
 #include "fti/lint/lint.hpp"
 #include "fti/obs/metrics.hpp"
 #include "fti/obs/trace.hpp"
@@ -40,58 +41,21 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     }
   };
 
-  auto run_case = [&](std::uint64_t index) -> bool {
-    std::uint64_t case_seed = Rng::derive(options.seed, index);
-    obs::ScopedSpan case_span("case:" + std::to_string(index), "fuzz");
-    ir::Design design;
-    try {
-      design = generate_design_seeded(case_seed, options.generator);
-      obs::counter("fuzz.designs_generated").inc();
-    } catch (const std::exception& error) {
-      // A generator bug is a campaign failure too, minus the shrink.
-      FuzzFailure failure;
-      failure.case_index = index;
-      failure.case_seed = case_seed;
-      failure.mismatches = {std::string("generator threw: ") +
-                            error.what()};
-      emit("case " + std::to_string(index) + ": " +
-           failure.mismatches.front());
-      std::lock_guard<std::mutex> lock(sink_mutex);
-      report.failures.push_back(std::move(failure));
-      return true;
-    }
-    if (design.configuration_count() > 1) {
-      multi_config.fetch_add(1, std::memory_order_relaxed);
-    }
-    DiffResult diff = diff_design(design, options.diff);
-    cases_run.fetch_add(1, std::memory_order_relaxed);
-    if (!diff.observations.empty()) {
-      total_cycles.fetch_add(diff.observations.front().total_cycles,
-                             std::memory_order_relaxed);
-    }
-    if (diff.ok) {
-      return true;
-    }
-    obs::counter("fuzz.divergences").inc();
-    emit("case " + std::to_string(index) + " (seed " +
-         std::to_string(case_seed) + "): " +
-         std::to_string(diff.mismatches.size()) + " mismatch line(s), " +
-         (diff.mismatches.empty() ? std::string("<none>")
-                                  : diff.mismatches.front()));
+  // Shared failure path for diff and lane divergences: shrink against the
+  // caller's predicate, lint-classify, optionally save a repro, and decide
+  // whether the campaign keeps going.
+  auto record_failure = [&](std::uint64_t index, std::uint64_t case_seed,
+                            const ir::Design& design,
+                            std::vector<std::string> mismatches,
+                            const FailurePredicate& predicate) -> bool {
     FuzzFailure failure;
     failure.case_index = index;
     failure.case_seed = case_seed;
-    failure.mismatches = diff.mismatches;
+    failure.mismatches = std::move(mismatches);
     failure.original_nodes = ir_node_count(design);
     failure.shrunk = design;
     failure.shrunk_nodes = failure.original_nodes;
     if (options.shrink_failures) {
-      DiffOptions shrink_diff = options.diff;
-      shrink_diff.check_roundtrip = false;
-      shrink_diff.max_cycles_per_partition = shrink_cycle_budget(diff);
-      FailurePredicate predicate = [&](const ir::Design& candidate) {
-        return !diff_design(candidate, shrink_diff).ok;
-      };
       ShrinkOptions shrink_options;
       shrink_options.max_evaluations = options.shrink_evaluations;
       obs::ScopedSpan shrink_span("shrink:" + std::to_string(index), "fuzz");
@@ -129,6 +93,86 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
     }
     // Returning false cancels the campaign: enough failures collected.
     return failure_count < options.max_failures;
+  };
+
+  auto run_case = [&](std::uint64_t index) -> bool {
+    std::uint64_t case_seed = Rng::derive(options.seed, index);
+    obs::ScopedSpan case_span("case:" + std::to_string(index), "fuzz");
+    ir::Design design;
+    try {
+      design = generate_design_seeded(case_seed, options.generator);
+      obs::counter("fuzz.designs_generated").inc();
+    } catch (const std::exception& error) {
+      // A generator bug is a campaign failure too, minus the shrink.
+      FuzzFailure failure;
+      failure.case_index = index;
+      failure.case_seed = case_seed;
+      failure.mismatches = {std::string("generator threw: ") +
+                            error.what()};
+      emit("case " + std::to_string(index) + ": " +
+           failure.mismatches.front());
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      report.failures.push_back(std::move(failure));
+      return true;
+    }
+    if (design.configuration_count() > 1) {
+      multi_config.fetch_add(1, std::memory_order_relaxed);
+    }
+    DiffResult diff = diff_design(design, options.diff);
+    cases_run.fetch_add(1, std::memory_order_relaxed);
+    if (!diff.observations.empty()) {
+      total_cycles.fetch_add(diff.observations.front().total_cycles,
+                             std::memory_order_relaxed);
+    }
+    if (diff.ok) {
+      // Engines agree on the default stimulus; now sweep the design once
+      // through the batched engine with N randomized memory lanes and hold
+      // every lane to its own reference-interpreter run.
+      if (options.batch_lanes == 0) {
+        return true;
+      }
+      LaneCheckOptions lane_options;
+      lane_options.lanes = options.batch_lanes;
+      lane_options.max_cycles_per_partition =
+          options.diff.max_cycles_per_partition;
+      obs::ScopedSpan lane_span("lanes:" + std::to_string(index), "fuzz");
+      LaneCheckResult lane_check = check_lanes(design, case_seed, lane_options);
+      obs::counter("fuzz.lane_checks").inc();
+      total_cycles.fetch_add(lane_check.lane_cycles,
+                             std::memory_order_relaxed);
+      if (lane_check.ok) {
+        return true;
+      }
+      obs::counter("fuzz.lane_divergences").inc();
+      emit("case " + std::to_string(index) + " (seed " +
+           std::to_string(case_seed) + "): " +
+           std::to_string(lane_check.mismatches.size()) +
+           " lane mismatch line(s), " +
+           (lane_check.mismatches.empty() ? std::string("<none>")
+                                          : lane_check.mismatches.front()));
+      LaneCheckOptions shrink_lanes = lane_options;
+      shrink_lanes.max_cycles_per_partition = std::max<std::uint64_t>(
+          256, 4 * lane_check.max_cycles_observed);
+      return record_failure(
+          index, case_seed, design, std::move(lane_check.mismatches),
+          [&](const ir::Design& candidate) {
+            return !check_lanes(candidate, case_seed, shrink_lanes).ok;
+          });
+    }
+    obs::counter("fuzz.divergences").inc();
+    emit("case " + std::to_string(index) + " (seed " +
+         std::to_string(case_seed) + "): " +
+         std::to_string(diff.mismatches.size()) + " mismatch line(s), " +
+         (diff.mismatches.empty() ? std::string("<none>")
+                                  : diff.mismatches.front()));
+    DiffOptions shrink_diff = options.diff;
+    shrink_diff.check_roundtrip = false;
+    shrink_diff.max_cycles_per_partition = shrink_cycle_budget(diff);
+    return record_failure(
+        index, case_seed, design, diff.mismatches,
+        [&](const ir::Design& candidate) {
+          return !diff_design(candidate, shrink_diff).ok;
+        });
   };
 
   util::parallel_for_indexed(options.jobs, options.runs, run_case);

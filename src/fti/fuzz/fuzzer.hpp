@@ -28,6 +28,12 @@ struct FuzzOptions {
   std::uint32_t jobs = 1;
   GeneratorOptions generator;
   DiffOptions diff;
+  /// Batched stimulus lanes per design: after the engine diff passes,
+  /// the design runs once through the batched engine over this many
+  /// randomized memory stimuli and every lane is compared against its
+  /// own reference-interpreter run (fuzz/lanes.hpp).  0 disables the
+  /// lane check entirely.
+  std::uint32_t batch_lanes = 64;
   /// Campaign stops early once this many failing cases are collected.
   std::size_t max_failures = 5;
   /// Predicate-evaluation budget handed to the shrinker per failure.

@@ -1,5 +1,8 @@
 #include "fti/harness/testcase.hpp"
 
+#include <algorithm>
+#include <deque>
+
 #include "fti/codegen/dot.hpp"
 #include "fti/codegen/hds.hpp"
 #include "fti/codegen/verilog.hpp"
@@ -10,6 +13,7 @@
 #include "fti/ir/serde.hpp"
 #include "fti/lint/lint.hpp"
 #include "fti/mem/memfile.hpp"
+#include "fti/sim/bits.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/strings.hpp"
@@ -51,6 +55,51 @@ void prime_pool(const compiler::Program& program,
       load_inputs(pool, name, values);
     }
   }
+}
+
+/// Seed-derived random stimulus for lanes k >= 1 of a batched verify.
+/// Deliberately a local splitmix64: the harness cannot depend on fti_fuzz
+/// (the fuzzer already links the harness).
+class LaneRng {
+ public:
+  explicit LaneRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fills every array parameter with (seed, lane)-derived random words --
+/// the same contents for the golden pool and the simulated pool of that
+/// lane, so both sides start from identical memory.  The sign bit stays
+/// clear: kernels with data-dependent loops are commonly written against
+/// non-negative inputs (`while (v != 0) v = v >> 1;` never terminates on
+/// a negative word under arithmetic shift), and a stimulus lane that
+/// hangs the design tests nothing.
+void prime_random_lane(const compiler::SemaInfo& sema, std::uint64_t seed,
+                       std::uint32_t lane, mem::MemoryPool& pool) {
+  LaneRng rng(seed ^ (0xa0761d6478bd642full * (lane + 1)));
+  for (const auto& [name, param] : sema.arrays) {
+    std::uint32_t width = compiler::width_of(param.type);
+    std::uint64_t mask =
+        width > 1 ? sim::Bits::mask(width - 1) : sim::Bits::mask(width);
+    mem::MemoryImage& image = pool.create(name, param.array_size, width);
+    for (std::size_t i = 0; i < image.depth(); ++i) {
+      image.write(i, rng.next() & mask);
+    }
+  }
+}
+
+/// "lane K: " prefix for multi-lane verdict messages; empty for the
+/// classic single-lane run.
+std::string lane_tag(std::uint32_t lane, std::uint32_t lane_count) {
+  return lane_count > 1 ? "lane " + std::to_string(lane) + ": " : "";
 }
 
 FlowArtifacts collect_artifacts(const ir::Design& design,
@@ -162,43 +211,74 @@ VerifyOutcome run_test_case(const TestCase& test,
   }
   outcome.artifacts = collect_artifacts(design, test, options);
 
-  // 4. Golden run.
+  // 4. Golden runs, one per stimulus lane.  Lane 0 replays the declared
+  //    inputs; lanes k >= 1 replay the same seed-derived random contents
+  //    the matching simulated lane starts from.
+  std::uint32_t lane_count = std::max<std::uint32_t>(1, options.lanes);
   watch.reset();
-  mem::MemoryPool golden_pool;
-  prime_pool(program, sema, test, golden_pool, /*load_values=*/true);
+  std::deque<mem::MemoryPool> golden_pools(lane_count);
   compiler::InterpOptions interp_options;
   interp_options.scalar_args = test.scalar_args;
-  outcome.golden_stats =
-      compiler::run_program(program, golden_pool, interp_options);
+  for (std::uint32_t lane = 0; lane < lane_count; ++lane) {
+    if (lane == 0) {
+      prime_pool(program, sema, test, golden_pools[0], /*load_values=*/true);
+    } else {
+      prime_random_lane(sema, options.lane_seed, lane, golden_pools[lane]);
+    }
+    compiler::InterpStats stats =
+        compiler::run_program(program, golden_pools[lane], interp_options);
+    if (lane == 0) {
+      outcome.golden_stats = stats;
+    }
+  }
   outcome.golden_seconds = watch.seconds();
 
-  // 5. Simulated run.
+  // 5. Simulated run: ONE engine invocation covers every lane (engines
+  //    without a native batch path fall back to looping single runs).
+  //    Lane 0 of an embedded-inputs test keeps its pool empty so
+  //    elaboration applies the baked power-up contents; random lanes
+  //    always pre-prime, which overrides the baked init -- engines apply
+  //    <memory init=...> only to images the pool does not hold yet.
   watch.reset();
-  mem::MemoryPool sim_pool;
-  // With embedded inputs elaboration itself applies the power-up contents.
-  if (!test.embed_inputs) {
-    prime_pool(program, sema, test, sim_pool, /*load_values=*/true);
+  std::deque<mem::MemoryPool> sim_pools(lane_count);
+  std::vector<mem::MemoryPool*> lane_ptrs;
+  lane_ptrs.reserve(lane_count);
+  for (std::uint32_t lane = 0; lane < lane_count; ++lane) {
+    if (lane == 0) {
+      if (!test.embed_inputs) {
+        prime_pool(program, sema, test, sim_pools[0], /*load_values=*/true);
+      }
+    } else {
+      prime_random_lane(sema, options.lane_seed, lane, sim_pools[lane]);
+    }
+    lane_ptrs.push_back(&sim_pools[lane]);
   }
   sim::EngineRunOptions run_options;
   run_options.max_cycles_per_partition = test.max_cycles;
   std::unique_ptr<sim::Engine> engine = elab::make_engine(options.engine);
-  outcome.run = engine->run(design, sim_pool, run_options);
+  std::vector<sim::EngineResult> runs =
+      engine->run_batch(design, lane_ptrs, run_options);
   outcome.sim_seconds = watch.seconds();
-  if (!outcome.run.completed) {
-    outcome.passed = false;
-    outcome.message =
-        "simulation did not complete: partition '" +
-        outcome.run.partitions.back().node + "' stopped with reason '" +
-        sim::to_string(outcome.run.partitions.back().reason) + "'";
-    if (!options.emit_dir.empty()) {
-      util::write_file(options.emit_dir / (test.name + ".verdict"),
-                       outcome.message + "\n");
+  for (std::uint32_t lane = 0; lane < lane_count; ++lane) {
+    if (!runs[lane].completed) {
+      outcome.passed = false;
+      outcome.message =
+          lane_tag(lane, lane_count) + "simulation did not complete: "
+          "partition '" + runs[lane].partitions.back().node +
+          "' stopped with reason '" +
+          sim::to_string(runs[lane].partitions.back().reason) + "'";
+      outcome.run = std::move(runs[lane]);
+      if (!options.emit_dir.empty()) {
+        util::write_file(options.emit_dir / (test.name + ".verdict"),
+                         outcome.message + "\n");
+      }
+      return outcome;
     }
-    return outcome;
   }
+  outcome.run = std::move(runs[0]);
 
-  // 6. Compare memory contents ("a simple comparison of data content is
-  //    performed to verify results").
+  // 6. Compare memory contents per lane ("a simple comparison of data
+  //    content is performed to verify results").
   std::vector<std::string> arrays = test.check_arrays;
   if (arrays.empty()) {
     for (const auto& [name, param] : sema.arrays) {
@@ -206,38 +286,44 @@ VerifyOutcome run_test_case(const TestCase& test,
       arrays.push_back(name);
     }
   }
-  for (const std::string& array : arrays) {
-    const mem::MemoryImage& expected = golden_pool.get(array);
-    if (!sim_pool.contains(array)) {
-      // The design never referenced this array (possible with embedded
-      // inputs, where only referenced memories exist): its contents are
-      // the unchanged initial values.
-      const auto& param = sema.arrays.at(array);
-      sim_pool.create(array, param.array_size,
-                      compiler::width_of(param.type));
-      auto values = test.inputs.find(array);
-      if (values != test.inputs.end()) {
-        load_inputs(sim_pool, array, values->second);
-      }
-    }
-    const mem::MemoryImage& actual = sim_pool.get(array);
-    for (std::size_t i = 0; i < expected.depth(); ++i) {
-      if (expected.words()[i] != actual.words()[i]) {
-        if (outcome.mismatches == 0) {
-          outcome.message = "memory '" + array + "' word " +
-                            std::to_string(i) + ": golden " +
-                            std::to_string(expected.words()[i]) +
-                            " != simulated " +
-                            std::to_string(actual.words()[i]);
+  for (std::uint32_t lane = 0; lane < lane_count; ++lane) {
+    mem::MemoryPool& golden_pool = golden_pools[lane];
+    mem::MemoryPool& sim_pool = sim_pools[lane];
+    for (const std::string& array : arrays) {
+      const mem::MemoryImage& expected = golden_pool.get(array);
+      if (!sim_pool.contains(array)) {
+        // The design never referenced this array (possible with embedded
+        // inputs, where only referenced memories exist): its contents are
+        // the unchanged initial values.  Only lane 0 can get here; random
+        // lanes pre-create every array.
+        const auto& param = sema.arrays.at(array);
+        sim_pool.create(array, param.array_size,
+                        compiler::width_of(param.type));
+        auto values = test.inputs.find(array);
+        if (values != test.inputs.end()) {
+          load_inputs(sim_pool, array, values->second);
         }
-        ++outcome.mismatches;
+      }
+      const mem::MemoryImage& actual = sim_pool.get(array);
+      for (std::size_t i = 0; i < expected.depth(); ++i) {
+        if (expected.words()[i] != actual.words()[i]) {
+          if (outcome.mismatches == 0) {
+            outcome.message = lane_tag(lane, lane_count) + "memory '" +
+                              array + "' word " + std::to_string(i) +
+                              ": golden " +
+                              std::to_string(expected.words()[i]) +
+                              " != simulated " +
+                              std::to_string(actual.words()[i]);
+          }
+          ++outcome.mismatches;
+        }
       }
     }
   }
   outcome.passed = outcome.mismatches == 0;
   if (!options.emit_dir.empty()) {
     for (const std::string& array : arrays) {
-      mem::save_mem_file(sim_pool.get(array),
+      mem::save_mem_file(sim_pools[0].get(array),
                          options.emit_dir / (test.name + "." + array +
                                              ".dat"));
     }

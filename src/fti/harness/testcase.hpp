@@ -60,6 +60,18 @@ struct VerifyOptions {
   /// (outcome.lint_blocked); kWarn also blocks on warnings; kOff skips
   /// the analysis entirely.
   lint::Gate lint_gate = lint::Gate::kError;
+  /// Stimulus lanes for the simulated run.  1 is the classic single run.
+  /// N > 1 issues ONE engine->run_batch over N memory pools: lane 0
+  /// carries the test's declared inputs, lanes k >= 1 carry
+  /// lane_seed-derived random contents for every array parameter (sign
+  /// bit kept clear so data-dependent loops written against non-negative
+  /// inputs still terminate), and
+  /// every lane is held to its own golden-interpreter run.  outcome.run
+  /// and the verdict message describe the first failing lane (lane 0 when
+  /// all pass); mismatches sum over lanes.
+  std::uint32_t lanes = 1;
+  /// Seed for the random stimuli of lanes k >= 1.
+  std::uint64_t lane_seed = 1;
   /// Test seam: mutates the compiled design before lint and round-trip.
   /// The seeded-defect tests use this to plant known-bad edits.
   std::function<void(ir::Design&)> post_compile;

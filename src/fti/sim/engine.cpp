@@ -31,6 +31,38 @@ double EngineResult::total_wall_seconds() const {
   return total;
 }
 
+void Engine::check_batch_lanes(
+    const std::vector<mem::MemoryPool*>& lanes) const {
+  if (lanes.empty()) {
+    throw util::SimError("engine '" + name() +
+                         "': run_batch needs at least one lane");
+  }
+  if (lanes.size() > max_lanes()) {
+    throw util::SimError(
+        "engine '" + name() + "': run_batch called with " +
+        std::to_string(lanes.size()) + " lanes, above the engine's maximum "
+        "of " + std::to_string(max_lanes()));
+  }
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    if (lanes[lane] == nullptr) {
+      throw util::SimError("engine '" + name() + "': run_batch lane " +
+                           std::to_string(lane) + " has a null memory pool");
+    }
+  }
+}
+
+std::vector<EngineResult> Engine::run_batch(
+    const ir::Design& design, const std::vector<mem::MemoryPool*>& lanes,
+    const EngineRunOptions& options) {
+  check_batch_lanes(lanes);
+  std::vector<EngineResult> results;
+  results.reserve(lanes.size());
+  for (mem::MemoryPool* pool : lanes) {
+    results.push_back(run(design, *pool, options));
+  }
+  return results;
+}
+
 namespace {
 
 struct Registry {

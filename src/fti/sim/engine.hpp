@@ -117,6 +117,31 @@ class Engine {
                                         mem::MemoryPool& pool,
                                         const EngineRunOptions& options,
                                         std::size_t partition_index) = 0;
+
+  /// Most lanes one run_batch call accepts.  Engines with a native
+  /// batched datapath may lower this to whatever their storage layout
+  /// supports; the default covers the looping fallback.
+  virtual std::size_t max_lanes() const { return kDefaultMaxLanes; }
+
+  /// Runs `design` once per stimulus lane: lanes[k] is lane k's memory
+  /// pool (its pre-run contents are that lane's stimulus, exactly as a
+  /// pool passed to run()), and slot k of the returned vector is lane k's
+  /// result.  Lane counts of zero or above max_lanes(), and null pool
+  /// pointers, are rejected with SimError -- never silently clamped.  A
+  /// SimError raised by any lane mid-run (bad memory write, combinational
+  /// loop) aborts the whole batch.  The base implementation loops run()
+  /// lane by lane, so every engine accepts batches; engines that override
+  /// it (the `batched` engine) evaluate all lanes in one sweep.
+  virtual std::vector<EngineResult> run_batch(
+      const ir::Design& design, const std::vector<mem::MemoryPool*>& lanes,
+      const EngineRunOptions& options = {});
+
+ protected:
+  static constexpr std::size_t kDefaultMaxLanes = 1024;
+
+  /// Shared run_batch precondition check (lane count bounds, null pools);
+  /// throws SimError naming the engine on violation.
+  void check_batch_lanes(const std::vector<mem::MemoryPool*>& lanes) const;
 };
 
 using EngineFactory = std::function<std::unique_ptr<Engine>()>;

@@ -6,6 +6,7 @@
 // backend is covered without editing this file.
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
@@ -327,6 +328,183 @@ TEST_P(EngineParity, CompiledKernelMemoriesMatchEventEngine) {
   for (const std::string& array : event_pool.names()) {
     EXPECT_EQ(pool.get(array).words(), event_pool.get(array).words())
         << "array '" << array << "' differs from the event engine";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched lanes: per-lane results must be byte-identical to independent
+// single-lane levelized runs.  The lane counts are chosen to stress the
+// bit-packed storage: 1 and 3 exercise a mostly-masked single word, 64 a
+// full word with no tail, 65 a one-bit tail word, 127 an almost-full
+// tail word.
+
+class BatchedLaneParity : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, BatchedLaneParity,
+                         ::testing::Values(1u, 3u, 64u, 65u, 127u));
+
+TEST_P(BatchedLaneParity, AccumulatorLanesMatchIndependentRun) {
+  const std::size_t lanes = GetParam();
+  ir::Design design = accumulator_design(25);
+  sim::EngineRunOptions options;
+  options.collect_wire_data = true;
+
+  mem::MemoryPool single_pool;
+  sim::EngineResult expected =
+      elab::make_engine("levelized")->run(design, single_pool, options);
+  ASSERT_TRUE(expected.completed);
+
+  std::deque<mem::MemoryPool> pools(lanes);
+  std::vector<mem::MemoryPool*> ptrs;
+  for (mem::MemoryPool& pool : pools) {
+    ptrs.push_back(&pool);
+  }
+  std::vector<sim::EngineResult> runs =
+      elab::make_engine("batched")->run_batch(design, ptrs, options);
+  ASSERT_EQ(runs.size(), lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const sim::EnginePartition& got = runs[lane].partitions.at(0);
+    const sim::EnginePartition& want = expected.partitions.at(0);
+    ASSERT_TRUE(runs[lane].completed) << "lane " << lane;
+    EXPECT_EQ(got.cycles, want.cycles) << "lane " << lane;
+    EXPECT_EQ(got.reason, want.reason) << "lane " << lane;
+    EXPECT_EQ(got.finals, want.finals) << "lane " << lane;
+    EXPECT_EQ(got.traces, want.traces) << "lane " << lane;
+    EXPECT_EQ(got.stats.events, want.stats.events) << "lane " << lane;
+    EXPECT_EQ(got.stats.evaluations, want.stats.evaluations)
+        << "lane " << lane;
+    EXPECT_EQ(got.stats.timesteps, want.stats.timesteps) << "lane " << lane;
+  }
+}
+
+TEST_P(BatchedLaneParity, CompiledKernelDistinctLanesMatchLevelized) {
+  // Each lane gets different SRAM contents, and the branchy kernel makes
+  // per-lane work (and thus write traffic) data-dependent -- so lanes
+  // diverge in what they store while staying in the same control
+  // lockstep.  Every lane must still match an independent levelized run
+  // from an identically primed pool.
+  const std::size_t lanes = GetParam();
+  const char* source =
+      "kernel k(short s[8], short t[8], int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    if (s[i] > 100) {\n"
+      "      t[i] = s[i] + 3;\n"
+      "      s[i] = t[i] + 1;\n"
+      "    } else {\n"
+      "      t[i] = s[i];\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  compiler::CompileOptions compile_options;
+  compile_options.scalar_args = {{"n", 8}};
+  auto compiled = compiler::compile_source(source, compile_options);
+
+  auto prime = [](mem::MemoryPool& pool, std::size_t lane) {
+    pool.create("s", 8, 16);
+    pool.create("t", 8, 16);
+    mem::MemoryImage& s = pool.get("s");
+    for (std::size_t i = 0; i < 8; ++i) {
+      s.write(i, (lane * 37 + i * 31) % 200);
+    }
+  };
+
+  std::deque<mem::MemoryPool> ref_pools(lanes);
+  std::vector<sim::EngineResult> ref_runs;
+  std::unique_ptr<sim::Engine> levelized = elab::make_engine("levelized");
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    prime(ref_pools[lane], lane);
+    ref_runs.push_back(levelized->run(compiled.design, ref_pools[lane], {}));
+    ASSERT_TRUE(ref_runs.back().completed) << "lane " << lane;
+  }
+
+  std::deque<mem::MemoryPool> pools(lanes);
+  std::vector<mem::MemoryPool*> ptrs;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    prime(pools[lane], lane);
+    ptrs.push_back(&pools[lane]);
+  }
+  std::vector<sim::EngineResult> runs =
+      elab::make_engine("batched")->run_batch(compiled.design, ptrs, {});
+  ASSERT_EQ(runs.size(), lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    ASSERT_TRUE(runs[lane].completed) << "lane " << lane;
+    EXPECT_EQ(runs[lane].total_cycles(), ref_runs[lane].total_cycles())
+        << "lane " << lane;
+    for (const std::string& array : ref_pools[lane].names()) {
+      EXPECT_EQ(pools[lane].get(array).words(),
+                ref_pools[lane].get(array).words())
+          << "lane " << lane << " array '" << array << "'";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// run_batch contract: the base-class fallback, and loud rejection of lane
+// counts the engine cannot represent (never silent clamping).
+
+TEST(EngineRunBatch, DefaultImplementationLoopsSingleLaneRuns) {
+  ir::Design design = accumulator_design(10);
+  mem::MemoryPool single;
+  sim::EngineResult expected = elab::make_engine("event")->run(design, single, {});
+  ASSERT_TRUE(expected.completed);
+
+  std::deque<mem::MemoryPool> pools(3);
+  std::vector<mem::MemoryPool*> ptrs;
+  for (mem::MemoryPool& pool : pools) {
+    ptrs.push_back(&pool);
+  }
+  // The event engine has no batch specialisation: the Engine base class
+  // must fall back to one run() per lane.
+  std::vector<sim::EngineResult> runs =
+      elab::make_engine("event")->run_batch(design, ptrs, {});
+  ASSERT_EQ(runs.size(), 3u);
+  for (const sim::EngineResult& run : runs) {
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.total_cycles(), expected.total_cycles());
+  }
+}
+
+TEST(EngineRunBatch, RejectsZeroLanes) {
+  ir::Design design = accumulator_design(3);
+  std::vector<mem::MemoryPool*> no_lanes;
+  try {
+    elab::make_engine("batched")->run_batch(design, no_lanes, {});
+    FAIL() << "run_batch accepted an empty batch";
+  } catch (const util::SimError& error) {
+    EXPECT_NE(std::string(error.what()).find("at least one lane"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(EngineRunBatch, RejectsMoreLanesThanMaximum) {
+  ir::Design design = accumulator_design(3);
+  std::unique_ptr<sim::Engine> engine = elab::make_engine("batched");
+  mem::MemoryPool pool;
+  std::vector<mem::MemoryPool*> lanes(engine->max_lanes() + 1, &pool);
+  try {
+    engine->run_batch(design, lanes, {});
+    FAIL() << "run_batch clamped an oversized batch instead of rejecting";
+  } catch (const util::SimError& error) {
+    std::string message = error.what();
+    EXPECT_NE(message.find("maximum"), std::string::npos) << message;
+    EXPECT_NE(message.find(std::to_string(engine->max_lanes())),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(EngineRunBatch, RejectsNullLanePool) {
+  ir::Design design = accumulator_design(3);
+  mem::MemoryPool pool;
+  std::vector<mem::MemoryPool*> lanes{&pool, nullptr};
+  try {
+    elab::make_engine("batched")->run_batch(design, lanes, {});
+    FAIL() << "run_batch accepted a null lane pool";
+  } catch (const util::SimError& error) {
+    EXPECT_NE(std::string(error.what()).find("null"), std::string::npos)
+        << error.what();
   }
 }
 

@@ -5,6 +5,7 @@
 // Regenerate the golden dump after an intentional VCD format change with:
 //   FTI_REGEN_GOLDEN=1 ./tests/test_vcd_probe
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fti/elab/engines.hpp"
 #include "fti/elab/rtg_exec.hpp"
 #include "fti/ir/rtg.hpp"
 #include "fti/sim/kernel.hpp"
@@ -151,6 +153,46 @@ TEST(Vcd, EmptyNetlist) {
   EXPECT_NE(text.find("$scope module empty $end"), std::string::npos);
   EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
   EXPECT_EQ(vcd.watched_count(), 0u);
+}
+
+TEST(BatchedGolden, LaneZeroMatchesSingleLaneLevelizedRun) {
+  // A batched run's lane 0 must produce byte-identical wire data to a
+  // plain single-lane levelized run -- traces, finals and cycle counts.
+  ir::Design design =
+      ir::make_single_design("acc", testing::make_accumulator(3));
+  sim::EngineRunOptions options;
+  options.collect_wire_data = true;
+
+  mem::MemoryPool single_pool;
+  sim::EngineResult expected =
+      elab::make_engine("levelized")->run(design, single_pool, options);
+  ASSERT_TRUE(expected.completed);
+
+  std::deque<mem::MemoryPool> pools(5);
+  std::vector<mem::MemoryPool*> ptrs;
+  for (mem::MemoryPool& pool : pools) {
+    ptrs.push_back(&pool);
+  }
+  std::vector<sim::EngineResult> runs =
+      elab::make_engine("batched")->run_batch(design, ptrs, options);
+  ASSERT_TRUE(runs[0].completed);
+  const sim::EnginePartition& got = runs[0].partitions.at(0);
+  const sim::EnginePartition& want = expected.partitions.at(0);
+  EXPECT_EQ(got.cycles, want.cycles);
+  EXPECT_EQ(got.finals, want.finals);
+  EXPECT_EQ(got.traces, want.traces);
+
+  // Cross-check against the event kernel's probe instrumentation: the
+  // traced acc_q change sequence must equal the probe's samples (values
+  // 1..target+1, per the Moore-timing contract above).
+  TracedRun probe_run = run_accumulator(3, nullptr, {"acc_q"});
+  ASSERT_TRUE(probe_run.result.completed);
+  const auto& samples = probe_run.samples.at("acc_q");
+  const std::vector<std::uint64_t>& trace = got.traces.at("acc_q");
+  ASSERT_EQ(trace.size(), samples.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i], samples[i].value.u()) << "sample " << i;
+  }
 }
 
 TEST(Probe, UnchangedNetRecordsNothing) {

@@ -17,9 +17,16 @@
 //   --max-units N    upper bound on random units per design
 //   --max-configs N  upper bound on temporal partitions per design
 //   --engine NAME    engine lane compared against the kernel (repeatable;
-//                    replaces the default reference/naive/levelized set)
+//                    replaces the default reference/naive/levelized/
+//                    batched set)
+//   --lanes N        batched stimulus lanes per design: after the engine
+//                    diff passes, the design is swept once through the
+//                    batched engine over N randomized memory stimuli and
+//                    every lane is compared against its own reference run
+//                    (default 64, 0 disables the lane check)
 //   --smoke          fixed quick profile used by ctest (equivalent to
-//                    --runs 25 with a smaller generator; ~seconds)
+//                    --runs 25 --lanes 16 with a smaller generator;
+//                    ~seconds)
 //   --metrics PATH   record observability counters, write snapshot JSON
 //   --trace PATH     record spans, write a Chrome trace-event file
 //   --quiet          suppress per-case progress lines
@@ -51,7 +58,7 @@ namespace {
       << "usage: fti_fuzz [--seed N] [--runs N] [--jobs N]\n"
          "                [--max-failures N] [--corpus DIR] [--no-shrink]\n"
          "                [--max-units N] [--max-configs N] [--smoke]\n"
-         "                [--engine NAME]... [--metrics PATH]\n"
+         "                [--engine NAME]... [--lanes N] [--metrics PATH]\n"
          "                [--trace PATH] [--quiet]\n"
          "       fti_fuzz replay FILE.xml\n"
          "       fti_fuzz corpus DIR\n"
@@ -202,10 +209,13 @@ int run_campaign(int argc, char** argv) {
         engines_overridden = true;
       }
       options.diff.engines.push_back(value());
+    } else if (arg == "--lanes") {
+      options.batch_lanes = fti::util::parse_u32_flag(arg, value());
     } else if (arg == "--smoke") {
       options.runs = 25;
       options.generator.max_units = 12;
       options.generator.max_run_cycles = 24;
+      options.batch_lanes = 16;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {

@@ -30,6 +30,12 @@
 //   --default-limit N      default FU limit (default 2)
 //   --engine NAME          execution engine for verify/run/suite
 //                          (default "event"; see `fti engines`)
+//   --lanes N              verify/suite: stimulus lanes per design.  Lane
+//                          0 carries the declared inputs; lanes >= 1 get
+//                          seeded random array contents, all swept in ONE
+//                          run_batch and each checked against its own
+//                          golden run (default 1)
+//   --lane-seed N          seed for the random lane stimuli (default 1)
 //   --lint error|warn|off  static-analysis gate for verify/suite (default
 //                          "error"): a design whose lint report reaches
 //                          the threshold is rejected before simulation
@@ -91,13 +97,13 @@ namespace {
       "                     [--check a] [--emit DIR] [--max-cycles N]\n"
       "                     [--vcd FILE] [--save a=F.dat]\n"
       "                     [--limit class=N] [--default-limit N]\n"
-      "                     [--read-ports N] [--engine NAME]\n"
+      "                     [--read-ports N] [--engine NAME] [--lanes N]\n"
       "       fti translate KERNEL.k [--arg n=V] [--mem a=F.dat] [--rom]\n"
       "                     [--out DIR] [--limit class=N]\n"
       "       fti run       RTG.xml [--mem a=F.dat] [--save a=F.dat]\n"
       "                     [--max-cycles N] [--vcd FILE] [--engine NAME]\n"
-      "       fti suite     DIR [--emit DIR] [--engine NAME] [--jobs N]\n"
-      "                     [--json PATH]\n"
+      "       fti suite     DIR [--emit DIR] [--engine NAME] [--lanes N]\n"
+      "                     [--jobs N] [--json PATH]\n"
       "       fti engines\n"
       "       fti obs       METRICS.json\n"
       "       fti lint      PATH... [--json PATH] [--sarif PATH]\n"
@@ -127,6 +133,8 @@ struct Cli {
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
   std::string engine = "event";
+  std::uint32_t lanes = 1;
+  std::uint64_t lane_seed = 1;
   fti::lint::Gate lint_gate = fti::lint::Gate::kError;
   std::uint32_t jobs = 1;
   std::filesystem::path json_path;
@@ -195,6 +203,11 @@ Cli parse_cli(int argc, char** argv) {
           fti::util::parse_u32_flag("--read-ports", need_value(i));
     } else if (flag == "--engine") {
       cli.engine = need_value(i);
+    } else if (flag == "--lanes") {
+      cli.lanes = fti::util::parse_u32_flag("--lanes", need_value(i));
+    } else if (flag == "--lane-seed") {
+      cli.lane_seed =
+          fti::util::parse_u64_flag("--lane-seed", need_value(i));
     } else if (flag == "--lint" ||
                fti::util::starts_with(flag, "--lint=")) {
       std::string value = flag == "--lint"
@@ -299,6 +312,8 @@ int run_verify(Cli& cli) {
   options.emit_dir = cli.out_dir;
   options.engine = cli.engine;
   options.lint_gate = cli.lint_gate;
+  options.lanes = cli.lanes;
+  options.lane_seed = cli.lane_seed;
   fti::harness::VerifyOutcome outcome =
       fti::harness::run_test_case(cli.test, options);
 
@@ -643,6 +658,8 @@ int main(int argc, char** argv) {
       options.emit_dir = cli.out_dir;
       options.engine = cli.engine;
       options.lint_gate = cli.lint_gate;
+      options.lanes = cli.lanes;
+      options.lane_seed = cli.lane_seed;
       fti::harness::SuiteReport report = suite.run_all(
           options,
           [](const fti::harness::SuiteRow& row) {
