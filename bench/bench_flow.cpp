@@ -7,9 +7,16 @@
 // translations, memory & stimulus files, golden execution and the final
 // comparison.  Each stage is timed and its artefact size reported.
 //
-//   bench_flow [--json PATH]   (conventionally PATH=BENCH_flow.json)
+// The serve section (E8) measures repeat-submission latency through the
+// content-addressed design cache: the same verify request run cold
+// (cache off) and warm (cache on, second submission onward), as the fti
+// serve daemon would execute them.
+//
+//   bench_flow [--json PATH] [--serve-json PATH]
+//   (conventionally PATH=BENCH_flow.json / BENCH_serve.json)
 #include <iostream>
 
+#include "fti/cache/design_cache.hpp"
 #include "fti/util/cli.hpp"
 #include "fti/util/json.hpp"
 #include "fti/codegen/dot.hpp"
@@ -19,12 +26,14 @@
 #include "fti/codegen/vhdl.hpp"
 #include "fti/compiler/interp.hpp"
 #include "fti/compiler/parser.hpp"
+#include "fti/elab/engines.hpp"
 #include "fti/elab/rtg_exec.hpp"
 #include "fti/golden/fdct.hpp"
 #include "fti/golden/hamming.hpp"
 #include "fti/golden/rng.hpp"
 #include "fti/harness/testcase.hpp"
 #include "fti/ir/serde.hpp"
+#include "fti/util/error.hpp"
 #include "fti/mem/memfile.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/strings.hpp"
@@ -151,12 +160,101 @@ void run_flow(const std::string& name, const std::string& source,
   }
 }
 
+/// E8 -- repeat-submission latency through the design cache.
+///
+/// Runs the same verify request the way fti serve does: once per
+/// iteration with no cache (cold: compile + lint + XML round-trip +
+/// simulate every time) and once per iteration against a warm cache
+/// (parse + simulate only).  The cached design instance is shared, so
+/// the warm series is exactly what a resubmitted daemon job pays.
+void run_serve_bench(const std::filesystem::path& json_path) {
+  std::cout << "=== serve repeat-submission latency (E8) ===\n\n";
+  // A wide straight-line kernel: lots of datapath to compile, lint and
+  // round-trip through XML, but only a handful of cycles to simulate.
+  // This is the shape the cache targets -- compilation-bound designs
+  // resubmitted with fresh stimulus.
+  constexpr std::size_t kWidth = 160;
+  fti::harness::TestCase test;
+  test.name = "wide" + std::to_string(kWidth);
+  test.source = "kernel wide(int a[" + std::to_string(kWidth) + "], int b[" +
+                std::to_string(kWidth) + "]) {\n";
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    std::string n = std::to_string(i);
+    test.source += "  b[" + n + "] = a[" + n + "] * a[" + n + "] + " + n +
+                   ";\n";
+  }
+  test.source += "}\n";
+  std::vector<std::uint64_t> stimulus(kWidth);
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    stimulus[i] = i + 1;
+  }
+  test.inputs = {{"a", stimulus}};
+  test.check_arrays = {"b"};
+
+  constexpr int kIterations = 10;
+  auto time_runs = [&](fti::cache::DesignCache* cache) {
+    double total_ms = 0;
+    for (int i = 0; i < kIterations; ++i) {
+      fti::harness::VerifyOptions options;
+      options.design_cache = cache;
+      fti::util::Stopwatch watch;
+      fti::harness::VerifyOutcome outcome =
+          fti::harness::run_test_case(test, options);
+      total_ms += watch.milliseconds();
+      FTI_ASSERT(outcome.passed, "serve bench kernel must pass");
+    }
+    return total_ms / kIterations;
+  };
+
+  double cold_ms = time_runs(nullptr);
+  fti::cache::DesignCache cache(16);
+  {
+    // Populate: the first cached submission is a miss by construction.
+    fti::harness::VerifyOptions options;
+    options.design_cache = &cache;
+    fti::harness::run_test_case(test, options);
+  }
+  double warm_ms = time_runs(&cache);
+  double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+
+  fti::cache::DesignCache::Stats stats = cache.stats();
+  fti::util::TextTable table({"series", "mean ms/run", "runs"});
+  table.add_row({"cold (no cache)", fti::util::format_double(cold_ms, 2),
+                 fti::util::format_count(kIterations)});
+  table.add_row({"warm (cache hit)", fti::util::format_double(warm_ms, 2),
+                 fti::util::format_count(kIterations)});
+  std::cout << table.to_string();
+  std::cout << "speedup: " << fti::util::format_double(speedup, 2)
+            << "x  (cache: " << stats.hits << " hits / " << stats.misses
+            << " misses)\n\n";
+
+  fti::util::JsonReport json("serve", "bench", "series");
+  json.set("kernel", test.name);
+  json.set("iterations", static_cast<std::uint64_t>(kIterations));
+  json.set("cold_ms", cold_ms);
+  json.set("warm_ms", warm_ms);
+  json.set("speedup", speedup);
+  json.set("warm_fraction_of_cold", cold_ms > 0 ? warm_ms / cold_ms : 1.0);
+  json.set("cache_hits", stats.hits);
+  json.set("cache_misses", stats.misses);
+  fti::util::JsonReport::Workload& cold_row = json.workload("cold");
+  cold_row.set("mean_ms", cold_ms);
+  fti::util::JsonReport::Workload& warm_row = json.workload("warm");
+  warm_row.set("mean_ms", warm_ms);
+  if (!json_path.empty()) {
+    json.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::filesystem::path json_path;
+  std::filesystem::path serve_json_path;
   try {
     json_path = fti::util::extract_path_flag(argc, argv, "--json");
+    serve_json_path = fti::util::extract_path_flag(argc, argv, "--serve-json");
   } catch (const fti::util::UsageError& error) {
     std::cerr << argv[0] << ": " << error.what() << "\n";
     return 2;
@@ -173,5 +271,6 @@ int main(int argc, char** argv) {
     json.write(json_path);
     std::cout << "wrote " << json_path.string() << "\n";
   }
+  run_serve_bench(serve_json_path);
   return 0;
 }

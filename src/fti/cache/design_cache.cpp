@@ -1,0 +1,210 @@
+#include "fti/cache/design_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "fti/obs/metrics.hpp"
+
+namespace fti::cache {
+namespace {
+
+/// Registered once, read on every counter bump; the obs mirrors feed
+/// `fti serve --metrics` / the `metrics` wire request, while the
+/// per-cache atomics in Stats stay exact even with obs disabled.
+struct ObsCounters {
+  obs::Counter& hits = obs::counter("cache.hits");
+  obs::Counter& misses = obs::counter("cache.misses");
+  obs::Counter& insertions = obs::counter("cache.insertions");
+  obs::Counter& evictions = obs::counter("cache.evictions");
+  obs::Counter& schedule_builds = obs::counter("cache.schedule_builds");
+  obs::Counter& schedule_hits = obs::counter("cache.schedule_hits");
+};
+
+ObsCounters& obs_counters() {
+  static ObsCounters counters;
+  return counters;
+}
+
+/// Process-global registry behind the engines' schedule provider.  The
+/// provider itself is installed once and stays installed; it consults
+/// whatever caches are alive at call time, so cache destruction (tests
+/// build and drop many) never leaves a dangling provider.
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<DesignCache*>& registry() {
+  static std::vector<DesignCache*> caches;
+  return caches;
+}
+
+}  // namespace
+
+elab::SharedSchedule provider_lookup(const ir::Design& design,
+                                     const std::string& node) {
+  // Snapshot the entry (a shared_ptr) under the registry lock, build or
+  // fetch the schedule outside it.
+  DesignCache::Entry owner;
+  DesignCache* cache = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (DesignCache* candidate : registry()) {
+      owner = candidate->find_by_address(&design);
+      if (owner) {
+        cache = candidate;
+        break;
+      }
+    }
+  }
+  if (!owner) {
+    return nullptr;  // not a cached design: engines build fresh
+  }
+  return cache->schedule_for(owner, node);
+}
+
+DesignCache::DesignCache(std::size_t max_entries)
+    : max_entries_(std::max<std::size_t>(1, max_entries)) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  if (registry().empty()) {
+    elab::set_schedule_provider(provider_lookup);
+  }
+  registry().push_back(this);
+}
+
+DesignCache::~DesignCache() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<DesignCache*>& caches = registry();
+  caches.erase(std::remove(caches.begin(), caches.end(), this), caches.end());
+}
+
+DesignCache::Entry DesignCache::find(const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs_counters().misses.inc();
+    return nullptr;
+  }
+  order_.splice(order_.begin(), order_, it->second.position);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  obs_counters().hits.inc();
+  return it->second.entry;
+}
+
+DesignCache::Entry DesignCache::insert(const Key& key, ir::Design design,
+                                       lint::Report lint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost the cold-path race; converge on the first insert.
+    order_.splice(order_.begin(), order_, it->second.position);
+    return it->second.entry;
+  }
+  auto entry = std::make_shared<CachedDesign>();
+  entry->key = key;
+  entry->design = std::make_shared<const ir::Design>(std::move(design));
+  entry->lint = std::move(lint);
+  order_.push_front(key);
+  entries_.emplace(key, Slot{entry, order_.begin()});
+  by_address_.emplace(entry->design.get(), entry);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  obs_counters().insertions.inc();
+  evict_over_capacity_locked();
+  return entry;
+}
+
+DesignCache::Entry DesignCache::find_source(const Key& source_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto alias = source_aliases_.find(source_key);
+  if (alias != source_aliases_.end()) {
+    auto it = entries_.find(alias->second);
+    if (it != entries_.end()) {
+      order_.splice(order_.begin(), order_, it->second.position);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_counters().hits.inc();
+      return it->second.entry;
+    }
+    source_aliases_.erase(alias);  // target evicted: alias is stale
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_counters().misses.inc();
+  return nullptr;
+}
+
+void DesignCache::alias_source(const Key& source_key, const Key& ir_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.find(ir_key) == entries_.end()) {
+    return;  // target already evicted; a stale alias would only mislead
+  }
+  // Aliases are two Keys each, but unbounded growth is still a leak in
+  // a long-lived daemon; reset the map when it dwarfs the entry table
+  // (stale ones also age out lazily in find_source).
+  if (source_aliases_.size() >= 8 * max_entries_ + 8) {
+    source_aliases_.clear();
+  }
+  source_aliases_[source_key] = ir_key;
+}
+
+std::shared_ptr<const elab::LevelizedSchedule> DesignCache::schedule_for(
+    const Entry& entry, const std::string& node) {
+  {
+    std::lock_guard<std::mutex> lock(entry->schedule_mutex);
+    auto it = entry->schedules.find(node);
+    if (it != entry->schedules.end()) {
+      schedule_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs_counters().schedule_hits.inc();
+      // Aliasing: the handle keeps the entry (and so the design the
+      // schedule's steps point into) alive past eviction.
+      return {entry, it->second.get()};
+    }
+  }
+  // Build outside the lock; racing builders produce identical schedules
+  // (build_levelized_schedule is deterministic) and first-in wins.
+  auto built = std::make_shared<const elab::LevelizedSchedule>(
+      elab::build_levelized_schedule(
+          entry->design->configuration(node).datapath));
+  schedule_builds_.fetch_add(1, std::memory_order_relaxed);
+  obs_counters().schedule_builds.inc();
+  std::lock_guard<std::mutex> lock(entry->schedule_mutex);
+  auto [it, inserted] = entry->schedules.emplace(node, std::move(built));
+  (void)inserted;
+  return {entry, it->second.get()};
+}
+
+DesignCache::Stats DesignCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.schedule_builds = schedule_builds_.load(std::memory_order_relaxed);
+  stats.schedule_hits = schedule_hits_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t DesignCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+DesignCache::Entry DesignCache::find_by_address(const ir::Design* design) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_address_.find(design);
+  return it == by_address_.end() ? nullptr : it->second;
+}
+
+void DesignCache::evict_over_capacity_locked() {
+  while (entries_.size() > max_entries_) {
+    const Key& victim = order_.back();
+    auto it = entries_.find(victim);
+    by_address_.erase(it->second.entry->design.get());
+    entries_.erase(it);
+    order_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs_counters().evictions.inc();
+  }
+}
+
+}  // namespace fti::cache

@@ -1,0 +1,219 @@
+#include "fti/cache/ir_hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fti::cache {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+// Second stream: same prime, different nonzero basis, so the streams
+// walk independent trajectories over identical input bytes.
+constexpr std::uint64_t kFnvBasis2 = 0x9ae16a3b2f90404full;
+
+/// Hex without <sstream>: keys are printed on every serve response.
+char hex_digit(std::uint64_t nibble) {
+  return static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+}
+
+void append_hex(std::string& out, std::uint64_t value) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(hex_digit((value >> shift) & 0xf));
+  }
+}
+
+/// Indices of `items` sorted by the name `field` projects out; hashing
+/// walks this order instead of declaration order.
+template <typename T, typename NameOf>
+std::vector<std::size_t> by_name(const std::vector<T>& items, NameOf field) {
+  std::vector<std::size_t> order(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return field(items[a]) < field(items[b]);
+  });
+  return order;
+}
+
+// Every mix_* call below is preceded by a short tag string for its
+// section or field, so a value migrating between fields of the same
+// byte shape cannot collide.
+
+void mix_unit(Hasher& hasher, const ir::Unit& unit) {
+  hasher.mix_string("unit");
+  hasher.mix_string(unit.name);
+  hasher.mix_u32(static_cast<std::uint32_t>(unit.kind));
+  hasher.mix_u32(unit.width);
+  hasher.mix_u32(static_cast<std::uint32_t>(unit.binop));
+  hasher.mix_u32(static_cast<std::uint32_t>(unit.unop));
+  hasher.mix_u64(unit.value);
+  hasher.mix_u32(unit.latency);
+  hasher.mix_u64(unit.reset_value);
+  hasher.mix_u32(unit.mux_inputs);
+  hasher.mix_string(unit.memory);
+  hasher.mix_u32(static_cast<std::uint32_t>(unit.mem_mode));
+  hasher.mix_u64(unit.ports.size());
+  for (const auto& [port, wire] : unit.ports) {  // std::map: key order
+    hasher.mix_string(port);
+    hasher.mix_string(wire);
+  }
+}
+
+void mix_sorted_names(Hasher& hasher, std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  hasher.mix_u64(names.size());
+  for (const std::string& name : names) {
+    hasher.mix_string(name);
+  }
+}
+
+void mix_datapath(Hasher& hasher, const ir::Datapath& datapath) {
+  hasher.mix_string("datapath");
+  hasher.mix_string(datapath.name);
+
+  hasher.mix_string("wires");
+  hasher.mix_u64(datapath.wires.size());
+  for (std::size_t i :
+       by_name(datapath.wires, [](const ir::Wire& w) { return w.name; })) {
+    hasher.mix_string(datapath.wires[i].name);
+    hasher.mix_u32(datapath.wires[i].width);
+  }
+
+  hasher.mix_string("memories");
+  hasher.mix_u64(datapath.memories.size());
+  for (std::size_t i : by_name(datapath.memories,
+                               [](const ir::MemoryDecl& m) { return m.name; })) {
+    const ir::MemoryDecl& memory = datapath.memories[i];
+    hasher.mix_string(memory.name);
+    hasher.mix_u64(memory.depth);
+    hasher.mix_u32(memory.width);
+    hasher.mix_u64(memory.init.size());
+    for (std::uint64_t word : memory.init) {  // address order is semantic
+      hasher.mix_u64(word);
+    }
+  }
+
+  hasher.mix_string("units");
+  hasher.mix_u64(datapath.units.size());
+  for (std::size_t i :
+       by_name(datapath.units, [](const ir::Unit& u) { return u.name; })) {
+    mix_unit(hasher, datapath.units[i]);
+  }
+
+  hasher.mix_string("control");
+  mix_sorted_names(hasher, datapath.control_wires);
+  hasher.mix_string("status");
+  mix_sorted_names(hasher, datapath.status_wires);
+}
+
+void mix_fsm(Hasher& hasher, const ir::Fsm& fsm) {
+  hasher.mix_string("fsm");
+  hasher.mix_string(fsm.name);
+  hasher.mix_string(fsm.initial);
+  hasher.mix_string(fsm.done_wire);
+  hasher.mix_u64(fsm.states.size());
+  for (std::size_t i :
+       by_name(fsm.states, [](const ir::State& s) { return s.name; })) {
+    const ir::State& state = fsm.states[i];
+    hasher.mix_string("state");
+    hasher.mix_string(state.name);
+    // Unlisted control wires are zero, so assignments are a set keyed by
+    // wire; hash them sorted.
+    hasher.mix_u64(state.controls.size());
+    for (std::size_t c : by_name(state.controls, [](const ir::ControlAssign& a) {
+           return a.wire;
+         })) {
+      hasher.mix_string(state.controls[c].wire);
+      hasher.mix_u64(state.controls[c].value);
+    }
+    // Transitions are tried in document order -- order is semantic.
+    hasher.mix_u64(state.transitions.size());
+    for (const ir::Transition& transition : state.transitions) {
+      hasher.mix_string(transition.target);
+      hasher.mix_u64(transition.guard.literals.size());
+      for (const ir::GuardLiteral& literal : transition.guard.literals) {
+        hasher.mix_string(literal.status);
+        hasher.mix_bool(literal.expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Key::to_string() const {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, hi);
+  append_hex(out, lo);
+  return out;
+}
+
+Hasher::Hasher() : hi_(kFnvBasis2), lo_(kFnvBasis) {
+  mix_u32(kIrHashVersion);
+}
+
+void Hasher::mix_bytes(const void* data, std::size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    lo_ = (lo_ ^ bytes[i]) * kFnvPrime;
+    hi_ = (hi_ ^ bytes[i]) * kFnvPrime;
+  }
+}
+
+void Hasher::mix_u64(std::uint64_t value) {
+  // Fixed little-endian byte order, independent of host endianness.
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xff);
+  }
+  mix_bytes(bytes, sizeof(bytes));
+}
+
+void Hasher::mix_string(std::string_view text) {
+  mix_u64(text.size());
+  mix_bytes(text.data(), text.size());
+}
+
+Key hash_design(const ir::Design& design) {
+  Hasher hasher;
+  hasher.mix_string("design");
+  hasher.mix_string(design.name);
+
+  hasher.mix_string("rtg");
+  hasher.mix_string(design.rtg.name);
+  hasher.mix_string(design.rtg.initial);
+  {
+    std::vector<std::string> nodes = design.rtg.nodes;
+    std::sort(nodes.begin(), nodes.end());
+    hasher.mix_u64(nodes.size());
+    for (const std::string& node : nodes) {
+      hasher.mix_string(node);
+    }
+    // At most one successor per node, so (from, to) pairs are a set.
+    std::vector<std::pair<std::string, std::string>> edges;
+    edges.reserve(design.rtg.edges.size());
+    for (const ir::RtgEdge& edge : design.rtg.edges) {
+      edges.emplace_back(edge.from, edge.to);
+    }
+    std::sort(edges.begin(), edges.end());
+    hasher.mix_u64(edges.size());
+    for (const auto& [from, to] : edges) {
+      hasher.mix_string(from);
+      hasher.mix_string(to);
+    }
+  }
+
+  hasher.mix_u64(design.configurations.size());
+  for (const auto& [node, configuration] : design.configurations) {
+    hasher.mix_string("configuration");
+    hasher.mix_string(node);
+    mix_datapath(hasher, configuration.datapath);
+    mix_fsm(hasher, configuration.fsm);
+  }
+  return hasher.key();
+}
+
+}  // namespace fti::cache

@@ -1,0 +1,94 @@
+// Content addressing for designs: a stable 128-bit hash over the
+// *semantic* content of an ir::Design, used as the key of the design
+// cache (design_cache.hpp).
+//
+// Two designs that simulate identically must hash identically, so the
+// hash is computed over a canonical form rather than over declaration
+// order:
+//  * wires, memories, units, RTG nodes/edges and FSM states are hashed
+//    sorted by name -- the IR connects everything by name, so their
+//    declaration order is presentation, not semantics;
+//  * control/status wire lists and per-state control assignments are
+//    hashed as sorted sets for the same reason;
+//  * FSM transitions keep document order (they are tried in order) and
+//    memory init images keep element order (address order is semantic).
+// std::map members (configurations, unit ports) are already
+// key-ordered.  The canonical form also makes the hash stable across an
+// XML save/load round trip, which preserves every semantic field.
+//
+// kIrHashVersion is folded into the seed: bump it whenever the IR
+// schema or this canonicalization changes, and every key ever produced
+// under the old scheme silently misses instead of aliasing stale
+// entries.
+//
+// The 128 bits come from two independently-seeded FNV-1a streams over
+// the same canonical byte sequence.  FNV is not cryptographic; the
+// cache only needs collisions to be improbable across the handful of
+// designs a service instance sees, and 2x64 independent streams push
+// accidental collisions far below the lifetime of any run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fti/ir/rtg.hpp"
+
+namespace fti::cache {
+
+/// Bump on any IR-schema or canonicalization change (see file comment).
+inline constexpr std::uint32_t kIrHashVersion = 1;
+
+/// 128-bit content key.  Zero-initialized keys are valid map keys but
+/// never produced by the hashers (the version seed is nonzero).
+struct Key {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Key& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const Key& other) const { return !(*this == other); }
+  bool operator<(const Key& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 lowercase hex digits, hi first ("0123...cdef").
+  std::string to_string() const;
+};
+
+/// For unordered_map<Key, ...>: the key is already a hash, so fold.
+struct KeyHash {
+  std::size_t operator()(const Key& key) const {
+    return static_cast<std::size_t>(key.hi ^ (key.lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Dual-stream FNV-1a accumulator.  Exposed so callers with non-IR
+/// inputs (the harness's source-level alias keys: program text, scalar
+/// arguments, resource limits) can build Keys with the same versioning
+/// discipline as hash_design.
+class Hasher {
+ public:
+  Hasher();
+
+  void mix_bytes(const void* data, std::size_t size);
+  void mix_u64(std::uint64_t value);
+  void mix_u32(std::uint32_t value) { mix_u64(value); }
+  void mix_bool(bool value) { mix_u64(value ? 1 : 0); }
+  /// Length-prefixed, so ("ab","c") never collides with ("a","bc").
+  void mix_string(std::string_view text);
+
+  Key key() const { return Key{hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+};
+
+/// Canonical content hash of a design (see file comment for exactly
+/// what is canonicalized).  The design need not be validated first.
+Key hash_design(const ir::Design& design);
+
+}  // namespace fti::cache

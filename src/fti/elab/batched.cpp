@@ -44,9 +44,13 @@ const std::string& comb_output(const ir::Unit& unit) {
 /// forms preserve zero padding algebraically.
 class BatchedSim {
  public:
+  /// `schedule` must have been built from this exact `config` object
+  /// (see acquire_levelized_schedule); it is consumed during
+  /// construction only.
   BatchedSim(const ir::Configuration& config,
              const std::vector<mem::MemoryPool*>& pools,
-             const sim::EngineRunOptions& options)
+             const sim::EngineRunOptions& options,
+             const LevelizedSchedule& schedule)
       : config_(config),
         options_(options),
         lanes_(pools.size()),
@@ -90,7 +94,6 @@ class BatchedSim {
       mem_images_.push_back(std::move(images));
     }
 
-    LevelizedSchedule schedule = build_levelized_schedule(datapath);
     depth_ = schedule.depth;
     for (const LevelizedSchedule::Step& step : schedule.steps) {
       const ir::Unit& unit = *step.unit;
@@ -739,7 +742,8 @@ sim::EnginePartition BatchedEngine::run_partition(
   (void)partition_index;
   util::Stopwatch watch;
   std::vector<mem::MemoryPool*> pools{&pool};
-  BatchedSim simulator(design.configuration(node), pools, options);
+  SharedSchedule schedule = acquire_levelized_schedule(design, node);
+  BatchedSim simulator(design.configuration(node), pools, options, *schedule);
   std::vector<sim::EnginePartition> runs = simulator.run(node);
   sim::EnginePartition run = std::move(runs.front());
   run.wall_seconds = watch.seconds();
@@ -779,7 +783,9 @@ std::vector<sim::EngineResult> BatchedEngine::run_batch(
     {
       obs::ScopedSpan span(name() + ":" + node, "engine");
       util::Stopwatch partition_watch;
-      BatchedSim simulator(design.configuration(node), pools, options);
+      SharedSchedule schedule = acquire_levelized_schedule(design, node);
+      BatchedSim simulator(design.configuration(node), pools, options,
+                           *schedule);
       runs = simulator.run(node);
       double share =
           partition_watch.seconds() / static_cast<double>(runs.size());

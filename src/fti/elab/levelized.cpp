@@ -1,6 +1,7 @@
 #include "fti/elab/levelized.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <utility>
@@ -90,13 +91,40 @@ LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath) {
 
 namespace {
 
+std::atomic<ScheduleProvider> g_schedule_provider{nullptr};
+
+}  // namespace
+
+void set_schedule_provider(ScheduleProvider provider) {
+  g_schedule_provider.store(provider, std::memory_order_release);
+}
+
+SharedSchedule acquire_levelized_schedule(const ir::Design& design,
+                                          const std::string& node) {
+  if (ScheduleProvider provider =
+          g_schedule_provider.load(std::memory_order_acquire)) {
+    if (SharedSchedule schedule = provider(design, node)) {
+      return schedule;
+    }
+  }
+  return std::make_shared<const LevelizedSchedule>(
+      build_levelized_schedule(design.configuration(node).datapath));
+}
+
+namespace {
+
 /// Straight-line interpreter over the precompiled schedule.  Everything is
 /// resolved to dense indices at construction; the per-cycle loop does no
 /// name lookups and no scheduling decisions.
 class LevelizedSim {
  public:
+  /// `schedule` must have been built from this exact `config` object
+  /// (see acquire_levelized_schedule); the caller's SharedSchedule
+  /// handle keeps it alive for the construction -- steps are resolved
+  /// to dense indices here and the schedule is not referenced after.
   LevelizedSim(const ir::Configuration& config, mem::MemoryPool& pool,
-               const sim::EngineRunOptions& options)
+               const sim::EngineRunOptions& options,
+               const LevelizedSchedule& schedule)
       : config_(config), options_(options) {
     ir::validate(config.datapath);
     ir::validate(config.fsm, config.datapath);
@@ -118,7 +146,6 @@ class LevelizedSim {
     }
 
     // The combinational sweep, compiled from the levelized schedule.
-    LevelizedSchedule schedule = build_levelized_schedule(datapath);
     depth_ = schedule.depth;
     for (const LevelizedSchedule::Step& step : schedule.steps) {
       const ir::Unit& unit = *step.unit;
@@ -473,7 +500,8 @@ sim::EnginePartition LevelizedEngine::run_partition(
     const sim::EngineRunOptions& options, std::size_t partition_index) {
   (void)partition_index;
   util::Stopwatch watch;
-  LevelizedSim simulator(design.configuration(node), pool, options);
+  SharedSchedule schedule = acquire_levelized_schedule(design, node);
+  LevelizedSim simulator(design.configuration(node), pool, options, *schedule);
   sim::EnginePartition run = simulator.run(node);
   run.wall_seconds = watch.seconds();
   // Each delta is one full sweep of the levelized schedule, so the

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,33 @@ struct LevelizedSchedule {
 /// read paths).  Throws SimError naming the units on a combinational
 /// cycle.
 LevelizedSchedule build_levelized_schedule(const ir::Datapath& datapath);
+
+/// Shared handle to an immutable schedule.  The steps point into the
+/// datapath the schedule was built from, so the handle's owner must
+/// keep that design alive (the design cache hands out aliasing
+/// pointers that do exactly that).
+using SharedSchedule = std::shared_ptr<const LevelizedSchedule>;
+
+/// Memoization hook for schedules.  Given the design being elaborated
+/// and the RTG node, a provider returns a schedule previously built
+/// from *that design object* (pointer identity -- a provider must never
+/// return a schedule built from a different design instance, even an
+/// equal-content one, because the steps would dangle), or nullptr to
+/// decline, in which case the engines build fresh.  Installed
+/// process-wide by the design cache (cache/design_cache.hpp).
+using ScheduleProvider = SharedSchedule (*)(const ir::Design& design,
+                                            const std::string& node);
+
+/// Replaces the process-global provider; nullptr restores the default
+/// (always build fresh).  Thread-safe against acquire calls.
+void set_schedule_provider(ScheduleProvider provider);
+
+/// The schedule for `design.configuration(node)`: from the installed
+/// provider when it has one, freshly built otherwise.  This is the one
+/// entry point the levelized and batched engines use, so installing a
+/// provider accelerates both.
+SharedSchedule acquire_levelized_schedule(const ir::Design& design,
+                                          const std::string& node);
 
 class LevelizedEngine final : public PartitionedEngine {
  public:

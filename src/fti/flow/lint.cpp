@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/flow/flow.hpp"
+#include "fti/fuzz/corpus.hpp"
+#include "fti/harness/suite_io.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/xml/parser.hpp"
+
+namespace fti::flow {
+
+/// Static analysis over one or more designs, no simulation.  Accepts
+/// kernel sources (compiled first), saved rtg.xml file sets, bare
+/// <design> documents, corpus <repro> documents and directories.
+LintResult run_lint(const LintRequest& request, const FlowContext& context,
+                    std::ostream& out, std::ostream& err) {
+  (void)context;
+  LintResult result;
+
+  // Directories expand to every lintable file inside, sorted.
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& input : request.inputs) {
+    if (std::filesystem::is_directory(input)) {
+      std::vector<std::filesystem::path> found;
+      for (const auto& entry : std::filesystem::directory_iterator(input)) {
+        std::string ext = entry.path().extension().string();
+        if (ext == ".k" || ext == ".xml") {
+          found.push_back(entry.path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else {
+      files.push_back(input);
+    }
+  }
+  if (files.empty()) {
+    err << "error: no .k or .xml designs found\n";
+    result.exit_code = 2;
+    return result;
+  }
+
+  for (const std::filesystem::path& file : files) {
+    ir::Design design;
+    if (file.extension() == ".k") {
+      harness::TestCase test = harness::load_test_case(file);
+      compiler::CompileOptions options;
+      options.scalar_args = test.scalar_args;
+      options.resources = test.resources;
+      if (test.embed_inputs) {
+        options.rom_contents = test.inputs;
+      }
+      design = compiler::compile_source(test.source, options).design;
+    } else {
+      std::string text = util::read_file(file);
+      std::unique_ptr<xml::Element> root = xml::parse(text);
+      if (root->name() == "repro") {
+        design = fuzz::repro_from_xml(text).design;
+      } else if (root->name() == "rtg") {
+        design = ir::load_design_files(file);
+      } else {
+        design = ir::design_from_xml(*root);
+      }
+    }
+    lint::Report report = lint::lint_design(design);
+    report.source = file.string();
+    out << lint::to_text(report);
+    result.reports.push_back(std::move(report));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const lint::Report& report : result.reports) {
+    errors += report.errors();
+    warnings += report.warnings();
+  }
+  if (result.reports.size() > 1) {
+    out << result.reports.size() << " design(s): " << errors
+        << " error(s), " << warnings << " warning(s)\n";
+  }
+  if (!request.json_path.empty()) {
+    std::string json;
+    for (const lint::Report& report : result.reports) {
+      json += lint::to_json(report);
+    }
+    util::write_file(request.json_path, json);
+    out << "wrote " << request.json_path.string() << "\n";
+  }
+  if (!request.sarif_path.empty()) {
+    util::write_file(request.sarif_path, lint::to_sarif(result.reports));
+    out << "wrote " << request.sarif_path.string() << "\n";
+  }
+  result.exit_code = errors > 0 ? 3 : (warnings > 0 ? 4 : 0);
+  return result;
+}
+
+}  // namespace fti::flow

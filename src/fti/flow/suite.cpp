@@ -1,0 +1,123 @@
+#include <iostream>
+
+#include "fti/cache/design_cache.hpp"
+#include "fti/flow/flow.hpp"
+#include "fti/harness/suite_io.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/json.hpp"
+
+namespace fti::flow {
+
+std::string suite_report_to_json(const harness::SuiteReport& report,
+                                 const std::string& name,
+                                 const std::string& engine) {
+  util::JsonReport json(name, "suite", "rows");
+  json.set("engine", engine);
+  json.set("jobs", static_cast<std::uint64_t>(report.jobs));
+  json.set("tests", static_cast<std::uint64_t>(report.rows.size()));
+  json.set("failures", static_cast<std::uint64_t>(report.failures()));
+  json.set("all_passed", report.all_passed());
+  json.set("wall_seconds", report.wall_seconds);
+  for (const harness::SuiteRow& row : report.rows) {
+    util::JsonReport::Workload& record = json.workload(row.name);
+    record.set("passed", row.passed);
+    record.set("configurations",
+               static_cast<std::uint64_t>(row.configurations));
+    record.set("cycles", row.cycles);
+    record.set("events", row.events);
+    record.set("mismatches", static_cast<std::uint64_t>(row.mismatches));
+    record.set("coverage_percent", row.coverage_percent);
+    record.set("sim_seconds", row.sim_seconds);
+    record.set("total_seconds", row.total_seconds);
+    record.set("lint_errors", static_cast<std::uint64_t>(row.lint_errors));
+    record.set("lint_warnings",
+               static_cast<std::uint64_t>(row.lint_warnings));
+    record.set("lint_blocked", row.lint_blocked);
+    if (!row.passed) {
+      record.set("message", row.message);
+    }
+  }
+  return json.to_string();
+}
+
+SuiteResult run_suite(const SuiteRequest& request, const FlowContext& context,
+                      std::ostream& out, std::ostream& err) {
+  (void)err;
+  SuiteResult result;
+  harness::TestSuite suite;
+  if (!request.tests.empty()) {
+    for (const harness::TestCase& test : request.tests) {
+      suite.add(test);
+    }
+  } else {
+    suite = harness::load_suite_dir(request.suite_dir);
+  }
+  std::string name = !request.name.empty()
+                         ? request.name
+                         : request.suite_dir.filename().string();
+
+  harness::VerifyOptions options;
+  options.emit_dir = request.emit_dir;
+  options.engine = request.engine;
+  options.lint_gate = request.lint_gate;
+  options.lanes = request.lanes;
+  options.lane_seed = request.lane_seed;
+  options.design_cache = context.design_cache;
+  options.cancel = context.cancel;
+  result.report = suite.run_all(
+      options,
+      [&](const harness::SuiteRow& row) {
+        if (!request.print_rows) {
+          return;
+        }
+        out << (row.passed ? "PASS" : (row.lint_blocked ? "LINT" : "FAIL"))
+            << "  " << row.name;
+        if (!row.passed) {
+          out << "  (" << row.message << ")";
+        }
+        out << "\n";
+      },
+      request.jobs);
+  // run_all stops handing out cases when the flag goes up; a suite
+  // stopped that way is a cancelled operation, not a FAIL verdict over
+  // rows that never ran.
+  if (context.cancel && context.cancel->load(std::memory_order_relaxed)) {
+    throw util::CancelledError("suite '" + name + "' cancelled");
+  }
+  const harness::SuiteReport& report = result.report;
+  out << "\n" << report.to_table();
+  out << (report.all_passed()
+              ? "suite PASSED"
+              : "suite FAILED (" + std::to_string(report.failures()) +
+                    " of " + std::to_string(report.rows.size()) + ")")
+      << "\n";
+  if (!request.json_path.empty()) {
+    util::write_file(request.json_path,
+                     suite_report_to_json(report, name, request.engine));
+    out << "wrote " << request.json_path.string() << "\n";
+  }
+  // Simulation mismatches dominate the exit code; a suite whose only
+  // failures are lint-gate rejections reports 3 (errors) or 4.
+  int code = 0;
+  std::size_t blocked_errors = 0;
+  std::size_t blocked = 0;
+  for (const harness::SuiteRow& row : report.rows) {
+    if (row.passed) {
+      continue;
+    }
+    if (!row.lint_blocked) {
+      code = 1;
+    } else {
+      ++blocked;
+      blocked_errors += row.lint_errors;
+    }
+  }
+  if (code == 0 && blocked > 0) {
+    code = lint_exit_code(blocked_errors);
+  }
+  result.exit_code = code;
+  return result;
+}
+
+}  // namespace fti::flow

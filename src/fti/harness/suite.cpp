@@ -79,6 +79,12 @@ SuiteReport TestSuite::run_all(
   report.jobs = pool.jobs();
   std::mutex done_mutex;
   pool.parallel_for_indexed(tests_.size(), [&](std::uint64_t index) {
+    // Cooperative cancel between cases: stop handing out indices, let
+    // in-flight cases finish (a case cancelled *mid-flow* instead
+    // throws CancelledError from run_test_case and propagates).
+    if (options.cancel && options.cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
     const TestCase& test = tests_[index];
     util::Stopwatch watch;
     SuiteRow row;

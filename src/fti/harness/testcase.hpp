@@ -13,6 +13,7 @@
 // exactly as the XSLT path is in the paper's infrastructure.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <functional>
@@ -24,6 +25,10 @@
 #include "fti/compiler/interp.hpp"
 #include "fti/elab/engines.hpp"
 #include "fti/lint/lint.hpp"
+
+namespace fti::cache {
+class DesignCache;
+}  // namespace fti::cache
 
 namespace fti::harness {
 
@@ -75,6 +80,21 @@ struct VerifyOptions {
   /// Test seam: mutates the compiled design before lint and round-trip.
   /// The seeded-defect tests use this to plant known-bad edits.
   std::function<void(ir::Design&)> post_compile;
+  /// Content-addressed memoization (cache/design_cache.hpp) for repeat
+  /// submissions of the same kernel -- the warm path of `fti serve`.  On
+  /// a source-key hit the flow skips HLS compilation, linting and the
+  /// XML round-trip and simulates the cached (already round-tripped)
+  /// design, whose levelized schedules the cache also memoizes; the
+  /// verdict, lint gating and golden comparison are unchanged, and
+  /// outcome.cache_hit records the hit.  Ignored (always cold) when
+  /// post_compile is set (the seam mutates the design arbitrarily) or
+  /// when emit_dir is non-empty (the on-disk XML file set is part of
+  /// the cold path's contract).  nullptr runs everything cold.
+  cache::DesignCache* design_cache = nullptr;
+  /// Cooperative cancellation for long-running service jobs: checked at
+  /// every stage boundary (and per golden lane); when it reads true,
+  /// run_test_case throws util::CancelledError.  nullptr never cancels.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Line counts of every artefact the flow produced (Table I's "lines of
@@ -100,7 +120,12 @@ struct VerifyOutcome {
   /// True when the lint gate rejected the design; simulation and the
   /// golden run were skipped, and passed is false.
   bool lint_blocked = false;
+  /// Compiler output.  Left default-constructed on a cache hit (the
+  /// cached flow never re-runs the HLS compiler); per-config stats are
+  /// only meaningful when cache_hit is false.
   compiler::CompileResult compiled;
+  /// True when options.design_cache served this run warm.
+  bool cache_hit = false;
   elab::RtgRunResult run;
   compiler::InterpStats golden_stats;
   FlowArtifacts artifacts;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fti/util/error.hpp"
 #include "fti/util/strings.hpp"
@@ -49,6 +50,75 @@ inline std::uint32_t parse_jobs_flag(const std::string& flag,
                                      const std::string& value) {
   std::uint32_t jobs = parse_u32_flag(flag, value);
   return jobs == 0 ? 1 : jobs;
+}
+
+/// The flags `fti` and `fti_fuzz` accept with identical spelling,
+/// validation and error wording: --engine NAME (repeatable), --lanes N,
+/// --lane-seed N, --jobs N, --lint error|warn|off, --metrics PATH and
+/// --trace PATH.  Before this struct each tool parsed its own subset, so
+/// the binaries drifted (fti_fuzz rejected --lint, validated --lanes
+/// differently, ...).  The lint gate stays a string here because util
+/// sits below fti_lint in the layering; consume_tool_flag validates the
+/// value so a bad spelling fails in the parser, not at use.
+struct ToolFlags {
+  /// Engines named by repeated --engine flags, in order.  fti commands
+  /// use the last one (flag wins over default); the fuzzer's diff driver
+  /// uses the whole list as its lane set.
+  std::vector<std::string> engines;
+  std::uint32_t lanes = 0;
+  bool lanes_set = false;
+  std::uint64_t lane_seed = 1;
+  std::uint32_t jobs = 1;
+  bool jobs_set = false;
+  std::string lint_gate = "error";
+  std::string metrics_path;
+  std::string trace_path;
+
+  /// Last --engine, or `fallback` when none was given.
+  const std::string& engine_or(const std::string& fallback) const {
+    return engines.empty() ? fallback : engines.back();
+  }
+};
+
+/// Tries to consume argv[i] (plus its value operand) as one of the
+/// shared ToolFlags; returns true and advances `i` over the value when
+/// it did.  `--lint=VALUE` and `--lint VALUE` are both accepted.  Throws
+/// UsageError on a malformed value or a missing operand.
+inline bool consume_tool_flag(ToolFlags& flags, int argc, char** argv,
+                              int& i) {
+  const std::string flag = argv[i];
+  auto value = [&]() -> std::string {
+    if (i + 1 >= argc) {
+      throw UsageError(flag + " needs a value");
+    }
+    return argv[++i];
+  };
+  if (flag == "--engine") {
+    flags.engines.push_back(value());
+  } else if (flag == "--lanes") {
+    flags.lanes = parse_u32_flag(flag, value());
+    flags.lanes_set = true;
+  } else if (flag == "--lane-seed") {
+    flags.lane_seed = parse_u64_flag(flag, value());
+  } else if (flag == "--jobs") {
+    flags.jobs = parse_jobs_flag(flag, value());
+    flags.jobs_set = true;
+  } else if (flag == "--lint" || starts_with(flag, "--lint=")) {
+    std::string gate =
+        flag == "--lint" ? value() : flag.substr(std::string("--lint=").size());
+    if (gate != "error" && gate != "warn" && gate != "off") {
+      throw UsageError("bad --lint value '" + gate +
+                       "' (expected error, warn or off)");
+    }
+    flags.lint_gate = gate;
+  } else if (flag == "--metrics") {
+    flags.metrics_path = value();
+  } else if (flag == "--trace") {
+    flags.trace_path = value();
+  } else {
+    return false;
+  }
+  return true;
 }
 
 /// Scans argv for a valueless `flag`, removes it and returns whether it

@@ -57,6 +57,16 @@ class IoError : public Error {
   explicit IoError(const std::string& message) : Error("io", message) {}
 };
 
+/// A cooperatively cancelled long-running operation (a serve job whose
+/// cancel flag was raised mid-flow).  Not a failure of the design under
+/// test: callers that own the cancellation report the operation as
+/// cancelled, never as FAIL.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& message)
+      : Error("cancelled", message) {}
+};
+
 /// Aborts with a readable message; used for internal invariants only.
 [[noreturn]] void assert_fail(const char* expr, const char* file, int line,
                               const std::string& message);

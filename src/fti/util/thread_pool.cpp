@@ -91,4 +91,66 @@ void parallel_for_indexed(std::uint32_t jobs, std::uint64_t count,
   ThreadPool(jobs).parallel_for_indexed(count, body);
 }
 
+TaskQueue::TaskQueue(std::uint32_t workers)
+    : workers_(std::max<std::uint32_t>(1, workers)) {
+  threads_.reserve(workers_);
+  for (std::uint32_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i]() { worker_loop(i); });
+  }
+}
+
+TaskQueue::~TaskQueue() { stop_and_join(); }
+
+bool TaskQueue::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+void TaskQueue::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && threads_.empty()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+  threads_.clear();
+}
+
+void TaskQueue::worker_loop(std::uint32_t worker_id) {
+  if (obs::enabled()) {
+    obs::Tracer::instance().set_thread_name(
+        "queue-worker-" + std::to_string(worker_id));
+  }
+  obs::Counter& tasks_executed = obs::counter("queue.tasks");
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with a drained queue: quit only now so queued tasks
+        // submitted before the stop still run (stop_and_join drains).
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    tasks_executed.inc();
+    obs::ScopedSpan task_span("task", "queue");
+    task();
+  }
+}
+
 }  // namespace fti::util

@@ -24,8 +24,13 @@
 // debugging and profiling trivial.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace fti::util {
 
@@ -53,5 +58,48 @@ class ThreadPool {
 /// One-shot convenience over a temporary pool.
 void parallel_for_indexed(std::uint32_t jobs, std::uint64_t count,
                           const std::function<bool(std::uint64_t)>& body);
+
+/// The persistent sibling of ThreadPool::parallel_for_indexed for
+/// daemon-style workloads (`fti serve`): a fixed set of long-lived
+/// workers draining a FIFO of submitted tasks.  parallel_for_indexed
+/// spawns per call because campaigns are one loop over a known count; a
+/// verification service instead receives jobs one connection at a time
+/// and must keep its workers warm between them.
+///
+/// Tasks are opaque callables; anything cancellation-shaped lives in the
+/// task itself (serve jobs carry their own cancel flag, checked by the
+/// flow at stage boundaries).  A task that throws terminates the
+/// process by std::terminate like any escaping thread exception --
+/// submitters are expected to catch at the task boundary (the serve job
+/// wrapper does).
+class TaskQueue {
+ public:
+  /// Spawns `workers` (clamped to >= 1) threads immediately.
+  explicit TaskQueue(std::uint32_t workers);
+  /// stop_and_join() if still running.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  std::uint32_t workers() const { return workers_; }
+
+  /// Enqueues `task`; returns false (task dropped) after stop_and_join.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting work, drains tasks already queued, joins the
+  /// workers.  Idempotent.
+  void stop_and_join();
+
+ private:
+  void worker_loop(std::uint32_t worker_id);
+
+  std::uint32_t workers_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace fti::util

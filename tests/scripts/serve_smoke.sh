@@ -1,0 +1,77 @@
+#!/bin/sh
+# End-to-end smoke test for the fti serve daemon, driven through the
+# real CLI: start the daemon, submit verify (cold + warm), a suite and
+# a metrics request over the socket, then shut it down cleanly.
+#
+# Usage: serve_smoke.sh <fti-binary> <kernels-dir>
+set -eu
+
+FTI="$1"
+KERNELS="$2"
+SOCK="${TMPDIR:-/tmp}/fti_serve_smoke_$$.sock"
+LOG="${TMPDIR:-/tmp}/fti_serve_smoke_$$.log"
+
+cleanup() {
+  [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$LOG"
+}
+trap cleanup EXIT INT TERM
+
+"$FTI" serve "$SOCK" --jobs 2 --cache 16 >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the socket to appear (the daemon prints its banner first).
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: daemon never created $SOCK" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+expect() {
+  # expect <needle> <reply>: assert the reply contains the needle.
+  case "$2" in
+    *"$1"*) ;;
+    *)
+      echo "FAIL: expected '$1' in reply: $2" >&2
+      exit 1
+      ;;
+  esac
+}
+
+REPLY=$("$FTI" submit "$SOCK" '{"cmd": "ping"}')
+expect '"reply": "pong"' "$REPLY"
+
+VERIFY="{\"cmd\": \"verify\", \"kernel\": \"$KERNELS/saxpy.k\"}"
+COLD=$("$FTI" submit "$SOCK" "$VERIFY")
+expect '"status": "done"' "$COLD"
+expect '"cache_hit": false' "$COLD"
+
+WARM=$("$FTI" submit "$SOCK" "$VERIFY")
+expect '"status": "done"' "$WARM"
+expect '"cache_hit": true' "$WARM"
+
+SUITE=$("$FTI" submit "$SOCK" "{\"cmd\": \"suite\", \"dir\": \"$KERNELS\", \"jobs\": 2}")
+expect '"status": "done"' "$SUITE"
+expect 'suite PASSED' "$SUITE"
+
+METRICS=$("$FTI" submit "$SOCK" '{"cmd": "metrics"}')
+expect 'cache.hits' "$METRICS"
+
+"$FTI" submit "$SOCK" '{"cmd": "shutdown"}' >/dev/null
+
+# The daemon must exit 0 on its own after the shutdown request.
+wait "$DAEMON_PID"
+DAEMON_STATUS=$?
+DAEMON_PID=""
+if [ "$DAEMON_STATUS" -ne 0 ]; then
+  echo "FAIL: daemon exited $DAEMON_STATUS" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+grep -q "fti serve: stopped" "$LOG"
+echo "serve smoke OK"

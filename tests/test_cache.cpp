@@ -1,0 +1,297 @@
+// Content-addressed design cache: hash canonicalization, LRU behaviour,
+// warm-vs-cold equivalence and thread safety (the TSan preset runs the
+// whole binary under the `cache` label).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fti/cache/design_cache.hpp"
+#include "fti/cache/ir_hash.hpp"
+#include "fti/compiler/hls.hpp"
+#include "fti/harness/testcase.hpp"
+#include "fti/ir/serde.hpp"
+#include "fti/lint/lint.hpp"
+#include "fti/xml/parser.hpp"
+#include "fti/xml/writer.hpp"
+
+namespace fti::cache {
+namespace {
+
+harness::TestCase square_case(int arrays = 8) {
+  harness::TestCase test;
+  test.name = "square";
+  test.source =
+      "kernel square(int a[" + std::to_string(arrays) + "], int b[" +
+      std::to_string(arrays) +
+      "], int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) { b[i] = a[i] * a[i]; }\n"
+      "}\n";
+  test.scalar_args = {{"n", arrays}};
+  std::vector<std::uint64_t> values(arrays);
+  for (int i = 0; i < arrays; ++i) {
+    values[i] = static_cast<std::uint64_t>(i + 1);
+  }
+  test.inputs = {{"a", values}};
+  test.check_arrays = {"b"};
+  return test;
+}
+
+ir::Design compile_case(const harness::TestCase& test) {
+  compiler::CompileOptions options;
+  options.scalar_args = test.scalar_args;
+  options.resources = test.resources;
+  return compiler::compile_source(test.source, options).design;
+}
+
+/// Reverses every order-insensitive declaration list in the design.
+/// Name-based connectivity means this is the same hardware.
+ir::Design reorder_declarations(ir::Design design) {
+  for (auto& [node, config] : design.configurations) {
+    std::reverse(config.datapath.wires.begin(), config.datapath.wires.end());
+    std::reverse(config.datapath.units.begin(), config.datapath.units.end());
+    std::reverse(config.datapath.memories.begin(),
+                 config.datapath.memories.end());
+    std::reverse(config.datapath.control_wires.begin(),
+                 config.datapath.control_wires.end());
+    std::reverse(config.datapath.status_wires.begin(),
+                 config.datapath.status_wires.end());
+    std::reverse(config.fsm.states.begin(), config.fsm.states.end());
+  }
+  std::reverse(design.rtg.nodes.begin(), design.rtg.nodes.end());
+  std::reverse(design.rtg.edges.begin(), design.rtg.edges.end());
+  return design;
+}
+
+TEST(IrHash, StableUnderDeclarationReorder) {
+  ir::Design design = compile_case(square_case());
+  ir::Design shuffled = reorder_declarations(design);
+  EXPECT_EQ(hash_design(design), hash_design(shuffled));
+}
+
+TEST(IrHash, StableAcrossXmlRoundTrip) {
+  ir::Design design = compile_case(square_case());
+  std::string text = xml::to_string(*ir::to_xml(design));
+  ir::Design reparsed = ir::design_from_xml(*xml::parse(text));
+  EXPECT_EQ(hash_design(design), hash_design(reparsed));
+}
+
+TEST(IrHash, SemanticEditChangesKey) {
+  ir::Design design = compile_case(square_case());
+  Key base = hash_design(design);
+
+  ir::Design widened = design;
+  for (auto& [node, config] : widened.configurations) {
+    for (ir::Unit& unit : config.datapath.units) {
+      if (unit.kind == ir::UnitKind::kConst) {
+        unit.value += 1;
+        break;
+      }
+    }
+    break;
+  }
+  EXPECT_NE(base, hash_design(widened));
+
+  ir::Design renamed = design;
+  renamed.name += "_other";
+  EXPECT_NE(base, hash_design(renamed));
+}
+
+TEST(IrHash, DistinctDesignsDisagree) {
+  Key a = hash_design(compile_case(square_case(8)));
+  Key b = hash_design(compile_case(square_case(16)));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.to_string(), b.to_string());
+  EXPECT_EQ(a.to_string().size(), 32u);
+}
+
+TEST(DesignCache, InsertFindAndStats) {
+  DesignCache cache(4);
+  ir::Design design = compile_case(square_case());
+  Key key = hash_design(design);
+
+  EXPECT_EQ(cache.find(key), nullptr);
+  auto entry = cache.insert(key, std::move(design), lint::Report{});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->key, key);
+  EXPECT_EQ(cache.find(key), entry);
+
+  DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DesignCache, LruEvictsOldestUnderTinyCapacity) {
+  DesignCache cache(2);
+  std::vector<Key> keys;
+  for (int size : {4, 8, 16}) {
+    ir::Design design = compile_case(square_case(size));
+    Key key = hash_design(design);
+    keys.push_back(key);
+    cache.insert(key, std::move(design), lint::Report{});
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // First inserted is least-recently-used, so it fell out.
+  EXPECT_EQ(cache.find(keys[0]), nullptr);
+  EXPECT_NE(cache.find(keys[1]), nullptr);
+  EXPECT_NE(cache.find(keys[2]), nullptr);
+}
+
+TEST(DesignCache, SourceAliasFollowsEviction) {
+  DesignCache cache(1);
+  ir::Design design = compile_case(square_case(4));
+  Key ir_key = hash_design(design);
+  Key source_key{1234, 5678};
+
+  cache.insert(ir_key, std::move(design), lint::Report{});
+  cache.alias_source(source_key, ir_key);
+  EXPECT_NE(cache.find_source(source_key), nullptr);
+
+  // Inserting another design evicts the target; the alias must not
+  // resurrect it.
+  ir::Design other = compile_case(square_case(8));
+  cache.insert(hash_design(other), std::move(other), lint::Report{});
+  EXPECT_EQ(cache.find_source(source_key), nullptr);
+}
+
+TEST(DesignCache, ScheduleMemoBuildsOncePerNode) {
+  DesignCache cache(4);
+  ir::Design design = compile_case(square_case());
+  std::string node = design.rtg.nodes.front();
+  Key key = hash_design(design);
+  auto entry = cache.insert(key, std::move(design), lint::Report{});
+
+  auto first = cache.schedule_for(entry, node);
+  auto second = cache.schedule_for(entry, node);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), second.get());
+  DesignCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.schedule_builds, 1u);
+  EXPECT_EQ(stats.schedule_hits, 1u);
+}
+
+/// The tentpole invariant: a cache-hit run must be indistinguishable
+/// from the cold run apart from wall-clock fields.
+TEST(DesignCache, WarmRunMatchesColdByteForByte) {
+  harness::TestCase test = square_case();
+
+  harness::VerifyOptions cold_options;
+  harness::VerifyOutcome cold = harness::run_test_case(test, cold_options);
+  ASSERT_TRUE(cold.passed);
+  EXPECT_FALSE(cold.cache_hit);
+
+  DesignCache cache(4);
+  harness::VerifyOptions cached_options;
+  cached_options.design_cache = &cache;
+  harness::VerifyOutcome first = harness::run_test_case(test, cached_options);
+  EXPECT_FALSE(first.cache_hit);
+  harness::VerifyOutcome warm = harness::run_test_case(test, cached_options);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_GE(cache.stats().hits, 1u);
+
+  for (const harness::VerifyOutcome* outcome : {&first, &warm}) {
+    EXPECT_EQ(outcome->passed, cold.passed);
+    EXPECT_EQ(outcome->message, cold.message);
+    EXPECT_EQ(outcome->mismatches, cold.mismatches);
+    EXPECT_EQ(outcome->lint_blocked, cold.lint_blocked);
+    EXPECT_EQ(outcome->lint.errors(), cold.lint.errors());
+    EXPECT_EQ(outcome->lint.warnings(), cold.lint.warnings());
+    EXPECT_EQ(outcome->run.completed, cold.run.completed);
+    ASSERT_EQ(outcome->run.partitions.size(), cold.run.partitions.size());
+    for (std::size_t i = 0; i < cold.run.partitions.size(); ++i) {
+      const auto& got = outcome->run.partitions[i];
+      const auto& want = cold.run.partitions[i];
+      EXPECT_EQ(got.node, want.node);
+      EXPECT_EQ(got.cycles, want.cycles);
+      EXPECT_EQ(got.stats.events, want.stats.events);
+      EXPECT_EQ(got.coverage.percent(), want.coverage.percent());
+    }
+  }
+  // The warm run must not have re-run the HLS compiler.
+  EXPECT_EQ(warm.compiled.design.rtg.nodes.size(), 0u);
+}
+
+TEST(DesignCache, WarmRunHonoursLintGatePerRequest) {
+  harness::TestCase test = square_case();
+  DesignCache cache(4);
+  harness::VerifyOptions options;
+  options.design_cache = &cache;
+  harness::VerifyOutcome cold = harness::run_test_case(test, options);
+  ASSERT_TRUE(cold.passed);
+
+  // Same design, now with the gate off: still a cache hit, still passes.
+  harness::VerifyOptions off = options;
+  off.lint_gate = lint::Gate::kOff;
+  harness::VerifyOutcome warm = harness::run_test_case(test, off);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_TRUE(warm.passed);
+}
+
+TEST(DesignCache, EmitDirBypassesCache) {
+  harness::TestCase test = square_case();
+  DesignCache cache(4);
+  harness::VerifyOptions options;
+  options.design_cache = &cache;
+  harness::VerifyOutcome first = harness::run_test_case(test, options);
+  ASSERT_TRUE(first.passed);
+
+  harness::VerifyOptions emitting = options;
+  emitting.emit_dir =
+      std::filesystem::temp_directory_path() /
+      ("fti_cache_emit_" + std::to_string(::getpid()));
+  harness::VerifyOutcome emitted = harness::run_test_case(test, emitting);
+  EXPECT_FALSE(emitted.cache_hit);
+  EXPECT_TRUE(emitted.passed);
+  std::filesystem::remove_all(emitting.emit_dir);
+}
+
+TEST(DesignCache, CancellationThrowsAtStageBoundary) {
+  harness::TestCase test = square_case();
+  std::atomic<bool> cancel{true};
+  harness::VerifyOptions options;
+  options.cancel = &cancel;
+  EXPECT_THROW(harness::run_test_case(test, options), util::CancelledError);
+}
+
+/// Many threads hammering the same design: every run must pass, and the
+/// cache must converge on one entry.  Primarily a TSan target.
+TEST(DesignCache, ConcurrentHammerConvergesOnOneEntry) {
+  harness::TestCase test = square_case();
+  DesignCache cache(8);
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 3;
+  std::atomic<int> passed{0};
+  std::atomic<int> warm{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRunsPerThread; ++r) {
+        harness::VerifyOptions options;
+        options.design_cache = &cache;
+        harness::VerifyOutcome outcome = harness::run_test_case(test, options);
+        passed += outcome.passed ? 1 : 0;
+        warm += outcome.cache_hit ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(passed.load(), kThreads * kRunsPerThread);
+  // At least the strictly-later runs were warm, and all runs after the
+  // first insertion share one cached design.
+  EXPECT_GE(warm.load(), kThreads * kRunsPerThread - kThreads);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(cache.stats().hits, static_cast<std::uint64_t>(warm.load()));
+}
+
+}  // namespace
+}  // namespace fti::cache

@@ -1,0 +1,206 @@
+// The fti serve daemon, exercised in-process over its real AF_UNIX
+// socket: protocol round-trips, warm resubmission through the design
+// cache, job lifecycle (status/cancel) and clean shutdown.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <regex>
+#include <thread>
+
+#include "fti/serve/serve.hpp"
+#include "fti/util/error.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/json_reader.hpp"
+
+namespace fti::serve {
+namespace {
+
+std::filesystem::path unique_socket(const std::string& tag) {
+  return std::filesystem::temp_directory_path() /
+         ("fti_test_" + tag + "_" + std::to_string(::getpid()) + ".sock");
+}
+
+std::filesystem::path kernel_path(const char* name) {
+  // tests/data is FTI_TEST_DATA_DIR; the sample kernels live next to it
+  // in examples/.
+  return std::filesystem::path(FTI_TEST_DATA_DIR).parent_path().parent_path() /
+         "examples" / "kernels" / name;
+}
+
+/// Masks every decimal number (the wall-clock fields -- cycle and event
+/// counts are integers and stay intact), so two reports can be compared
+/// byte-for-byte modulo timing.
+std::string mask_wall_clock(const std::string& text) {
+  static const std::regex decimal("[0-9]+\\.[0-9]+");
+  return std::regex_replace(text, decimal, "#");
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.socket_path = unique_socket("serve");
+    options.jobs = 2;
+    options.cache_entries = 8;
+    server_ = std::make_unique<Server>(options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->shutdown();
+    EXPECT_FALSE(std::filesystem::exists(server_->socket_path()));
+    server_.reset();
+  }
+
+  util::JsonValue roundtrip(const std::string& line) {
+    return util::parse_json(request(server_->socket_path(), line));
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, PingPongs) {
+  util::JsonValue reply = roundtrip("{\"cmd\": \"ping\"}");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("reply").as_string(), "pong");
+}
+
+TEST_F(ServeTest, MalformedAndUnknownRequestsFailSoftly) {
+  EXPECT_FALSE(roundtrip("this is not json").at("ok").as_bool());
+  EXPECT_FALSE(roundtrip("{\"cmd\": \"frobnicate\"}").at("ok").as_bool());
+  EXPECT_FALSE(roundtrip("{\"no_cmd\": 1}").at("ok").as_bool());
+  util::JsonValue status = roundtrip("{\"cmd\": \"status\", \"job\": 999}");
+  EXPECT_FALSE(status.at("ok").as_bool());
+  EXPECT_NE(status.at("error").as_string().find("unknown job"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, WarmResubmissionHitsCacheWithIdenticalReport) {
+  std::string submit = "{\"cmd\": \"verify\", \"kernel\": \"" +
+                       kernel_path("saxpy.k").string() + "\"}";
+  util::JsonValue cold = roundtrip(submit);
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  EXPECT_EQ(cold.at("status").as_string(), "done");
+  EXPECT_EQ(cold.at("exit_code").as_u64(), 0u);
+  EXPECT_FALSE(cold.at("cache_hit").as_bool());
+
+  util::JsonValue warm = roundtrip(submit);
+  ASSERT_TRUE(warm.at("ok").as_bool());
+  EXPECT_EQ(warm.at("status").as_string(), "done");
+  EXPECT_EQ(warm.at("exit_code").as_u64(), 0u);
+  EXPECT_TRUE(warm.at("cache_hit").as_bool());
+
+  // Byte-identical apart from wall-clock fields.
+  EXPECT_EQ(mask_wall_clock(cold.at("output").as_string()),
+            mask_wall_clock(warm.at("output").as_string()));
+  EXPECT_GE(server_->cache().stats().hits, 1u);
+}
+
+TEST_F(ServeTest, SuiteJobRunsTheSampleSuite) {
+  std::string dir = kernel_path("saxpy.k").parent_path().string();
+  util::JsonValue reply = roundtrip(
+      "{\"cmd\": \"suite\", \"dir\": \"" + dir + "\", \"jobs\": 2}");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("status").as_string(), "done");
+  EXPECT_EQ(reply.at("exit_code").as_u64(), 0u);
+  EXPECT_NE(reply.at("output").as_string().find("suite PASSED"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, LintJobReportsFindingsAndExitCode) {
+  std::string bad = (std::filesystem::path(FTI_TEST_DATA_DIR) / "lint" /
+                     "bad_multidriver.xml")
+                        .string();
+  util::JsonValue reply = roundtrip(
+      "{\"cmd\": \"lint\", \"inputs\": [\"" + bad + "\"]}");
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("status").as_string(), "done");
+  EXPECT_EQ(reply.at("exit_code").as_u64(), 3u);
+}
+
+TEST_F(ServeTest, AsyncSubmitStatusPollAndMetrics) {
+  std::string submit = "{\"cmd\": \"verify\", \"kernel\": \"" +
+                       kernel_path("saxpy.k").string() +
+                       "\", \"wait\": false}";
+  util::JsonValue queued = roundtrip(submit);
+  ASSERT_TRUE(queued.at("ok").as_bool());
+  std::uint64_t id = queued.at("job").as_u64();
+  // wait:false replies before completion; poll until terminal.
+  std::string status;
+  for (int i = 0; i < 600; ++i) {
+    util::JsonValue reply = roundtrip(
+        "{\"cmd\": \"status\", \"job\": " + std::to_string(id) + "}");
+    status = reply.at("status").as_string();
+    if (status == "done" || status == "error" || status == "cancelled") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(status, "done");
+
+  util::JsonValue metrics = roundtrip("{\"cmd\": \"metrics\"}");
+  ASSERT_TRUE(metrics.at("ok").as_bool());
+  const util::JsonValue& snapshot = metrics.at("snapshot");
+  EXPECT_EQ(snapshot.at("snapshot").as_string(), "serve");
+  bool saw_cache_counter = false;
+  for (const util::JsonValue& metric : snapshot.at("metrics").items) {
+    if (metric.at("name").as_string().rfind("cache.", 0) == 0) {
+      saw_cache_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_cache_counter);
+}
+
+TEST_F(ServeTest, CancelledQueuedJobNeverRuns) {
+  // Saturate both workers plus the queue with suite jobs, then cancel
+  // the queued one before a worker can pick it up.
+  std::string dir = kernel_path("saxpy.k").parent_path().string();
+  std::string suite =
+      "{\"cmd\": \"suite\", \"dir\": \"" + dir + "\", \"wait\": false}";
+  roundtrip(suite);
+  roundtrip(suite);
+  util::JsonValue queued = roundtrip(suite);
+  std::uint64_t id = queued.at("job").as_u64();
+  roundtrip("{\"cmd\": \"cancel\", \"job\": " + std::to_string(id) + "}");
+  std::string status;
+  for (int i = 0; i < 600; ++i) {
+    util::JsonValue reply = roundtrip(
+        "{\"cmd\": \"status\", \"job\": " + std::to_string(id) + "}");
+    status = reply.at("status").as_string();
+    if (status == "done" || status == "error" || status == "cancelled") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Cooperative cancel: the flag was set while the job sat in the queue
+  // (or at the latest mid-run), so it must land in "cancelled" unless a
+  // worker finished it before the flag arrived.
+  EXPECT_TRUE(status == "cancelled" || status == "done") << status;
+}
+
+TEST_F(ServeTest, ShutdownRequestWakesWait) {
+  std::thread waiter([this] { server_->wait(); });
+  util::JsonValue reply = roundtrip("{\"cmd\": \"shutdown\"}");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("status").as_string(), "stopping");
+  waiter.join();
+  // The daemon already tore down; a new client connection must fail.
+  EXPECT_THROW(request(server_->socket_path(), "{\"cmd\": \"ping\"}"),
+               util::Error);
+}
+
+TEST(ServeClient, UnreachableDaemonThrows) {
+  EXPECT_THROW(request(unique_socket("nothere"), "{\"cmd\": \"ping\"}"),
+               util::Error);
+}
+
+TEST(ServeServer, SocketPathTooLongThrows) {
+  ServerOptions options;
+  options.socket_path =
+      std::filesystem::temp_directory_path() / std::string(200, 'x');
+  Server server(options);
+  EXPECT_THROW(server.start(), util::Error);
+}
+
+}  // namespace
+}  // namespace fti::serve

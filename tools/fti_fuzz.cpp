@@ -1,5 +1,8 @@
 // fti_fuzz -- differential fuzzing front end.
 //
+// A flag-parsing shim over the flow layer (src/fti/flow/), which owns
+// the campaign/replay/inject bodies and shares them with fti serve.
+//
 //   fti_fuzz [options]                 run a fuzzing campaign
 //   fti_fuzz replay FILE.xml           re-run one corpus <repro> entry
 //   fti_fuzz corpus DIR                re-run every entry in a corpus dir
@@ -19,14 +22,9 @@
 //   --engine NAME    engine lane compared against the kernel (repeatable;
 //                    replaces the default reference/naive/levelized/
 //                    batched set)
-//   --lanes N        batched stimulus lanes per design: after the engine
-//                    diff passes, the design is swept once through the
-//                    batched engine over N randomized memory stimuli and
-//                    every lane is compared against its own reference run
-//                    (default 64, 0 disables the lane check)
-//   --smoke          fixed quick profile used by ctest (equivalent to
-//                    --runs 25 --lanes 16 with a smaller generator;
-//                    ~seconds)
+//   --lanes N        batched stimulus lanes per design (default 64,
+//                    0 disables the lane check)
+//   --smoke          fixed quick profile used by ctest (~seconds)
 //   --metrics PATH   record observability counters, write snapshot JSON
 //   --trace PATH     record spans, write a Chrome trace-event file
 //   --quiet          suppress per-case progress lines
@@ -37,19 +35,13 @@
 // Exit code: 0 when every case agreed (or, for inject, every planted
 // defect was detected), 1 on any mismatch / missed defect, 2 on usage
 // errors.
-#include <cstdint>
 #include <cstring>
 #include <iostream>
-#include <string>
-#include <vector>
 
-#include "fti/fuzz/corpus.hpp"
-#include "fti/fuzz/fuzzer.hpp"
-#include "fti/fuzz/inject.hpp"
+#include "fti/flow/flow.hpp"
 #include "fti/obs/json.hpp"
 #include "fti/util/cli.hpp"
 #include "fti/util/error.hpp"
-#include "fti/util/file_io.hpp"
 
 namespace {
 
@@ -67,55 +59,30 @@ namespace {
   std::exit(2);
 }
 
-int report_diff(const std::string& label, const fti::fuzz::DiffResult& diff) {
-  if (diff.ok) {
-    std::cout << label << ": PASS (all engines agree)\n";
-    return 0;
-  }
-  std::cout << label << ": FAIL\n";
-  for (const std::string& line : diff.mismatches) {
-    std::cout << "  " << line << "\n";
-  }
-  return 1;
-}
-
-int replay_entry(const fti::fuzz::CorpusEntry& entry) {
-  std::cout << "replaying '" << entry.name << "' (seed " << entry.seed
-            << ", " << fti::fuzz::ir_node_count(entry.design)
-            << " IR nodes)\n";
-  return report_diff(entry.name, fti::fuzz::diff_design(entry.design));
-}
-
 int run_replay(int argc, char** argv) {
   if (argc != 1) {
     usage();
   }
-  fti::fuzz::CorpusEntry entry =
-      fti::fuzz::repro_from_xml(fti::util::read_file(argv[0]));
-  return replay_entry(entry);
+  fti::flow::ReplayRequest request;
+  request.repro_path = argv[0];
+  fti::flow::FlowContext context;
+  return fti::flow::run_replay(request, context, std::cout, std::cerr)
+      .exit_code;
 }
 
 int run_corpus(int argc, char** argv) {
   if (argc != 1) {
     usage();
   }
-  std::vector<fti::fuzz::CorpusEntry> corpus =
-      fti::fuzz::load_corpus(argv[0]);
-  if (corpus.empty()) {
-    std::cout << "corpus '" << argv[0] << "' is empty\n";
-    return 0;
-  }
-  int exit_code = 0;
-  for (const fti::fuzz::CorpusEntry& entry : corpus) {
-    exit_code |= replay_entry(entry);
-  }
-  return exit_code;
+  fti::flow::ReplayRequest request;
+  request.corpus_dir = argv[0];
+  fti::flow::FlowContext context;
+  return fti::flow::run_replay(request, context, std::cout, std::cerr)
+      .exit_code;
 }
 
 int run_inject(int argc, char** argv) {
-  std::uint64_t seed = 1;
-  std::uint64_t runs = 40;
-  fti::fuzz::GeneratorOptions generator;
+  fti::flow::InjectRequest request;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -125,56 +92,36 @@ int run_inject(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      seed = fti::util::parse_u64_flag(arg, value());
+      request.seed = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--runs") {
-      runs = fti::util::parse_u64_flag(arg, value());
+      request.runs = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--max-units") {
-      generator.max_units = fti::util::parse_u32_flag(arg, value());
+      request.generator.max_units = fti::util::parse_u32_flag(arg, value());
     } else if (arg == "--max-configs") {
-      generator.max_configurations = fti::util::parse_u32_flag(arg, value());
+      request.generator.max_configurations =
+          fti::util::parse_u32_flag(arg, value());
     } else if (arg == "--smoke") {
-      runs = 20;
-      generator.max_units = 12;
-      generator.max_run_cycles = 24;
+      request.runs = 20;
+      request.generator.max_units = 12;
+      request.generator.max_run_cycles = 24;
     } else {
       usage();
     }
   }
-  fti::fuzz::InjectionReport report =
-      fti::fuzz::run_injection(seed, runs, generator);
-  for (const fti::fuzz::InjectionOutcome& outcome : report.outcomes) {
-    std::cout << fti::fuzz::to_string(outcome.defect) << " ("
-              << fti::fuzz::expected_rule(outcome.defect) << "): "
-              << outcome.detected << "/" << outcome.injected
-              << " detected across " << outcome.cases_tried
-              << " case(s)";
-    if (outcome.injected == 0) {
-      std::cout << "  [NO APPLICABLE SITE]";
-    }
-    if (outcome.missed > 0) {
-      std::cout << "  [MISSED " << outcome.missed << ", seeds:";
-      for (std::uint64_t missed_seed : outcome.missed_seeds) {
-        std::cout << " " << missed_seed;
-      }
-      std::cout << "]";
-    }
-    std::cout << "\n";
-  }
-  if (report.ok()) {
-    std::cout << "PASS: every planted defect class was detected\n";
-    return 0;
-  }
-  std::cout << "FAIL: lint recall gap (see above)\n";
-  return 1;
+  fti::flow::FlowContext context;
+  return fti::flow::run_inject(request, context, std::cout, std::cerr)
+      .exit_code;
 }
 
 int run_campaign(int argc, char** argv) {
-  fti::fuzz::FuzzOptions options;
-  bool quiet = false;
-  bool engines_overridden = false;
-  std::string metrics_path;
-  std::string trace_path;
+  fti::flow::CampaignRequest request;
+  fti::util::ToolFlags flags;
   for (int i = 0; i < argc; ++i) {
+    // --engine/--lanes/--jobs/--metrics/--trace are shared with fti via
+    // util::consume_tool_flag (identical spelling and validation).
+    if (fti::util::consume_tool_flag(flags, argc, argv, i)) {
+      continue;
+    }
     std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -183,95 +130,64 @@ int run_campaign(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      options.seed = fti::util::parse_u64_flag(arg, value());
+      request.options.seed = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--runs") {
-      options.runs = fti::util::parse_u64_flag(arg, value());
-    } else if (arg == "--jobs") {
-      options.jobs = fti::util::parse_jobs_flag(arg, value());
+      request.options.runs = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--max-failures") {
-      options.max_failures = fti::util::parse_u64_flag(arg, value());
+      request.options.max_failures = fti::util::parse_u64_flag(arg, value());
     } else if (arg == "--corpus") {
-      options.corpus_dir = value();
+      request.options.corpus_dir = value();
     } else if (arg == "--no-shrink") {
-      options.shrink_failures = false;
+      request.options.shrink_failures = false;
     } else if (arg == "--max-units") {
-      options.generator.max_units = fti::util::parse_u32_flag(arg, value());
-    } else if (arg == "--max-configs") {
-      options.generator.max_configurations =
+      request.options.generator.max_units =
           fti::util::parse_u32_flag(arg, value());
-    } else if (arg == "--metrics") {
-      metrics_path = value();
-    } else if (arg == "--trace") {
-      trace_path = value();
-    } else if (arg == "--engine") {
-      if (!engines_overridden) {
-        options.diff.engines.clear();
-        engines_overridden = true;
-      }
-      options.diff.engines.push_back(value());
-    } else if (arg == "--lanes") {
-      options.batch_lanes = fti::util::parse_u32_flag(arg, value());
+    } else if (arg == "--max-configs") {
+      request.options.generator.max_configurations =
+          fti::util::parse_u32_flag(arg, value());
     } else if (arg == "--smoke") {
-      options.runs = 25;
-      options.generator.max_units = 12;
-      options.generator.max_run_cycles = 24;
-      options.batch_lanes = 16;
+      request.options.runs = 25;
+      request.options.generator.max_units = 12;
+      request.options.generator.max_run_cycles = 24;
+      request.options.batch_lanes = 16;
     } else if (arg == "--quiet") {
-      quiet = true;
+      request.quiet = true;
     } else {
       usage();
     }
   }
-  if (!quiet) {
-    options.log = [](const std::string& line) {
-      std::cerr << "fti_fuzz: " << line << "\n";
-    };
+  // The fuzzer's diff driver uses the whole --engine list as its lane
+  // set, replacing the default reference set when any were named.
+  if (!flags.engines.empty()) {
+    request.options.diff.engines = flags.engines;
   }
-  if (!metrics_path.empty() || !trace_path.empty()) {
+  if (flags.lanes_set) {
+    request.options.batch_lanes = flags.lanes;
+  }
+  if (flags.jobs_set) {
+    request.options.jobs = flags.jobs;
+  }
+  if (!flags.metrics_path.empty() || !flags.trace_path.empty()) {
     fti::obs::set_enabled(true);
   }
 
-  fti::fuzz::FuzzReport report = fti::fuzz::run_fuzz(options);
-  if (!metrics_path.empty()) {
-    fti::obs::write_metrics_file(metrics_path, "fti_fuzz");
-    std::cout << "wrote " << metrics_path << "\n";
+  fti::flow::FlowContext context;
+  fti::flow::CampaignResult result =
+      fti::flow::run_campaign(request, context, std::cout, std::cerr);
+  if (!flags.metrics_path.empty()) {
+    fti::obs::write_metrics_file(flags.metrics_path, "fti_fuzz");
+    std::cout << "wrote " << flags.metrics_path << "\n";
   }
-  if (!trace_path.empty()) {
-    if (!fti::obs::Tracer::instance().write_chrome_trace_file(trace_path)) {
-      std::cerr << "fti_fuzz: cannot write trace file '" << trace_path
+  if (!flags.trace_path.empty()) {
+    if (!fti::obs::Tracer::instance().write_chrome_trace_file(
+            flags.trace_path)) {
+      std::cerr << "fti_fuzz: cannot write trace file '" << flags.trace_path
                 << "'\n";
       return 2;
     }
-    std::cout << "wrote " << trace_path << "\n";
+    std::cout << "wrote " << flags.trace_path << "\n";
   }
-  std::cout << "fuzzed " << report.cases_run << " design(s), "
-            << report.multi_configuration_designs
-            << " with multiple partitions, "
-            << report.total_cycles << " kernel cycles total\n";
-  if (report.ok()) {
-    std::cout << "PASS: zero mismatches\n";
-    return 0;
-  }
-  for (const fti::fuzz::FuzzFailure& failure : report.failures) {
-    std::cout << "FAIL case " << failure.case_index << " (seed "
-              << failure.case_seed << "), shrunk "
-              << failure.original_nodes << " -> " << failure.shrunk_nodes
-              << " IR nodes";
-    if (failure.lints_clean()) {
-      std::cout << ", lints clean (likely simulator-side bug)";
-    } else {
-      std::cout << ", lint: " << failure.lint_errors << " error(s) "
-                << failure.lint_warnings << " warning(s)";
-    }
-    if (!failure.saved_path.empty()) {
-      std::cout << ", saved to " << failure.saved_path.string();
-    }
-    std::cout << "\n";
-    for (const std::string& line : failure.mismatches) {
-      std::cout << "  " << line << "\n";
-    }
-  }
-  return 1;
+  return result.exit_code;
 }
 
 }  // namespace

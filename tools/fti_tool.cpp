@@ -1,26 +1,32 @@
 // fti -- command-line front end of the test infrastructure.
 //
+// This binary is a flag-parsing shim: every command body lives in the
+// reusable flow layer (src/fti/flow/), shared with the fti serve daemon.
+// main() builds a typed flow request from argv, runs it against
+// std::cout/std::cerr and maps the result to the exit-code contract.
+//
 //   fti verify KERNEL.k [options]     run the full functional-test flow
 //   fti translate KERNEL.k [options]  emit XML / dot / hds / HDLs
 //   fti run RTG.xml [options]         simulate a saved XML file set
 //   fti suite DIR [--emit DIR]        run every *.k test case in DIR
-//                                     (no compiler involved -- the designs
-//                                     are whatever the files describe)
 //                 [--jobs N]          run N test cases concurrently (the
 //                                     report stays in test order and is
 //                                     identical to a --jobs 1 run apart
 //                                     from the wall-clock columns)
 //                 [--json PATH]       also write the report as JSON
-//                                     (per-row metrics + campaign totals)
-//   fti engines                       list the registered execution engines
+//   fti engines                       list the registered execution
+//                                     engines with their max batch lanes
 //   fti obs METRICS.json              pretty-print a --metrics snapshot
-//   fti lint PATH...                  static analysis without simulating:
-//                                     PATH is a KERNEL.k (compiled first),
-//                                     a saved rtg.xml / design XML, a
-//                                     corpus <repro> XML, or a directory
-//                                     (lints every *.k and *.xml inside)
-//        [--json PATH]                write the findings as JSON
-//        [--sarif PATH]               write a SARIF 2.1.0 log (CI annotation)
+//   fti lint PATH...                  static analysis without simulating
+//        [--json PATH] [--sarif PATH]
+//   fti serve SOCKET [--jobs N]       long-lived daemon accepting verify/
+//             [--cache N]             suite/lint jobs as JSON over a local
+//                                     socket; repeat submissions of the
+//                                     same kernel hit the design cache and
+//                                     skip compile+lint+round-trip
+//   fti submit SOCKET REQUEST         send one JSON request line to a
+//                                     running daemon, print the reply and
+//                                     exit with the job's exit code
 //
 // Common options:
 //   --arg NAME=VALUE       bind a scalar parameter (repeatable)
@@ -30,21 +36,13 @@
 //   --default-limit N      default FU limit (default 2)
 //   --engine NAME          execution engine for verify/run/suite
 //                          (default "event"; see `fti engines`)
-//   --lanes N              verify/suite: stimulus lanes per design.  Lane
-//                          0 carries the declared inputs; lanes >= 1 get
-//                          seeded random array contents, all swept in ONE
-//                          run_batch and each checked against its own
-//                          golden run (default 1)
+//   --lanes N              verify/suite: stimulus lanes per design
 //   --lane-seed N          seed for the random lane stimuli (default 1)
-//   --lint error|warn|off  static-analysis gate for verify/suite (default
-//                          "error"): a design whose lint report reaches
-//                          the threshold is rejected before simulation
-//   --metrics PATH         record observability counters during the run
-//                          and write the snapshot as JSON
-//   --trace PATH           record spans and write a Chrome trace-event
-//                          file (open in Perfetto / chrome://tracing)
+//   --lint error|warn|off  static-analysis gate for verify/suite
+//   --metrics PATH         write an observability snapshot as JSON
+//   --trace PATH           write a Chrome trace-event file
 // verify options:
-//   --check ARRAY          compare only this array (repeatable; default all)
+//   --check ARRAY          compare only this array (repeatable)
 //   --emit DIR             write all artefacts + verdict into DIR
 //   --max-cycles N         per-partition cycle budget
 //   --vcd FILE             dump a VCD of the first partition
@@ -58,36 +56,19 @@
 //   2  usage or input error (bad flags, unreadable files, malformed XML)
 //   3  lint errors (fti lint), or the --lint gate blocked on errors
 //   4  lint warnings only (fti lint), or the gate blocked on warnings
-#include <algorithm>
 #include <cstring>
 #include <iostream>
 
-#include "fti/codegen/dot.hpp"
-#include "fti/codegen/hds.hpp"
-#include "fti/codegen/verilog.hpp"
-#include "fti/codegen/systemc.hpp"
-#include "fti/codegen/vhdl.hpp"
-#include "fti/compiler/parser.hpp"
-#include "fti/compiler/sema.hpp"
-#include "fti/elab/engines.hpp"
-#include "fti/fuzz/corpus.hpp"
-#include "fti/harness/metrics.hpp"
-#include "fti/harness/suite_io.hpp"
-#include "fti/harness/testcase.hpp"
-#include "fti/ir/serde.hpp"
-#include "fti/lint/lint.hpp"
+#include "fti/flow/flow.hpp"
 #include "fti/mem/memfile.hpp"
 #include "fti/obs/json.hpp"
-#include "fti/sim/vcd.hpp"
+#include "fti/serve/serve.hpp"
 #include "fti/util/cli.hpp"
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
-#include "fti/util/json.hpp"
 #include "fti/util/json_reader.hpp"
 #include "fti/util/logging.hpp"
 #include "fti/util/strings.hpp"
-#include "fti/util/table.hpp"
-#include "fti/xml/parser.hpp"
 
 namespace {
 
@@ -107,6 +88,8 @@ namespace {
       "       fti engines\n"
       "       fti obs       METRICS.json\n"
       "       fti lint      PATH... [--json PATH] [--sarif PATH]\n"
+      "       fti serve     SOCKET [--jobs N] [--cache N]\n"
+      "       fti submit    SOCKET REQUEST-JSON\n"
       "options common to verify/run/suite:\n"
       "                     [--metrics PATH] [--trace PATH]\n"
       "                     [--lint error|warn|off]  (verify/suite gate)\n"
@@ -132,14 +115,8 @@ struct Cli {
   std::filesystem::path out_dir;
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
-  std::string engine = "event";
-  std::uint32_t lanes = 1;
-  std::uint64_t lane_seed = 1;
-  fti::lint::Gate lint_gate = fti::lint::Gate::kError;
-  std::uint32_t jobs = 1;
   std::filesystem::path json_path;
-  std::filesystem::path metrics_path;
-  std::filesystem::path trace_path;
+  fti::util::ToolFlags flags;
   bool verbose = false;
 };
 
@@ -157,6 +134,11 @@ Cli parse_cli(int argc, char** argv) {
     return argv[++i];
   };
   for (int i = 3; i < argc; ++i) {
+    // --engine/--lanes/--lane-seed/--jobs/--lint/--metrics/--trace are
+    // shared with fti_fuzz via util::consume_tool_flag.
+    if (fti::util::consume_tool_flag(cli.flags, argc, argv, i)) {
+      continue;
+    }
     std::string flag = argv[i];
     if (flag == "--arg") {
       auto [name, value] = split_kv(need_value(i), "--arg");
@@ -179,9 +161,7 @@ Cli parse_cli(int argc, char** argv) {
       cli.test.embed_inputs = true;
     } else if (flag == "--check") {
       cli.test.check_arrays.push_back(need_value(i));
-    } else if (flag == "--emit") {
-      cli.out_dir = need_value(i);
-    } else if (flag == "--out") {
+    } else if (flag == "--emit" || flag == "--out") {
       cli.out_dir = need_value(i);
     } else if (flag == "--max-cycles") {
       cli.test.max_cycles =
@@ -201,33 +181,8 @@ Cli parse_cli(int argc, char** argv) {
     } else if (flag == "--read-ports") {
       cli.test.resources.default_memory_read_ports =
           fti::util::parse_u32_flag("--read-ports", need_value(i));
-    } else if (flag == "--engine") {
-      cli.engine = need_value(i);
-    } else if (flag == "--lanes") {
-      cli.lanes = fti::util::parse_u32_flag("--lanes", need_value(i));
-    } else if (flag == "--lane-seed") {
-      cli.lane_seed =
-          fti::util::parse_u64_flag("--lane-seed", need_value(i));
-    } else if (flag == "--lint" ||
-               fti::util::starts_with(flag, "--lint=")) {
-      std::string value = flag == "--lint"
-                              ? need_value(i)
-                              : flag.substr(std::strlen("--lint="));
-      auto gate = fti::lint::gate_from_string(value);
-      if (!gate) {
-        std::cerr << "bad --lint value '" << value
-                  << "' (expected error, warn or off)\n";
-        usage();
-      }
-      cli.lint_gate = *gate;
-    } else if (flag == "--jobs") {
-      cli.jobs = fti::util::parse_jobs_flag("--jobs", need_value(i));
     } else if (flag == "--json") {
       cli.json_path = need_value(i);
-    } else if (flag == "--metrics") {
-      cli.metrics_path = need_value(i);
-    } else if (flag == "--trace") {
-      cli.trace_path = need_value(i);
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -242,224 +197,8 @@ Cli parse_cli(int argc, char** argv) {
   return cli;
 }
 
-/// `fti run`: load a saved rtg.xml file set and simulate it over memory
-/// files -- the infrastructure consuming compiler-emitted XML directly.
-int run_saved(Cli& cli) {
-  fti::ir::Design design = fti::ir::load_design_files(cli.source_path);
-  fti::ir::validate(design);
-  fti::mem::MemoryPool pool;
-  // Memories named by --mem are pre-created and loaded (overriding any
-  // <init> contents); everything else is created at elaboration time.
-  for (const auto& memory : design.memory_requirements()) {
-    if (cli.test.inputs.find(memory.name) != cli.test.inputs.end()) {
-      pool.create(memory.name, memory.depth, memory.width);
-      fti::harness::load_inputs(pool, memory.name,
-                                cli.test.inputs.at(memory.name));
-    }
-  }
-  auto engine = fti::elab::make_engine(cli.engine);
-  fti::sim::VcdWriter vcd(design.name);
-  fti::sim::EngineRunOptions run_options;
-  run_options.max_cycles_per_partition = cli.test.max_cycles;
-  if (!cli.vcd_path.empty()) {
-    if (!engine->supports_tracing()) {
-      std::cerr << "error: engine '" << engine->name()
-                << "' does not support --vcd (use --engine event)\n";
-      return 2;
-    }
-    run_options.tracer = &vcd;
-    run_options.on_netlist = [&vcd](const std::string&,
-                                    fti::sim::Netlist& netlist) {
-      if (vcd.watched_count() > 0) {
-        return;
-      }
-      for (const auto& net : netlist.nets()) {
-        vcd.watch(*net);
-      }
-    };
-  }
-  auto run = engine->run(design, pool, run_options);
-  std::cout << "design '" << design.name << "': "
-            << (run.completed ? "completed" : "DID NOT COMPLETE") << "\n";
-  fti::util::TextTable table(
-      {"partition", "cycles", "events", "wall (s)", "fsm coverage"});
-  for (const auto& partition : run.partitions) {
-    table.add_row({partition.node,
-                   fti::util::format_count(partition.cycles),
-                   fti::util::format_count(partition.stats.events),
-                   fti::util::format_double(partition.wall_seconds, 3),
-                   fti::util::format_double(partition.coverage.percent(), 1)
-                       + "%"});
-  }
-  std::cout << table.to_string();
-  if (!cli.vcd_path.empty()) {
-    vcd.write_file(cli.vcd_path);
-    std::cout << "wrote " << cli.vcd_path.string() << "\n";
-  }
-  for (const auto& [array, file] : cli.saves) {
-    fti::mem::save_mem_file(pool.get(array), file);
-    std::cout << "wrote " << file.string() << "\n";
-  }
-  return run.completed ? 0 : 1;
-}
-
-/// Exit code for a gate-blocked verify/suite: errors beat warnings.
-int lint_exit_code(std::size_t errors) { return errors > 0 ? 3 : 4; }
-
-int run_verify(Cli& cli) {
-  // Standard flow (with the emit directory when requested).
-  fti::harness::VerifyOptions options;
-  options.emit_dir = cli.out_dir;
-  options.engine = cli.engine;
-  options.lint_gate = cli.lint_gate;
-  options.lanes = cli.lanes;
-  options.lane_seed = cli.lane_seed;
-  fti::harness::VerifyOutcome outcome =
-      fti::harness::run_test_case(cli.test, options);
-
-  if (outcome.lint_blocked) {
-    std::cout << "LINT  " << cli.test.name << "\n"
-              << fti::lint::to_text(outcome.lint)
-              << "  " << outcome.message << "\n";
-    return lint_exit_code(outcome.lint.errors());
-  }
-  std::cout << (outcome.passed ? "PASS" : "FAIL") << "  " << cli.test.name
-            << "\n";
-  if (!outcome.passed) {
-    std::cout << "  " << outcome.message << "\n";
-    if (outcome.mismatches > 0) {
-      std::cout << "  mismatching words: " << outcome.mismatches << "\n";
-    }
-  }
-  fti::util::TextTable table(
-      {"partition", "cycles", "events", "wall (s)", "fsm coverage"});
-  for (const auto& partition : outcome.run.partitions) {
-    table.add_row({partition.node,
-                   fti::util::format_count(partition.cycles),
-                   fti::util::format_count(partition.stats.events),
-                   fti::util::format_double(partition.wall_seconds, 3),
-                   fti::util::format_double(partition.coverage.percent(), 1)
-                       + "%"});
-  }
-  std::cout << table.to_string();
-  for (const auto& partition : outcome.run.partitions) {
-    if (!partition.coverage.full()) {
-      std::cout << "note: weak test case -- "
-                << partition.coverage.to_string() << "\n";
-    }
-  }
-  std::cout << "compile " << fti::util::format_double(
-                   outcome.compile_seconds * 1e3, 1)
-            << " ms, golden " << fti::util::format_double(
-                   outcome.golden_seconds * 1e3, 1)
-            << " ms, simulate " << fti::util::format_double(
-                   outcome.sim_seconds * 1e3, 1)
-            << " ms\n";
-
-  // Optional VCD / saved memories need an instrumented re-run.
-  if (!cli.vcd_path.empty() || !cli.saves.empty()) {
-    fti::compiler::Program program =
-        fti::compiler::parse_program(cli.test.source);
-    fti::compiler::SemaInfo sema = fti::compiler::check_program(program);
-    fti::mem::MemoryPool pool;
-    for (const auto& [name, param] : sema.arrays) {
-      pool.create(name, param.array_size,
-                  fti::compiler::width_of(param.type));
-    }
-    for (const auto& [name, values] : cli.test.inputs) {
-      fti::harness::load_inputs(pool, name, values);
-    }
-    auto engine = fti::elab::make_engine(cli.engine);
-    fti::sim::VcdWriter vcd(cli.test.name);
-    fti::sim::EngineRunOptions run_options;
-    run_options.max_cycles_per_partition = cli.test.max_cycles;
-    if (!cli.vcd_path.empty()) {
-      if (!engine->supports_tracing()) {
-        std::cerr << "error: engine '" << engine->name()
-                  << "' does not support --vcd (use --engine event)\n";
-        return 2;
-      }
-      run_options.tracer = &vcd;
-      run_options.on_netlist = [&vcd](const std::string&,
-                                      fti::sim::Netlist& netlist) {
-        if (vcd.watched_count() > 0) {
-          return;
-        }
-        for (const auto& net : netlist.nets()) {
-          vcd.watch(*net);
-        }
-      };
-    }
-    engine->run(outcome.compiled.design, pool, run_options);
-    if (!cli.vcd_path.empty()) {
-      vcd.write_file(cli.vcd_path);
-      std::cout << "wrote " << cli.vcd_path.string() << "\n";
-    }
-    for (const auto& [array, file] : cli.saves) {
-      fti::mem::save_mem_file(pool.get(array), file);
-      std::cout << "wrote " << file.string() << "\n";
-    }
-  }
-  return outcome.passed ? 0 : 1;
-}
-
-int run_translate(const Cli& cli) {
-  fti::compiler::CompileOptions options;
-  options.scalar_args = cli.test.scalar_args;
-  options.resources = cli.test.resources;
-  if (cli.test.embed_inputs) {
-    options.rom_contents = cli.test.inputs;
-  }
-  auto compiled = fti::compiler::compile_source(cli.test.source, options);
-  const fti::ir::Design& design = compiled.design;
-  std::filesystem::path out =
-      cli.out_dir.empty() ? std::filesystem::path(cli.test.name)
-                          : cli.out_dir;
-
-  fti::ir::save_design_files(design, out);
-  std::string dot;
-  for (const std::string& node : design.rtg.nodes) {
-    const auto& config = design.configuration(node);
-    fti::util::write_file(out / (node + "_datapath.dot"),
-                          fti::codegen::datapath_to_dot(config.datapath));
-    fti::util::write_file(out / (node + "_fsm.dot"),
-                          fti::codegen::fsm_to_dot(config.fsm));
-  }
-  fti::util::write_file(out / "rtg.dot",
-                        fti::codegen::rtg_to_dot(design.rtg));
-  fti::util::write_file(out / (design.name + ".hds"),
-                        fti::codegen::design_to_hds(design));
-  fti::util::write_file(out / (design.name + ".vhdl"),
-                        fti::codegen::design_to_vhdl(design));
-  fti::util::write_file(out / (design.name + ".v"),
-                        fti::codegen::design_to_verilog(design));
-  fti::util::write_file(out / (design.name + ".sc.cpp"),
-                        fti::codegen::design_to_systemc(design));
-
-  fti::harness::DesignMetrics metrics =
-      fti::harness::compute_metrics(design);
-  fti::util::TextTable table({"configuration", "fsm states", "operators",
-                              "units", "loXML dp", "loXML fsm"});
-  for (const auto& config : metrics.configurations) {
-    table.add_row({config.node, std::to_string(config.fsm_states),
-                   std::to_string(config.operators),
-                   std::to_string(config.units),
-                   fti::util::format_count(config.lo_xml_datapath),
-                   fti::util::format_count(config.lo_xml_fsm)});
-  }
-  std::cout << "wrote design '" << design.name << "' to "
-            << out.string() << "/\n"
-            << table.to_string();
-  return 0;
-}
-
-/// `fti lint`: static analysis over one or more designs, no simulation.
-/// Accepts kernel sources (compiled first), saved rtg.xml file sets,
-/// bare <design> documents, corpus <repro> documents and directories.
 int run_lint(int argc, char** argv) {
-  std::vector<std::filesystem::path> inputs;
-  std::filesystem::path json_path;
-  std::filesystem::path sarif_path;
+  fti::flow::LintRequest request;
   for (int i = 2; i < argc; ++i) {
     std::string flag = argv[i];
     auto need_value = [&]() -> std::string {
@@ -469,135 +208,78 @@ int run_lint(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--json") {
-      json_path = need_value();
+      request.json_path = need_value();
     } else if (flag == "--sarif") {
-      sarif_path = need_value();
+      request.sarif_path = need_value();
     } else if (fti::util::starts_with(flag, "--")) {
       std::cerr << "unknown option '" << flag << "'\n";
       usage();
     } else {
-      inputs.emplace_back(flag);
+      request.inputs.emplace_back(flag);
     }
   }
-  if (inputs.empty()) {
+  if (request.inputs.empty()) {
     usage();
   }
-
-  // Directories expand to every lintable file inside, sorted.
-  std::vector<std::filesystem::path> files;
-  for (const std::filesystem::path& input : inputs) {
-    if (std::filesystem::is_directory(input)) {
-      std::vector<std::filesystem::path> found;
-      for (const auto& entry : std::filesystem::directory_iterator(input)) {
-        std::string ext = entry.path().extension().string();
-        if (ext == ".k" || ext == ".xml") {
-          found.push_back(entry.path());
-        }
-      }
-      std::sort(found.begin(), found.end());
-      files.insert(files.end(), found.begin(), found.end());
-    } else {
-      files.push_back(input);
-    }
-  }
-  if (files.empty()) {
-    std::cerr << "error: no .k or .xml designs found\n";
-    return 2;
-  }
-
-  std::vector<fti::lint::Report> reports;
-  for (const std::filesystem::path& file : files) {
-    fti::ir::Design design;
-    if (file.extension() == ".k") {
-      fti::harness::TestCase test = fti::harness::load_test_case(file);
-      fti::compiler::CompileOptions options;
-      options.scalar_args = test.scalar_args;
-      options.resources = test.resources;
-      if (test.embed_inputs) {
-        options.rom_contents = test.inputs;
-      }
-      design = fti::compiler::compile_source(test.source, options).design;
-    } else {
-      std::string text = fti::util::read_file(file);
-      std::unique_ptr<fti::xml::Element> root = fti::xml::parse(text);
-      if (root->name() == "repro") {
-        design = fti::fuzz::repro_from_xml(text).design;
-      } else if (root->name() == "rtg") {
-        design = fti::ir::load_design_files(file);
-      } else {
-        design = fti::ir::design_from_xml(*root);
-      }
-    }
-    fti::lint::Report report = fti::lint::lint_design(design);
-    report.source = file.string();
-    std::cout << fti::lint::to_text(report);
-    reports.push_back(std::move(report));
-  }
-
-  std::size_t errors = 0;
-  std::size_t warnings = 0;
-  for (const fti::lint::Report& report : reports) {
-    errors += report.errors();
-    warnings += report.warnings();
-  }
-  if (reports.size() > 1) {
-    std::cout << reports.size() << " design(s): " << errors << " error(s), "
-              << warnings << " warning(s)\n";
-  }
-  if (!json_path.empty()) {
-    std::string out;
-    for (const fti::lint::Report& report : reports) {
-      out += fti::lint::to_json(report);
-    }
-    fti::util::write_file(json_path, out);
-    std::cout << "wrote " << json_path.string() << "\n";
-  }
-  if (!sarif_path.empty()) {
-    fti::util::write_file(sarif_path, fti::lint::to_sarif(reports));
-    std::cout << "wrote " << sarif_path.string() << "\n";
-  }
-  return errors > 0 ? 3 : (warnings > 0 ? 4 : 0);
+  fti::flow::FlowContext context;
+  return fti::flow::run_lint(request, context, std::cout, std::cerr)
+      .exit_code;
 }
 
-/// `fti obs`: pretty-print a --metrics snapshot written by an earlier
-/// run, so nobody needs jq to read one.
-int run_obs(const std::filesystem::path& path) {
-  fti::util::JsonValue doc =
-      fti::util::parse_json(fti::util::read_file(path));
-  const fti::util::JsonValue& metrics = doc.at("metrics");
-  if (!metrics.is_array()) {
-    throw fti::util::JsonError("\"metrics\" is not an array");
+/// `fti serve`: run the daemon until a shutdown request arrives.
+int run_serve(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
   }
-  std::cout << "snapshot '" << doc.at("snapshot").as_string() << "', "
-            << metrics.items.size() << " metric(s)";
-  if (const fti::util::JsonValue* dropped = doc.find("dropped_spans")) {
-    if (dropped->is_number() && dropped->as_u64() > 0) {
-      std::cout << " (" << dropped->as_u64()
-                << " spans dropped by full rings)";
-    }
-  }
-  std::cout << "\n";
-  fti::util::TextTable table({"metric", "type", "value"});
-  for (const fti::util::JsonValue& item : metrics.items) {
-    const std::string& type = item.at("type").as_string();
-    std::string value;
-    if (type == "histogram") {
-      value = "count " + fti::util::format_count(item.at("count").as_u64()) +
-              ", sum " +
-              fti::util::format_double(item.at("sum").as_number(), 3);
-    } else {
-      const fti::util::JsonValue& raw = item.at("value");
-      if (!raw.is_number()) {
-        value = "null";  // non-finite gauge, serialised as JSON null
-      } else if (type == "counter") {
-        value = fti::util::format_count(raw.as_u64());
-      } else {
-        value = fti::util::format_double(raw.as_number(), 3);
+  fti::serve::ServerOptions options;
+  options.socket_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
       }
+      return argv[++i];
+    };
+    if (flag == "--jobs") {
+      options.jobs = fti::util::parse_jobs_flag("--jobs", need_value());
+    } else if (flag == "--cache") {
+      options.cache_entries =
+          fti::util::parse_u32_flag("--cache", need_value());
+    } else {
+      std::cerr << "unknown option '" << flag << "'\n";
+      usage();
     }
-    table.add_row({item.at("name").as_string(), type, value});
   }
-  std::cout << table.to_string();
+  fti::serve::Server server(options);
+  server.start();
+  std::cout << "fti serve: listening on " << options.socket_path.string()
+            << " (" << options.jobs << " worker(s), cache "
+            << options.cache_entries << " entries)" << std::endl;
+  server.wait();
+  const auto& stats = server.cache().stats();
+  std::cout << "fti serve: stopped after " << server.finished_jobs()
+            << " job(s), cache " << stats.hits << " hit(s) / "
+            << stats.misses << " miss(es)\n";
+  return 0;
+}
+
+/// `fti submit`: one request line to a running daemon; the reply is
+/// printed verbatim and the job's exit code becomes ours.
+int run_submit(int argc, char** argv) {
+  if (argc != 4) {
+    usage();
+  }
+  std::string reply = fti::serve::request(argv[2], argv[3]);
+  std::cout << reply << "\n";
+  fti::util::JsonValue doc = fti::util::parse_json(reply);
+  const fti::util::JsonValue* ok = doc.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    return 2;
+  }
+  if (const fti::util::JsonValue* code = doc.find("exit_code")) {
+    return static_cast<int>(code->as_u64());
+  }
   return 0;
 }
 
@@ -606,16 +288,19 @@ int run_obs(const std::filesystem::path& path) {
 int main(int argc, char** argv) {
   try {
     if (argc == 2 && std::strcmp(argv[1], "engines") == 0) {
-      for (const std::string& name : fti::elab::engine_names()) {
-        std::cout << name << "\n";
-      }
-      return 0;
+      return fti::flow::run_engines(std::cout);
     }
     if (argc == 3 && std::strcmp(argv[1], "obs") == 0) {
-      return run_obs(argv[2]);
+      return fti::flow::run_obs(argv[2], std::cout);
     }
     if (argc >= 2 && std::strcmp(argv[1], "lint") == 0) {
       return run_lint(argc, argv);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+      return run_serve(argc, argv);
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "submit") == 0) {
+      return run_submit(argc, argv);
     }
     Cli cli = parse_cli(argc, argv);
     if (cli.verbose) {
@@ -623,116 +308,75 @@ int main(int argc, char** argv) {
     }
     // --metrics / --trace turn recording on for the whole command; the
     // snapshots are written after the command returns.
-    if (!cli.metrics_path.empty() || !cli.trace_path.empty()) {
+    if (!cli.flags.metrics_path.empty() || !cli.flags.trace_path.empty()) {
       fti::obs::set_enabled(true);
     }
     auto finish = [&cli](int code) {
-      if (!cli.metrics_path.empty()) {
-        fti::obs::write_metrics_file(cli.metrics_path.string());
-        std::cout << "wrote " << cli.metrics_path.string() << "\n";
+      if (!cli.flags.metrics_path.empty()) {
+        fti::obs::write_metrics_file(cli.flags.metrics_path);
+        std::cout << "wrote " << cli.flags.metrics_path << "\n";
       }
-      if (!cli.trace_path.empty()) {
+      if (!cli.flags.trace_path.empty()) {
         if (!fti::obs::Tracer::instance().write_chrome_trace_file(
-                cli.trace_path)) {
+                cli.flags.trace_path)) {
           std::cerr << "error: cannot write trace file '"
-                    << cli.trace_path.string() << "'\n";
+                    << cli.flags.trace_path << "'\n";
           return 2;
         }
-        std::cout << "wrote " << cli.trace_path.string() << "\n";
+        std::cout << "wrote " << cli.flags.trace_path << "\n";
       }
       return code;
     };
+    fti::flow::FlowContext context;
+    fti::lint::Gate gate =
+        fti::lint::gate_from_string(cli.flags.lint_gate).value();
     if (cli.command == "verify") {
-      return finish(run_verify(cli));
+      fti::flow::VerifyRequest request;
+      request.test = std::move(cli.test);
+      request.engine = cli.flags.engine_or("event");
+      request.lint_gate = gate;
+      request.lanes = cli.flags.lanes_set ? cli.flags.lanes : 1;
+      request.lane_seed = cli.flags.lane_seed;
+      request.emit_dir = cli.out_dir;
+      request.vcd_path = cli.vcd_path;
+      request.saves = cli.saves;
+      return finish(
+          fti::flow::run_verify(request, context, std::cout, std::cerr)
+              .exit_code);
     }
     if (cli.command == "translate") {
-      return finish(run_translate(cli));
+      fti::flow::TranslateRequest request;
+      request.test = std::move(cli.test);
+      request.out_dir = cli.out_dir;
+      return finish(
+          fti::flow::run_translate(request, context, std::cout, std::cerr)
+              .exit_code);
     }
     if (cli.command == "run") {
-      return finish(run_saved(cli));
+      fti::flow::RunDesignRequest request;
+      request.design_path = cli.source_path;
+      request.inputs = std::move(cli.test.inputs);
+      request.engine = cli.flags.engine_or("event");
+      request.max_cycles = cli.test.max_cycles;
+      request.vcd_path = cli.vcd_path;
+      request.saves = cli.saves;
+      return finish(
+          fti::flow::run_design(request, context, std::cout, std::cerr)
+              .exit_code);
     }
     if (cli.command == "suite") {
-      fti::harness::TestSuite suite =
-          fti::harness::load_suite_dir(cli.source_path);
-      fti::harness::VerifyOptions options;
-      options.emit_dir = cli.out_dir;
-      options.engine = cli.engine;
-      options.lint_gate = cli.lint_gate;
-      options.lanes = cli.lanes;
-      options.lane_seed = cli.lane_seed;
-      fti::harness::SuiteReport report = suite.run_all(
-          options,
-          [](const fti::harness::SuiteRow& row) {
-            std::cout << (row.passed ? "PASS"
-                                     : (row.lint_blocked ? "LINT" : "FAIL"))
-                      << "  " << row.name;
-            if (!row.passed) {
-              std::cout << "  (" << row.message << ")";
-            }
-            std::cout << "\n";
-          },
-          cli.jobs);
-      std::cout << "\n" << report.to_table();
-      std::cout << (report.all_passed()
-                        ? "suite PASSED"
-                        : "suite FAILED (" +
-                              std::to_string(report.failures()) + " of " +
-                              std::to_string(report.rows.size()) + ")")
-                << "\n";
-      if (!cli.json_path.empty()) {
-        fti::util::JsonReport json(cli.source_path.filename().string(),
-                                   "suite", "rows");
-        json.set("engine", cli.engine);
-        json.set("jobs", static_cast<std::uint64_t>(report.jobs));
-        json.set("tests", static_cast<std::uint64_t>(report.rows.size()));
-        json.set("failures",
-                 static_cast<std::uint64_t>(report.failures()));
-        json.set("all_passed", report.all_passed());
-        json.set("wall_seconds", report.wall_seconds);
-        for (const fti::harness::SuiteRow& row : report.rows) {
-          fti::util::JsonReport::Workload& record = json.workload(row.name);
-          record.set("passed", row.passed);
-          record.set("configurations",
-                     static_cast<std::uint64_t>(row.configurations));
-          record.set("cycles", row.cycles);
-          record.set("events", row.events);
-          record.set("mismatches",
-                     static_cast<std::uint64_t>(row.mismatches));
-          record.set("coverage_percent", row.coverage_percent);
-          record.set("sim_seconds", row.sim_seconds);
-          record.set("total_seconds", row.total_seconds);
-          record.set("lint_errors",
-                     static_cast<std::uint64_t>(row.lint_errors));
-          record.set("lint_warnings",
-                     static_cast<std::uint64_t>(row.lint_warnings));
-          record.set("lint_blocked", row.lint_blocked);
-          if (!row.passed) {
-            record.set("message", row.message);
-          }
-        }
-        json.write(cli.json_path);
-        std::cout << "wrote " << cli.json_path.string() << "\n";
-      }
-      // Simulation mismatches dominate the exit code; a suite whose only
-      // failures are lint-gate rejections reports 3 (errors) or 4.
-      int code = 0;
-      std::size_t blocked_errors = 0;
-      std::size_t blocked = 0;
-      for (const fti::harness::SuiteRow& row : report.rows) {
-        if (row.passed) {
-          continue;
-        }
-        if (!row.lint_blocked) {
-          code = 1;
-        } else {
-          ++blocked;
-          blocked_errors += row.lint_errors;
-        }
-      }
-      if (code == 0 && blocked > 0) {
-        code = lint_exit_code(blocked_errors);
-      }
-      return finish(code);
+      fti::flow::SuiteRequest request;
+      request.suite_dir = cli.source_path;
+      request.engine = cli.flags.engine_or("event");
+      request.lint_gate = gate;
+      request.lanes = cli.flags.lanes_set ? cli.flags.lanes : 1;
+      request.lane_seed = cli.flags.lane_seed;
+      request.jobs = cli.flags.jobs;
+      request.emit_dir = cli.out_dir;
+      request.json_path = cli.json_path;
+      return finish(
+          fti::flow::run_suite(request, context, std::cout, std::cerr)
+              .exit_code);
     }
     usage();
   } catch (const fti::util::UsageError& e) {
