@@ -1,0 +1,185 @@
+// E9 -- compiled-engine cost ladder: cold compile vs warm cache vs the
+// levelized interpreter it replaces.
+//
+// The "compiled" engine lowers each levelized schedule to straight-line
+// C++, pays one host-compiler invocation per design, and then reuses
+// the shared object through two cache tiers (in-process module
+// registry, on-disk SoStore).  This benchmark prices every rung on the
+// paper's FDCT kernel:
+//
+//   levelized    the interpreted baseline the backend falls back to
+//   cold         emit + host compile + dlopen + run (empty cache)
+//   warm-disk    fresh process shape: dlopen straight off SoStore
+//   warm-memory  fti-serve resubmission shape: registry hit, zero I/O
+//
+// Every run is cross-checked against the levelized baseline (cycles and
+// final memory words bit-identical), and the compiled_stats() deltas
+// are asserted so the series measure what their names claim (the cold
+// run compiles exactly once; neither warm run compiles at all).
+//
+//   bench_compiled [--json PATH]   (conventionally PATH=BENCH_compiled.json)
+#include <unistd.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/compiler/parser.hpp"
+#include "fti/elab/compiled.hpp"
+#include "fti/elab/engines.hpp"
+#include "fti/golden/fdct.hpp"
+#include "fti/golden/rng.hpp"
+#include "fti/harness/testcase.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/file_io.hpp"
+#include "fti/util/json.hpp"
+#include "fti/util/table.hpp"
+
+namespace {
+
+struct Measure {
+  double seconds = 0;
+  std::uint64_t cycles = 0;
+  bool identical = true;
+};
+
+fti::sim::EngineResult run_once(const fti::ir::Design& design,
+                                const std::string& engine,
+                                fti::mem::MemoryPool& pool) {
+  fti::sim::EngineRunOptions options;
+  options.collect_wire_data = true;
+  return fti::elab::make_engine(engine)->run(design, pool, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::elab::register_builtin_engines();
+
+  // A private object cache so the bench always measures a true cold
+  // compile, whatever earlier runs left in the default store.
+  std::string cache_template =
+      (std::filesystem::temp_directory_path() / "fti-bench-compiled-XXXXXX")
+          .string();
+  char* cache_dir = ::mkdtemp(cache_template.data());
+  if (cache_dir == nullptr) {
+    std::cerr << argv[0] << ": mkdtemp failed\n";
+    return 1;
+  }
+  ::setenv("FTI_COMPILED_CACHE_DIR", cache_dir, 1);
+  fti::elab::compiled_reset_for_testing();
+  if (!fti::elab::compiled_backend_available()) {
+    std::cerr << argv[0] << ": no usable host C++ compiler ("
+              << fti::elab::compiled_status().reason
+              << "); nothing to measure\n";
+    return 1;
+  }
+
+  constexpr std::size_t kBlocks = 16;
+  std::string source = fti::golden::fdct_source(kBlocks, false);
+  fti::compiler::CompileOptions options;
+  options.scalar_args = {{"nblocks", kBlocks}};
+  auto compiled = fti::compiler::compile_source(source, options);
+  fti::compiler::Program program = fti::compiler::parse_program(source);
+  std::vector<std::uint64_t> image =
+      fti::golden::make_test_image(kBlocks * 64);
+  auto prime = [&](fti::mem::MemoryPool& pool) {
+    for (const auto& param : program.params) {
+      if (param.is_array) {
+        pool.create(param.name, param.array_size,
+                    fti::compiler::width_of(param.type));
+      }
+    }
+    fti::harness::load_inputs(pool, "in", image);
+  };
+
+  // Baseline: the interpreter every other series must match bit-for-bit.
+  fti::mem::MemoryPool baseline_pool;
+  prime(baseline_pool);
+  fti::util::Stopwatch watch;
+  fti::sim::EngineResult baseline =
+      run_once(compiled.design, "levelized", baseline_pool);
+  double levelized_seconds = watch.seconds();
+
+  auto series = [&](const char* label) {
+    fti::mem::MemoryPool pool;
+    prime(pool);
+    fti::elab::CompiledStats before = fti::elab::compiled_stats();
+    fti::util::Stopwatch timer;
+    fti::sim::EngineResult result = run_once(compiled.design, "compiled", pool);
+    Measure m;
+    m.seconds = timer.seconds();
+    m.cycles = result.total_cycles();
+    fti::elab::CompiledStats after = fti::elab::compiled_stats();
+    m.identical = result.completed &&
+                  result.total_cycles() == baseline.total_cycles();
+    for (const std::string& name : baseline_pool.names()) {
+      m.identical = m.identical && pool.get(name).words() ==
+                                       baseline_pool.get(name).words();
+    }
+    if (after.fallbacks != before.fallbacks) {
+      std::cerr << label << ": unexpected levelized fallback\n";
+      m.identical = false;
+    }
+    return m;
+  };
+
+  Measure cold = series("cold");
+  Measure warm_memory = series("warm-memory");
+  fti::elab::compiled_reset_for_testing();
+  Measure warm_disk = series("warm-disk");
+
+  fti::elab::CompiledStats stats = fti::elab::compiled_stats();
+  bool series_honest = stats.compiles == 1 && stats.cache_hits_disk >= 1 &&
+                       stats.cache_hits_memory >= 1;
+
+  fti::util::JsonReport report("compiled");
+  fti::util::TextTable table(
+      {"series", "wall (s)", "vs levelized", "cycles", "identical"});
+  auto row = [&](const char* name, double seconds, const Measure* m) {
+    table.add_row({name, fti::util::format_double(seconds, 4),
+                   fti::util::format_double(seconds / levelized_seconds, 2),
+                   m == nullptr ? fti::util::format_count(
+                                      baseline.total_cycles())
+                                : fti::util::format_count(m->cycles),
+                   m == nullptr ? "--" : (m->identical ? "yes" : "NO")});
+    fti::util::JsonReport::Workload& workload = report.workload(name);
+    workload.set("wall_seconds", seconds);
+    workload.set("vs_levelized", seconds / levelized_seconds);
+    if (m != nullptr) {
+      workload.set("bit_identical", m->identical);
+    }
+  };
+  row("levelized", levelized_seconds, nullptr);
+  row("cold (emit+cc+dlopen)", cold.seconds, &cold);
+  row("warm-disk (dlopen)", warm_disk.seconds, &warm_disk);
+  row("warm-memory (registry)", warm_memory.seconds, &warm_memory);
+  report.workload("stats").set("compiles", stats.compiles);
+  report.workload("stats").set("cache_hits_disk", stats.cache_hits_disk);
+  report.workload("stats").set("cache_hits_memory", stats.cache_hits_memory);
+  report.workload("stats").set("series_honest", series_honest);
+
+  std::cout << "=== compiled engine: cold vs warm vs interpreter, FDCT1 ("
+            << kBlocks * 64 << " px) (E9) ===\n"
+            << table.to_string() << "\n";
+  std::cout << "compiles=" << stats.compiles
+            << " disk_hits=" << stats.cache_hits_disk
+            << " memory_hits=" << stats.cache_hits_memory
+            << (series_honest ? "" : "  [UNEXPECTED CACHE BEHAVIOUR]")
+            << "\n";
+  if (!json_path.empty()) {
+    report.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
+  std::filesystem::remove_all(cache_dir);
+  bool ok = series_honest && cold.identical && warm_disk.identical &&
+            warm_memory.identical;
+  return ok ? 0 : 1;
+}

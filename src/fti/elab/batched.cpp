@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <utility>
@@ -33,10 +34,15 @@ const std::string& comb_output(const ir::Unit& unit) {
 /// words (lane k lives in bit k%64 of word k/64), a wider wire owns N
 /// words (lane k at offset+k).  Each combinational op is classified at
 /// compile time: 1-bit AND/OR/XOR/NOT/copy/const and 2-way 1-bit muxes
-/// run word-parallel over the packed lane words; everything else loops
-/// over the still-active lanes through the shared ops::eval_* helpers,
-/// so every lane's arithmetic is bit-identical to a single-lane
-/// levelized run.
+/// run word-parallel over the packed lane words; multi-bit ops whose
+/// operands all live in unpacked storage run as tight all-lane loops
+/// over the contiguous lane words with the operator dispatch hoisted
+/// outside the loop (kWide*); only mixed packed/unpacked operand sets
+/// fall back to the per-lane Bits path through the shared ops::eval_*
+/// helpers.  The wide loops replicate the alu.cpp corner cases exactly
+/// (division by zero, INT64_MIN/-1, oversize shifts, per-operand sign
+/// extension), so every lane's arithmetic stays bit-identical to a
+/// single-lane levelized run.
 ///
 /// Invariant: in the last packed word, the padding bits above lane N-1
 /// stay zero -- word ops that could set them (NOT, const-1 broadcast,
@@ -270,6 +276,12 @@ class BatchedSim {
     kWordCopy,   ///< 1-bit pass/sext/neg/abs (all identity on one bit)
     kWordConst,  ///< 1-bit constant broadcast
     kWordMux,    ///< 2-way mux, 1-bit select and data
+    kWideBin,    ///< multi-bit binop, unpacked in/out, dispatch hoisted
+    kWideCmp,    ///< comparison of unpacked operands into a packed out
+    kWideUn,     ///< multi-bit unop, unpacked in/out
+    kWideConst,  ///< multi-bit constant broadcast
+    kWideMux,    ///< mux with unpacked data inputs and output
+    kWideMem,    ///< memory read port with an unpacked output
     kLaneLoop,   ///< per-lane Bits evaluation via ops::eval_*
   };
   struct Slot {
@@ -335,21 +347,42 @@ class BatchedSim {
              op.binop == ops::BinOp::kXor)) {
           return Exec::kWordBin;
         }
+        if (!packed(op.ins[0]) && !packed(op.ins[1])) {
+          // A comparison of wide operands lands in a packed 1-bit out;
+          // everything else needs the out unpacked too.
+          if (packed(op.out)) {
+            return ops::is_comparison(op.binop) ? Exec::kWideCmp
+                                                : Exec::kLaneLoop;
+          }
+          return Exec::kWideBin;
+        }
         return Exec::kLaneLoop;
       case ir::UnitKind::kUnOp:
         if (op.width == 1 && packed(op.ins[0])) {
           return op.unop == ops::UnOp::kNot ? Exec::kWordNot
                                             : Exec::kWordCopy;
         }
+        if (!packed(op.ins[0]) && !packed(op.out)) {
+          return Exec::kWideUn;
+        }
         return Exec::kLaneLoop;
       case ir::UnitKind::kConst:
-        return op.width == 1 ? Exec::kWordConst : Exec::kLaneLoop;
-      case ir::UnitKind::kMux:
+        return op.width == 1 ? Exec::kWordConst : Exec::kWideConst;
+      case ir::UnitKind::kMux: {
         if (op.width == 1 && op.mux_inputs == 2 && packed(op.ins[0]) &&
             packed(op.ins[1]) && packed(op.ins[2])) {
           return Exec::kWordMux;
         }
-        return Exec::kLaneLoop;
+        // The select may be packed or unpacked; the data inputs and the
+        // out must all be unpacked so lanes read contiguous words.
+        bool wide_data = !packed(op.out);
+        for (std::uint32_t i = 0; wide_data && i < op.mux_inputs; ++i) {
+          wide_data = !packed(op.ins[1 + i]);
+        }
+        return wide_data ? Exec::kWideMux : Exec::kLaneLoop;
+      }
+      case ir::UnitKind::kMemPort:
+        return packed(op.out) ? Exec::kLaneLoop : Exec::kWideMem;
       default:
         return Exec::kLaneLoop;
     }
@@ -437,6 +470,288 @@ class BatchedSim {
     return bit_vals_.data() + slots_[wire].offset;
   }
 
+  const std::uint64_t* wide_ptr(std::size_t wire) const {
+    return wide_vals_.data() + slots_[wire].offset;
+  }
+  std::uint64_t* wide_ptr(std::size_t wire) {
+    return wide_vals_.data() + slots_[wire].offset;
+  }
+
+  /// Sign bit of a value stored at `width`; zero means "already 64 bits
+  /// wide", for which sext() below degenerates to the identity.
+  static std::uint64_t sign_bit(std::uint32_t width) {
+    return width >= 64 ? 0 : std::uint64_t{1} << (width - 1);
+  }
+
+  /// Branch-free sign extension: (v ^ s) - s with s the sign bit.
+  static std::int64_t sext(std::uint64_t v, std::uint64_t sign) {
+    return static_cast<std::int64_t>((v ^ sign) - sign);
+  }
+
+  // alu.cpp's signed division corner cases, kept callable from the wide
+  // loops: /0 is all-ones, INT64_MIN/-1 is the dividend (the masked
+  // mathematically correct quotient); %0 is the dividend, INT64_MIN%-1
+  // is zero.
+  static std::uint64_t div_s(std::int64_t a, std::int64_t b) {
+    if (b == 0) {
+      return ~std::uint64_t{0};
+    }
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+      return static_cast<std::uint64_t>(a);
+    }
+    return static_cast<std::uint64_t>(a / b);
+  }
+  static std::uint64_t rem_s(std::int64_t a, std::int64_t b) {
+    if (b == 0) {
+      return static_cast<std::uint64_t>(a);
+    }
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(a % b);
+  }
+
+  /// All-lane loop for a binop over unpacked operands into an unpacked
+  /// out.  Evaluating finished lanes too is safe -- their inputs are
+  /// frozen, so the recompute reproduces the value already stored -- and
+  /// keeps the loop branch-free over contiguous words.
+  void wide_bin(const CombOp& op) {
+    const std::uint64_t* a = wide_ptr(op.ins[0]);
+    const std::uint64_t* b = wide_ptr(op.ins[1]);
+    std::uint64_t* out = wide_ptr(op.out);
+    const std::uint64_t mask = Bits::mask(op.width);
+    const std::uint64_t sa = sign_bit(slots_[op.ins[0]].width);
+    const std::uint64_t sb = sign_bit(slots_[op.ins[1]].width);
+    auto loop = [&](auto fn) {
+      for (std::size_t lane = 0; lane < lanes_; ++lane) {
+        out[lane] = fn(a[lane], b[lane]);
+      }
+    };
+    using u64 = std::uint64_t;
+    switch (op.binop) {
+      case ops::BinOp::kAdd:
+        loop([&](u64 x, u64 y) { return (x + y) & mask; });
+        break;
+      case ops::BinOp::kSub:
+        loop([&](u64 x, u64 y) { return (x - y) & mask; });
+        break;
+      case ops::BinOp::kMul:
+        loop([&](u64 x, u64 y) { return (x * y) & mask; });
+        break;
+      case ops::BinOp::kDiv:
+        loop([&](u64 x, u64 y) {
+          return div_s(sext(x, sa), sext(y, sb)) & mask;
+        });
+        break;
+      case ops::BinOp::kRem:
+        loop([&](u64 x, u64 y) {
+          return rem_s(sext(x, sa), sext(y, sb)) & mask;
+        });
+        break;
+      case ops::BinOp::kAnd:
+        loop([&](u64 x, u64 y) { return (x & y) & mask; });
+        break;
+      case ops::BinOp::kOr:
+        loop([&](u64 x, u64 y) { return (x | y) & mask; });
+        break;
+      case ops::BinOp::kXor:
+        loop([&](u64 x, u64 y) { return (x ^ y) & mask; });
+        break;
+      case ops::BinOp::kShl:
+        loop([&](u64 x, u64 y) { return y >= 64 ? 0 : (x << y) & mask; });
+        break;
+      case ops::BinOp::kShr:
+        loop([&](u64 x, u64 y) { return y >= 64 ? 0 : (x >> y) & mask; });
+        break;
+      case ops::BinOp::kAshr:
+        loop([&](u64 x, u64 y) {
+          std::uint64_t shift = y > 63 ? 63 : y;
+          return static_cast<u64>(sext(x, sa) >> shift) & mask;
+        });
+        break;
+      // Comparisons land here when their out wire is wider than one bit
+      // (a 1-bit out is packed and classifies as kWideCmp instead).
+      case ops::BinOp::kEq:
+        loop([&](u64 x, u64 y) { return x == y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kNe:
+        loop([&](u64 x, u64 y) { return x != y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kLt:
+        loop([&](u64 x, u64 y) { return sext(x, sa) < sext(y, sb) ? 1u : 0u; });
+        break;
+      case ops::BinOp::kLe:
+        loop([&](u64 x, u64 y) {
+          return sext(x, sa) <= sext(y, sb) ? 1u : 0u;
+        });
+        break;
+      case ops::BinOp::kGt:
+        loop([&](u64 x, u64 y) { return sext(x, sa) > sext(y, sb) ? 1u : 0u; });
+        break;
+      case ops::BinOp::kGe:
+        loop([&](u64 x, u64 y) {
+          return sext(x, sa) >= sext(y, sb) ? 1u : 0u;
+        });
+        break;
+      case ops::BinOp::kLtu:
+        loop([&](u64 x, u64 y) { return x < y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kLeu:
+        loop([&](u64 x, u64 y) { return x <= y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kGtu:
+        loop([&](u64 x, u64 y) { return x > y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kGeu:
+        loop([&](u64 x, u64 y) { return x >= y ? 1u : 0u; });
+        break;
+      case ops::BinOp::kMin:
+        loop([&](u64 x, u64 y) {
+          std::int64_t xs = sext(x, sa);
+          std::int64_t ys = sext(y, sb);
+          return static_cast<u64>(xs < ys ? xs : ys) & mask;
+        });
+        break;
+      case ops::BinOp::kMax:
+        loop([&](u64 x, u64 y) {
+          std::int64_t xs = sext(x, sa);
+          std::int64_t ys = sext(y, sb);
+          return static_cast<u64>(xs > ys ? xs : ys) & mask;
+        });
+        break;
+    }
+  }
+
+  /// Comparison of unpacked operands assembled bit-by-bit into the
+  /// packed 1-bit out words.  Padding bits above lane N-1 stay zero by
+  /// construction.
+  void wide_cmp(const CombOp& op) {
+    const std::uint64_t* a = wide_ptr(op.ins[0]);
+    const std::uint64_t* b = wide_ptr(op.ins[1]);
+    std::uint64_t* out = word_ptr(op.out);
+    const std::uint64_t sa = sign_bit(slots_[op.ins[0]].width);
+    const std::uint64_t sb = sign_bit(slots_[op.ins[1]].width);
+    auto pack = [&](auto fn) {
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t word = 0;
+        const std::size_t base = w * 64;
+        const std::size_t count =
+            base + 64 <= lanes_ ? 64 : lanes_ - base;
+        for (std::size_t bit = 0; bit < count; ++bit) {
+          word |= static_cast<std::uint64_t>(fn(a[base + bit], b[base + bit]))
+                  << bit;
+        }
+        out[w] = word;
+      }
+    };
+    using u64 = std::uint64_t;
+    switch (op.binop) {
+      case ops::BinOp::kEq:
+        pack([&](u64 x, u64 y) { return x == y; });
+        break;
+      case ops::BinOp::kNe:
+        pack([&](u64 x, u64 y) { return x != y; });
+        break;
+      case ops::BinOp::kLt:
+        pack([&](u64 x, u64 y) { return sext(x, sa) < sext(y, sb); });
+        break;
+      case ops::BinOp::kLe:
+        pack([&](u64 x, u64 y) { return sext(x, sa) <= sext(y, sb); });
+        break;
+      case ops::BinOp::kGt:
+        pack([&](u64 x, u64 y) { return sext(x, sa) > sext(y, sb); });
+        break;
+      case ops::BinOp::kGe:
+        pack([&](u64 x, u64 y) { return sext(x, sa) >= sext(y, sb); });
+        break;
+      case ops::BinOp::kLtu:
+        pack([&](u64 x, u64 y) { return x < y; });
+        break;
+      case ops::BinOp::kLeu:
+        pack([&](u64 x, u64 y) { return x <= y; });
+        break;
+      case ops::BinOp::kGtu:
+        pack([&](u64 x, u64 y) { return x > y; });
+        break;
+      case ops::BinOp::kGeu:
+        pack([&](u64 x, u64 y) { return x >= y; });
+        break;
+      default:
+        FTI_ASSERT(false, "wide_cmp on non-comparison op");
+    }
+  }
+
+  void wide_un(const CombOp& op) {
+    const std::uint64_t* a = wide_ptr(op.ins[0]);
+    std::uint64_t* out = wide_ptr(op.out);
+    const std::uint64_t mask = Bits::mask(op.width);
+    const std::uint64_t sa = sign_bit(slots_[op.ins[0]].width);
+    auto loop = [&](auto fn) {
+      for (std::size_t lane = 0; lane < lanes_; ++lane) {
+        out[lane] = fn(a[lane]);
+      }
+    };
+    using u64 = std::uint64_t;
+    switch (op.unop) {
+      case ops::UnOp::kNot:
+        loop([&](u64 x) { return ~x & mask; });
+        break;
+      case ops::UnOp::kNeg:
+        loop([&](u64 x) { return (~x + 1) & mask; });
+        break;
+      case ops::UnOp::kAbs:
+        loop([&](u64 x) {
+          std::int64_t s = sext(x, sa);
+          // Unsigned negate sidesteps the INT64_MIN overflow; the masked
+          // bits match alu.cpp's signed formulation everywhere else.
+          return (s < 0 ? std::uint64_t{0} - static_cast<u64>(s)
+                        : static_cast<u64>(s)) &
+                 mask;
+        });
+        break;
+      case ops::UnOp::kPass:
+        loop([&](u64 x) { return x & mask; });
+        break;
+      case ops::UnOp::kSext:
+        loop([&](u64 x) { return static_cast<u64>(sext(x, sa)) & mask; });
+        break;
+    }
+  }
+
+  /// N-way mux with unpacked data and out; the select may be packed or
+  /// unpacked (the branch on its storage class is loop-invariant and
+  /// predicted away).
+  void wide_mux(const CombOp& op) {
+    std::uint64_t* out = wide_ptr(op.out);
+    const Slot& sel_slot = slots_[op.ins[0]];
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      std::uint64_t sel =
+          sel_slot.packed
+              ? (bit_vals_[sel_slot.offset + lane / 64] >> (lane % 64)) & 1u
+              : wide_vals_[sel_slot.offset + lane];
+      out[lane] = sel < op.mux_inputs
+                      ? wide_vals_[slots_[op.ins[1 + sel]].offset + lane]
+                      : 0;
+    }
+  }
+
+  /// Memory read port into an unpacked out.  Finished lanes' memories
+  /// are frozen, so the all-lane read reproduces stored values.
+  void wide_mem(const CombOp& op) {
+    std::uint64_t* out = wide_ptr(op.out);
+    const Slot& addr_slot = slots_[op.ins[0]];
+    const std::uint64_t mask = Bits::mask(op.width);
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      std::uint64_t address =
+          addr_slot.packed
+              ? (bit_vals_[addr_slot.offset + lane / 64] >> (lane % 64)) & 1u
+              : wide_vals_[addr_slot.offset + lane];
+      const mem::MemoryImage& image = *mem_images_[op.mem][lane];
+      out[lane] =
+          address < image.depth() ? image.words()[address] & mask : 0;
+    }
+  }
+
   /// Moore outputs of each lane's current state; lanes differ once their
   /// FSMs diverge, so controls drive per lane.
   void drive_controls() {
@@ -482,9 +797,10 @@ class BatchedSim {
     }
   }
 
-  /// One rank-ordered pass over all lanes.  Word-classified ops evaluate
-  /// every lane (finished lanes recompute the same frozen values, which
-  /// is harmless and branch-free); lane loops skip finished lanes.
+  /// One rank-ordered pass over all lanes.  Word- and wide-classified
+  /// ops evaluate every lane (finished lanes recompute the same frozen
+  /// values, which is harmless and branch-free); lane loops skip
+  /// finished lanes.
   void sweep() {
     ++sweeps_;
     lane_sweeps_ += active_count_;
@@ -542,6 +858,29 @@ class BatchedSim {
           }
           break;
         }
+        case Exec::kWideBin:
+          wide_bin(op);
+          break;
+        case Exec::kWideCmp:
+          wide_cmp(op);
+          break;
+        case Exec::kWideUn:
+          wide_un(op);
+          break;
+        case Exec::kWideConst: {
+          std::uint64_t* out = wide_ptr(op.out);
+          const std::uint64_t value = op.value & Bits::mask(op.width);
+          for (std::size_t lane = 0; lane < lanes_; ++lane) {
+            out[lane] = value;
+          }
+          break;
+        }
+        case Exec::kWideMux:
+          wide_mux(op);
+          break;
+        case Exec::kWideMem:
+          wide_mem(op);
+          break;
         case Exec::kLaneLoop:
           for_each_active([&](std::size_t lane) { eval_lane(op, lane); });
           break;

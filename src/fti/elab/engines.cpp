@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fti/elab/batched.hpp"
+#include "fti/elab/compiled.hpp"
 #include "fti/elab/levelized.hpp"
 #include "fti/obs/metrics.hpp"
 #include "fti/obs/trace.hpp"
@@ -487,6 +488,8 @@ void register_builtin_engines() {
         "levelized", [] { return std::make_unique<LevelizedEngine>(); });
     sim::register_engine(
         "batched", [] { return std::make_unique<BatchedEngine>(); });
+    sim::register_engine(
+        "compiled", [] { return std::make_unique<CompiledEngine>(); });
   });
 }
 

@@ -70,8 +70,8 @@ class NaiveEngine final : public PartitionedEngine {
                                      std::size_t partition_index) override;
 };
 
-/// Registers "event", "naive", "levelized" and "batched" with the sim
-/// registry.
+/// Registers "event", "naive", "levelized", "batched" and "compiled"
+/// with the sim registry.
 /// Idempotent and thread-safe; make_engine/engine_names below call it, so
 /// most callers never need to.
 void register_builtin_engines();

@@ -1,5 +1,6 @@
 #include <iostream>
 
+#include "fti/elab/compiled.hpp"
 #include "fti/elab/engines.hpp"
 #include "fti/flow/flow.hpp"
 #include "fti/util/file_io.hpp"
@@ -13,10 +14,21 @@ int run_engines(std::ostream& out) {
   // One row per engine with its batch capability, so users can size
   // --lanes without reading DESIGN.md.  max_lanes() is the engine's own
   // cap on lanes per run_batch call; lane counts above it are rejected.
-  util::TextTable table({"engine", "max lanes"});
+  // The availability column flags the one engine that depends on the
+  // host environment: "compiled" needs a C++ toolchain (or a warm cache)
+  // and silently degrades to levelized without one.
+  util::TextTable table({"engine", "max lanes", "availability"});
   for (const std::string& name : elab::engine_names()) {
     auto engine = elab::make_engine(name);
-    table.add_row({name, std::to_string(engine->max_lanes())});
+    std::string availability = "always";
+    if (name == "compiled") {
+      elab::CompiledStatus status = elab::compiled_status();
+      availability = status.available
+                         ? "via " + status.compiler
+                         : "falls back to levelized (" + status.reason + ")";
+    }
+    table.add_row(
+        {name, std::to_string(engine->max_lanes()), availability});
   }
   out << table.to_string();
   return 0;

@@ -4,6 +4,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "fti/elab/compiled.hpp"
 #include "fti/elab/engines.hpp"
 #include "fti/ir/serde.hpp"
 #include "fti/xml/parser.hpp"
@@ -221,6 +222,11 @@ DiffResult diff_design(const ir::Design& design, const DiffOptions& options) {
   }
   for (const std::string& name : options.engines) {
     result.observations.push_back(run_lane(design, options, name));
+  }
+  if (options.auto_compiled && elab::compiled_backend_available() &&
+      std::find(options.engines.begin(), options.engines.end(), "compiled") ==
+          options.engines.end()) {
+    result.observations.push_back(run_lane(design, options, "compiled"));
   }
   if (options.check_roundtrip) {
     result.observations.push_back(run_roundtrip_path(design, options));

@@ -47,6 +47,11 @@ struct DiffOptions {
   /// elab::make_engine.
   std::vector<std::string> engines{"reference", "naive", "levelized",
                                    "batched"};
+  /// Append a "compiled" lane when a host C++ toolchain is available and
+  /// `engines` does not already name it.  Off in the shrinker (each
+  /// mutated candidate has a fresh IR hash, so every iteration would pay
+  /// a host-compiler invocation) and in tests that pin the lane set.
+  bool auto_compiled = true;
 };
 
 /// What one execution lane observed.  Engines that cannot report a given

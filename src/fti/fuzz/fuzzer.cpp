@@ -167,6 +167,9 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
                                   : diff.mismatches.front()));
     DiffOptions shrink_diff = options.diff;
     shrink_diff.check_roundtrip = false;
+    // Every shrink candidate is a fresh IR hash; re-compiling each one
+    // through the host toolchain would dominate the shrink loop.
+    shrink_diff.auto_compiled = false;
     shrink_diff.max_cycles_per_partition = shrink_cycle_budget(diff);
     return record_failure(
         index, case_seed, design, diff.mismatches,

@@ -39,7 +39,10 @@ std::string request(const std::filesystem::path& socket_path,
   }
   std::size_t sent = 0;
   while (sent < payload.size()) {
-    ssize_t n = ::write(fd, payload.data() + sent, payload.size() - sent);
+    // MSG_NOSIGNAL: a daemon that died mid-request surfaces as an EPIPE
+    // error below instead of a SIGPIPE killing the client process.
+    ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <sstream>
 
@@ -75,10 +76,15 @@ std::string single_line(const std::string& json) {
   return out;
 }
 
+/// Best-effort reply write.  MSG_NOSIGNAL (plus the SIG_IGN installed in
+/// start()) keeps a client that disconnected mid-reply from killing the
+/// daemon with SIGPIPE; EPIPE/ECONNRESET are soft per-connection
+/// failures -- the job result stays queryable via "status".
 bool write_all(int fd, const std::string& text) {
   std::size_t sent = 0;
   while (sent < text.size()) {
-    ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    ssize_t n =
+        ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -86,6 +92,42 @@ bool write_all(int fd, const std::string& text) {
       return false;
     }
     sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// True when a live daemon is listening on `path`.  connect() to a stale
+/// socket file (crashed daemon) fails with ECONNREFUSED; success means a
+/// listener exists.  A ping round-trip distinguishes "answers the
+/// protocol" from "listening but wedged" for the error message.
+bool daemon_alive(const std::string& path, bool* answered_ping) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return false;
+  }
+  bool answered = false;
+  if (write_all(fd, "{\"cmd\": \"ping\"}\n")) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 1000) > 0 && (pfd.revents & POLLIN) != 0) {
+      char buffer[256];
+      answered = ::read(fd, buffer, sizeof(buffer)) > 0;
+    }
+  }
+  ::close(fd);
+  if (answered_ping != nullptr) {
+    *answered_ping = answered;
   }
   return true;
 }
@@ -122,6 +164,9 @@ void Server::start() {
   // The daemon always records metrics: "metrics" requests return the
   // live registry, and a one-shot enable flag would miss early jobs.
   obs::set_enabled(true);
+  // A client that closes its socket before the reply lands must not
+  // take the daemon down; writes report EPIPE instead (see write_all).
+  ::signal(SIGPIPE, SIG_IGN);
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw protocol_error("socket(): " + std::string(std::strerror(errno)));
@@ -138,7 +183,19 @@ void Server::start() {
                          path);
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  // A stale socket file from a crashed daemon would make bind() fail.
+  // A stale socket file from a crashed daemon would make bind() fail,
+  // but blindly unlinking would hijack a LIVE daemon's socket (its
+  // listener keeps running, unreachable, while we take the path).
+  // Probe first: only a refused connection marks the file stale.
+  bool answered = false;
+  if (daemon_alive(path, &answered)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw protocol_error("another daemon is already serving '" + path +
+                         "' (ping " +
+                         (answered ? "answered" : "not answered") +
+                         "); refusing to start");
+  }
   ::unlink(path.c_str());
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {

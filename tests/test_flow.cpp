@@ -122,16 +122,31 @@ TEST(FlowEngines, ListsEveryEngineWithItsLaneCapability) {
   EXPECT_EQ(run_engines(out), 0);
   std::string text = out.str();
   EXPECT_NE(text.find("max lanes"), std::string::npos);
-  for (const char* engine : {"event", "naive", "levelized", "batched"}) {
+  EXPECT_NE(text.find("availability"), std::string::npos);
+  for (const char* engine :
+       {"event", "naive", "levelized", "batched", "compiled"}) {
     EXPECT_NE(text.find(engine), std::string::npos) << engine;
   }
-  // The batched engine advertises a lane capacity > 1 on its row.
+  // The batched engine advertises a lane capacity > 1 on its row
+  // (second column, after the engine name).
   std::size_t row = text.find("batched");
   ASSERT_NE(row, std::string::npos);
   std::string line = text.substr(row, text.find('\n', row) - row);
-  std::size_t last_space = line.find_last_of(' ');
-  ASSERT_NE(last_space, std::string::npos) << line;
-  EXPECT_GT(std::stoul(line.substr(last_space + 1)), 1u) << line;
+  std::istringstream columns(line);
+  std::string name;
+  unsigned long lanes = 0;
+  ASSERT_TRUE(columns >> name >> lanes) << line;
+  EXPECT_GT(lanes, 1u) << line;
+  // The compiled row says which of native execution or the levelized
+  // fallback a run would actually get, whatever this host has.
+  std::size_t compiled_row = text.find("compiled");
+  ASSERT_NE(compiled_row, std::string::npos);
+  std::string compiled_line =
+      text.substr(compiled_row, text.find('\n', compiled_row) - compiled_row);
+  EXPECT_TRUE(compiled_line.find("via ") != std::string::npos ||
+              compiled_line.find("falls back to levelized") !=
+                  std::string::npos)
+      << compiled_line;
 }
 
 TEST(FlowLint, MissingInputsIsUsageError) {

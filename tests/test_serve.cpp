@@ -2,8 +2,11 @@
 // socket: protocol round-trips, warm resubmission through the design
 // cache, job lifecycle (status/cancel) and clean shutdown.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <regex>
 #include <thread>
 
@@ -187,6 +190,93 @@ TEST_F(ServeTest, ShutdownRequestWakesWait) {
   // The daemon already tore down; a new client connection must fail.
   EXPECT_THROW(request(server_->socket_path(), "{\"cmd\": \"ping\"}"),
                util::Error);
+}
+
+/// Raw client socket with none of request()'s read-back machinery, for
+/// simulating clients that vanish mid-conversation.
+int raw_connect(const std::filesystem::path& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string path = socket_path.string();
+  EXPECT_LT(path.size(), sizeof(addr.sun_path));
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+TEST_F(ServeTest, ClientDisconnectMidResponseDoesNotKillTheDaemon) {
+  // Submit a real synchronous job, then hang up before the reply can be
+  // written: the worker finishes seconds later and its reply write hits
+  // a dead socket.  Pre-fix this raised SIGPIPE and took the whole
+  // daemon down; now it must be a soft per-connection failure.
+  std::string submit = "{\"cmd\": \"verify\", \"kernel\": \"" +
+                       kernel_path("saxpy.k").string() + "\"}\n";
+  int fd = raw_connect(server_->socket_path());
+  ASSERT_EQ(::send(fd, submit.data(), submit.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(submit.size()));
+  ::shutdown(fd, SHUT_WR);
+  ::close(fd);  // gone before the job completes, reply has no reader
+
+  // The daemon must stay reachable while (and after) that orphaned job
+  // completes, and must still take new work to a happy end state.
+  util::JsonValue pong = roundtrip("{\"cmd\": \"ping\"}");
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  util::JsonValue redo = roundtrip(
+      "{\"cmd\": \"verify\", \"kernel\": \"" +
+      kernel_path("saxpy.k").string() + "\"}");
+  ASSERT_TRUE(redo.at("ok").as_bool());
+  EXPECT_EQ(redo.at("status").as_string(), "done");
+  EXPECT_EQ(redo.at("exit_code").as_u64(), 0u);
+}
+
+TEST_F(ServeTest, SecondDaemonOnALiveSocketRefusesToStart) {
+  ServerOptions options;
+  options.socket_path = server_->socket_path();
+  Server second(options);
+  try {
+    second.start();
+    FAIL() << "start() must refuse to hijack a live daemon's socket";
+  } catch (const util::Error& error) {
+    std::string message = error.what();
+    EXPECT_NE(message.find("another daemon is already serving"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("ping answered"), std::string::npos) << message;
+  }
+  // The refusal must leave the running daemon untouched: socket file
+  // still present, still answering.
+  EXPECT_TRUE(std::filesystem::exists(server_->socket_path()));
+  EXPECT_TRUE(roundtrip("{\"cmd\": \"ping\"}").at("ok").as_bool());
+}
+
+TEST(ServeServer, StaleSocketFileFromACrashedDaemonIsReclaimed) {
+  std::filesystem::path path = unique_socket("stale");
+  // Bind then close without unlinking -- the on-disk state a crashed
+  // daemon leaves behind (file exists, connect() gets ECONNREFUSED).
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.string().size() + 1);
+  ASSERT_EQ(
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ::close(fd);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  ServerOptions options;
+  options.socket_path = path;
+  options.jobs = 1;
+  Server server(options);
+  server.start();  // must reclaim the stale file, not refuse
+  util::JsonValue pong =
+      util::parse_json(request(path, "{\"cmd\": \"ping\"}"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  server.shutdown();
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(ServeClient, UnreachableDaemonThrows) {
