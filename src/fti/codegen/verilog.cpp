@@ -1,5 +1,8 @@
 #include "fti/codegen/verilog.hpp"
 
+#include <map>
+#include <set>
+
 #include "fti/ops/alu.hpp"
 #include "fti/util/error.hpp"
 #include "fti/xml/transform.hpp"
@@ -13,8 +16,21 @@ std::string range(std::uint32_t width) {
   return width == 1 ? "" : "[" + std::to_string(width - 1) + ":0] ";
 }
 
+std::string id(const std::string& name) { return verilog_ident(name); }
+
+std::string repl(std::uint32_t width, char bit) {
+  return "{" + std::to_string(width) + "{1'b" + bit + "}}";
+}
+
+/// External simulators evaluate every operand at the expression's
+/// context width, so the emitted text must reproduce the interpreter's
+/// extend-then-operate semantics exactly: signed operands are wrapped in
+/// $signed (sign-extension), division/remainder guard the zero divisor
+/// (the engines define x/0 = all-ones and x%0 = x, where Verilog yields
+/// X), and min/max/abs keep their result operands signed so narrower
+/// inputs sign-extend instead of zero-extending.
 std::string binop_rhs(const ir::Unit& unit, const std::string& a,
-                      const std::string& b) {
+                      const std::string& b, std::uint32_t out_width) {
   std::string sa = "$signed(" + a + ")";
   std::string sb = "$signed(" + b + ")";
   switch (unit.binop) {
@@ -25,9 +41,12 @@ std::string binop_rhs(const ir::Unit& unit, const std::string& a,
     case ops::BinOp::kMul:
       return a + " * " + b;
     case ops::BinOp::kDiv:
-      return sa + " / " + sb;
+      // All three arms signed: a mixed ternary would coerce the signed
+      // division to unsigned (IEEE 1364 type propagation).
+      return "(" + b + " == 0) ? $signed(" + repl(out_width, '1') + ") : (" +
+             sa + " / " + sb + ")";
     case ops::BinOp::kRem:
-      return sa + " % " + sb;
+      return "(" + b + " == 0) ? " + sa + " : (" + sa + " % " + sb + ")";
     case ops::BinOp::kAnd:
       return a + " & " + b;
     case ops::BinOp::kOr:
@@ -61,9 +80,9 @@ std::string binop_rhs(const ir::Unit& unit, const std::string& a,
     case ops::BinOp::kGeu:
       return a + " >= " + b;
     case ops::BinOp::kMin:
-      return "(" + sa + " < " + sb + ") ? " + a + " : " + b;
+      return "(" + sa + " < " + sb + ") ? " + sa + " : " + sb;
     case ops::BinOp::kMax:
-      return "(" + sa + " > " + sb + ") ? " + a + " : " + b;
+      return "(" + sa + " > " + sb + ") ? " + sa + " : " + sb;
   }
   FTI_ASSERT(false, "unhandled BinOp in Verilog emitter");
 }
@@ -76,12 +95,16 @@ std::string unop_rhs(const ir::Unit& unit, const std::string& a,
     case ops::UnOp::kNeg:
       return "-" + a;
     case ops::UnOp::kAbs:
-      return "($signed(" + a + ") < 0) ? -" + a + " : " + a;
+      // Both arms signed, so a narrower operand sign-extends into a wider
+      // result the way the interpreter's 64-bit evaluation does.
+      return "($signed(" + a + ") < 0) ? -$signed(" + a + ") : $signed(" + a +
+             ")";
     case ops::UnOp::kPass:
       return "{" + std::to_string(out_width) + "{1'b0}} | " + a;
     case ops::UnOp::kSext:
-      return "$unsigned(" + std::to_string(out_width) + "'($signed(" + a +
-             ")))";
+      // A signed RHS sign-extends to the assignment width in plain
+      // Verilog-2001; the previous N'(...) sized cast was SystemVerilog.
+      return "$signed(" + a + ")";
   }
   FTI_ASSERT(false, "unhandled UnOp in Verilog emitter");
 }
@@ -95,7 +118,8 @@ std::string guard_condition(const ir::Guard& guard) {
     if (i > 0) {
       out += " && ";
     }
-    out += (guard.literals[i].expected ? "" : "!") + guard.literals[i].status;
+    out += (guard.literals[i].expected ? "" : "!") +
+           id(guard.literals[i].status);
   }
   return out;
 }
@@ -107,10 +131,10 @@ void emit_fsm(Output& out, const ir::Fsm& fsm, const ir::Datapath& datapath) {
   }
   out.writeln("// control unit '" + fsm.name + "'");
   for (std::size_t i = 0; i < fsm.states.size(); ++i) {
-    out.writeln("localparam ST_" + fsm.states[i].name + " = " +
+    out.writeln("localparam ST_" + id(fsm.states[i].name) + " = " +
                 verilog_literal(i, state_bits) + ";");
   }
-  out.writeln("reg " + range(state_bits) + "state = ST_" + fsm.initial +
+  out.writeln("reg " + range(state_bits) + "state = ST_" + id(fsm.initial) +
               ";");
   out.writeln();
   out.writeln("always @(posedge clk) begin");
@@ -118,13 +142,13 @@ void emit_fsm(Output& out, const ir::Fsm& fsm, const ir::Datapath& datapath) {
   out.writeln("case (state)");
   out.indent();
   for (const ir::State& state : fsm.states) {
-    out.writeln("ST_" + state.name + ": begin");
+    out.writeln("ST_" + id(state.name) + ": begin");
     out.indent();
     bool first = true;
     for (const ir::Transition& transition : state.transitions) {
       out.writeln((first ? "if (" : "else if (") +
                   guard_condition(transition.guard) + ") state <= ST_" +
-                  transition.target + ";");
+                  id(transition.target) + ";");
       first = false;
     }
     out.dedent();
@@ -139,16 +163,16 @@ void emit_fsm(Output& out, const ir::Fsm& fsm, const ir::Datapath& datapath) {
   out.writeln("always @(*) begin");
   out.indent();
   for (const std::string& control : datapath.control_wires) {
-    out.writeln(control + " = " +
+    out.writeln(id(control) + " = " +
                 verilog_literal(0, datapath.wire(control).width) + ";");
   }
   out.writeln("case (state)");
   out.indent();
   for (const ir::State& state : fsm.states) {
-    out.writeln("ST_" + state.name + ": begin");
+    out.writeln("ST_" + id(state.name) + ": begin");
     out.indent();
     for (const ir::ControlAssign& assign : state.controls) {
-      out.writeln(assign.wire + " = " +
+      out.writeln(id(assign.wire) + " = " +
                   verilog_literal(assign.value,
                                   datapath.wire(assign.wire).width) +
                   ";");
@@ -169,14 +193,88 @@ std::string verilog_literal(std::uint64_t value, std::uint32_t width) {
   return std::to_string(width) + "'d" + std::to_string(value);
 }
 
+std::string verilog_ident(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "always",   "and",       "assign",    "automatic", "begin",
+      "buf",      "bufif0",    "bufif1",    "case",      "casex",
+      "casez",    "cell",      "cmos",      "config",    "deassign",
+      "default",  "defparam",  "design",    "disable",   "edge",
+      "else",     "end",       "endcase",   "endconfig", "endfunction",
+      "endgenerate", "endmodule", "endprimitive", "endspecify",
+      "endtable", "endtask",   "event",     "for",       "force",
+      "forever",  "fork",      "function",  "generate",  "genvar",
+      "highz0",   "highz1",    "if",        "ifnone",    "incdir",
+      "include",  "initial",   "inout",     "input",     "instance",
+      "integer",  "join",      "large",     "liblist",   "library",
+      "localparam", "macromodule", "medium", "module",   "nand",
+      "negedge",  "nmos",      "nor",       "noshowcancelled", "not",
+      "notif0",   "notif1",    "or",        "output",    "parameter",
+      "pmos",     "posedge",   "primitive", "pull0",     "pull1",
+      "pulldown", "pullup",    "pulsestyle_onevent", "pulsestyle_ondetect",
+      "rcmos",    "real",      "realtime",  "reg",       "release",
+      "repeat",   "rnmos",     "rpmos",     "rtran",     "rtranif0",
+      "rtranif1", "scalared",  "showcancelled", "signed", "small",
+      "specify",  "specparam", "strong0",   "strong1",   "supply0",
+      "supply1",  "table",     "task",      "time",      "tran",
+      "tranif0",  "tranif1",   "tri",       "tri0",      "tri1",
+      "triand",   "trior",     "trireg",    "unsigned",  "use",
+      "vectored", "wait",      "wand",      "weak0",     "weak1",
+      "while",    "wire",      "wor",       "xnor",      "xor",
+  };
+  bool clean = !name.empty() && kKeywords.count(name) == 0;
+  if (clean) {
+    char first = name[0];
+    clean = (first >= 'a' && first <= 'z') || (first >= 'A' && first <= 'Z') ||
+            first == '_';
+    for (char c : name) {
+      if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == '$')) {
+        clean = false;
+        break;
+      }
+    }
+  }
+  if (clean) {
+    return name;
+  }
+  std::string out;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || !((out[0] >= 'a' && out[0] <= 'z') ||
+                       (out[0] >= 'A' && out[0] <= 'Z') || out[0] == '_')) {
+    out.insert(out.begin(), '_');
+  }
+  return out + "_esc";
+}
+
 std::string configuration_to_verilog(const ir::Configuration& config) {
   const ir::Datapath& datapath = config.datapath;
   ir::validate(datapath);
   ir::validate(config.fsm, datapath);
 
+  // Wires assigned inside always blocks must be declared reg: the FSM's
+  // control wires and every register's q output.  Register q regs carry
+  // their power-up initializer so cycle 0 matches the interpreters
+  // (which start every register at its reset value).
+  std::set<std::string> reg_decls;
+  std::map<std::string, std::uint64_t> reg_init;
+  for (const std::string& control : datapath.control_wires) {
+    reg_decls.insert(control);
+    reg_init[control] = 0;
+  }
+  for (const ir::Unit& unit : datapath.units) {
+    if (unit.kind == ir::UnitKind::kRegister) {
+      reg_decls.insert(unit.port("q"));
+      reg_init[unit.port("q")] = unit.reset_value;
+    }
+  }
+
   Output out;
   out.writeln("// generated by fti from datapath '" + datapath.name + "'");
-  out.writeln("module " + datapath.name + " (");
+  out.writeln("module " + id(datapath.name) + " (");
   out.indent();
   out.writeln("input  wire clk,");
   out.writeln("output wire done_o");
@@ -185,17 +283,19 @@ std::string configuration_to_verilog(const ir::Configuration& config) {
   out.indent();
   out.writeln();
   for (const ir::Wire& wire : datapath.wires) {
-    // Control wires are assigned from the FSM's always block -> reg.
-    bool is_reg = datapath.is_control(wire.name);
+    bool is_reg = reg_decls.count(wire.name) != 0;
+    std::string init =
+        is_reg ? " = " + verilog_literal(reg_init[wire.name], wire.width)
+               : "";
     out.writeln(std::string(is_reg ? "reg  " : "wire ") + range(wire.width) +
-                wire.name + (is_reg ? " = 0;" : ";"));
+                id(wire.name) + init + ";");
   }
   for (const ir::MemoryDecl& memory : datapath.memories) {
-    out.writeln("reg " + range(memory.width) + memory.name + "_mem [0:" +
+    out.writeln("reg " + range(memory.width) + id(memory.name) + "_mem [0:" +
                 std::to_string(memory.depth - 1) + "];");
   }
   out.writeln();
-  out.writeln("assign done_o = " + config.fsm.done_wire + ";");
+  out.writeln("assign done_o = " + id(config.fsm.done_wire) + ";");
   out.writeln();
 
   for (const ir::Unit& unit : datapath.units) {
@@ -207,37 +307,42 @@ std::string configuration_to_verilog(const ir::Configuration& config) {
           out.writeln("// pipelined " + unit.name + " (latency " +
                       std::to_string(unit.latency) + ")");
           for (std::uint32_t stage = 0; stage < unit.latency; ++stage) {
-            out.writeln("reg " + range(width) + unit.name + "_p" +
+            out.writeln("reg " + range(width) + id(unit.name) + "_p" +
                         std::to_string(stage) + " = 0;");
           }
           out.writeln("always @(posedge clk) begin");
           out.indent();
-          out.writeln(unit.name + "_p0 <= " +
-                      binop_rhs(unit, unit.port("a"), unit.port("b")) +
+          out.writeln(id(unit.name) + "_p0 <= " +
+                      binop_rhs(unit, id(unit.port("a")), id(unit.port("b")),
+                                width) +
                       ";");
           for (std::uint32_t stage = 1; stage < unit.latency; ++stage) {
-            out.writeln(unit.name + "_p" + std::to_string(stage) + " <= " +
-                        unit.name + "_p" + std::to_string(stage - 1) + ";");
+            out.writeln(id(unit.name) + "_p" + std::to_string(stage) +
+                        " <= " + id(unit.name) + "_p" +
+                        std::to_string(stage - 1) + ";");
           }
           out.dedent();
           out.writeln("end");
-          out.writeln("assign " + unit.port("out") + " = " + unit.name +
-                      "_p" + std::to_string(unit.latency - 1) + ";");
+          out.writeln("assign " + id(unit.port("out")) + " = " +
+                      id(unit.name) + "_p" +
+                      std::to_string(unit.latency - 1) + ";");
         } else {
-          out.writeln("assign " + unit.port("out") + " = " +
-                      binop_rhs(unit, unit.port("a"), unit.port("b")) +
+          std::uint32_t width = datapath.wire(unit.port("out")).width;
+          out.writeln("assign " + id(unit.port("out")) + " = " +
+                      binop_rhs(unit, id(unit.port("a")), id(unit.port("b")),
+                                width) +
                       ";  // " + unit.name);
         }
         break;
       case ir::UnitKind::kUnOp: {
         std::uint32_t out_width = datapath.wire(unit.port("out")).width;
-        out.writeln("assign " + unit.port("out") + " = " +
-                    unop_rhs(unit, unit.port("a"), out_width) + ";  // " +
+        out.writeln("assign " + id(unit.port("out")) + " = " +
+                    unop_rhs(unit, id(unit.port("a")), out_width) + ";  // " +
                     unit.name);
         break;
       }
       case ir::UnitKind::kConst:
-        out.writeln("assign " + unit.port("out") + " = " +
+        out.writeln("assign " + id(unit.port("out")) + " = " +
                     verilog_literal(unit.value, unit.width) + ";  // " +
                     unit.name);
         break;
@@ -246,18 +351,18 @@ std::string configuration_to_verilog(const ir::Configuration& config) {
         out.writeln("always @(posedge clk) begin");
         out.indent();
         std::string assign =
-            unit.port("q") + " <= " + unit.port("d") + ";";
+            id(unit.port("q")) + " <= " + id(unit.port("d")) + ";";
         if (unit.has_port("rst")) {
-          out.writeln("if (" + unit.port("rst") + ") " + unit.port("q") +
-                      " <= " +
+          out.writeln("if (" + id(unit.port("rst")) + ") " +
+                      id(unit.port("q")) + " <= " +
                       verilog_literal(unit.reset_value, unit.width) + ";");
           if (unit.has_port("en")) {
-            out.writeln("else if (" + unit.port("en") + ") " + assign);
+            out.writeln("else if (" + id(unit.port("en")) + ") " + assign);
           } else {
             out.writeln("else " + assign);
           }
         } else if (unit.has_port("en")) {
-          out.writeln("if (" + unit.port("en") + ") " + assign);
+          out.writeln("if (" + id(unit.port("en")) + ") " + assign);
         } else {
           out.writeln(assign);
         }
@@ -266,14 +371,17 @@ std::string configuration_to_verilog(const ir::Configuration& config) {
         break;
       }
       case ir::UnitKind::kMux: {
+        // The interpreters define an out-of-range select as zero, so the
+        // final arm is a guarded default, not the last input.
+        std::uint32_t width = datapath.wire(unit.port("out")).width;
         std::string rhs;
-        for (std::uint32_t i = 0; i + 1 < unit.mux_inputs; ++i) {
-          rhs += "(" + unit.port("sel") + " == " +
+        for (std::uint32_t i = 0; i < unit.mux_inputs; ++i) {
+          rhs += "(" + id(unit.port("sel")) + " == " +
                  verilog_literal(i, ir::select_width(unit.mux_inputs)) +
-                 ") ? " + unit.port("in" + std::to_string(i)) + " : ";
+                 ") ? " + id(unit.port("in" + std::to_string(i))) + " : ";
         }
-        rhs += unit.port("in" + std::to_string(unit.mux_inputs - 1));
-        out.writeln("assign " + unit.port("out") + " = " + rhs + ";  // " +
+        rhs += repl(width, '0');
+        out.writeln("assign " + id(unit.port("out")) + " = " + rhs + ";  // " +
                     unit.name);
         break;
       }
@@ -281,13 +389,22 @@ std::string configuration_to_verilog(const ir::Configuration& config) {
         out.writeln("// memory port " + unit.name + " on " + unit.memory +
                     " (" + std::string(ir::to_string(unit.mem_mode)) + ")");
         if (unit.mem_mode != ir::MemMode::kWrite) {
-          out.writeln("assign " + unit.port("dout") + " = " + unit.memory +
-                      "_mem[" + unit.port("addr") + "];");
+          // Out-of-range reads return zero in every interpreter; an
+          // unguarded array read would yield X here.
+          out.writeln("assign " + id(unit.port("dout")) + " = (" +
+                      id(unit.port("addr")) + " < " +
+                      std::to_string(datapath.find_memory(unit.memory)->depth) +
+                      ") ? " +
+                      id(unit.memory) + "_mem[" + id(unit.port("addr")) +
+                      "] : " +
+                      repl(datapath.wire(unit.port("dout")).width, '0') +
+                      ";");
         }
         if (unit.mem_mode != ir::MemMode::kRead) {
-          out.writeln("always @(posedge clk) if (" + unit.port("we") +
-                      ") " + unit.memory + "_mem[" + unit.port("addr") +
-                      "] <= " + unit.port("din") + ";");
+          out.writeln("always @(posedge clk) if (" + id(unit.port("we")) +
+                      ") " + id(unit.memory) + "_mem[" +
+                      id(unit.port("addr")) + "] <= " + id(unit.port("din")) +
+                      ";");
         }
         break;
     }

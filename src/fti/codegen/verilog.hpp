@@ -15,4 +15,11 @@ std::string design_to_verilog(const ir::Design& design);
 /// Sized literal, e.g. verilog_literal(5, 4) == "4'd5".
 std::string verilog_literal(std::uint64_t value, std::uint32_t width);
 
+/// Legalized Verilog identifier for an IR name: names that are Verilog
+/// keywords or contain characters outside [A-Za-z0-9_$] are rewritten
+/// deterministically (sanitized + "_esc" suffix).  The testbench
+/// generator and the external-simulator VCD matching use the same
+/// mapping, so a legalized design stays cross-referenceable to its IR.
+std::string verilog_ident(const std::string& name);
+
 }  // namespace fti::codegen

@@ -76,6 +76,14 @@ struct VerifyRequest {
   /// (the cache is bypassed).
   std::filesystem::path vcd_path;
   std::vector<std::pair<std::string, std::filesystem::path>> saves;
+  /// Cosimulate the emitted Verilog with an external simulator (--xsim).
+  /// A disagreement exits 1; a missing simulator prints a loud skip line
+  /// and leaves the exit code untouched.
+  bool xsim = false;
+  /// Re-run lane 0 under 4-state X/Z semantics (--4state).  Findings are
+  /// warnings: a run that passes everything else but has 4-state findings
+  /// exits 4, like a lint-warning run.
+  bool four_state = false;
 };
 
 struct VerifyResult {
@@ -107,6 +115,10 @@ struct SuiteRequest {
   /// Name used in the report table/JSON (defaults to the directory
   /// name; the daemon sets the job name).
   std::string name;
+  /// Cosimulate every case's emitted Verilog with the external simulator
+  /// (--xsim); a disagreeing case FAILs its row.  Missing simulator:
+  /// one loud notice, rows unaffected.
+  bool xsim = false;
 };
 
 struct SuiteResult {
@@ -227,11 +239,17 @@ struct InjectRequest {
   std::uint64_t seed = 1;
   std::uint64_t runs = 40;
   fuzz::GeneratorOptions generator;
+  /// `fti_fuzz inject --4state`: instead of the static lint-recall
+  /// cross-check, plant kUninitRegister defects and measure that 2-state
+  /// differential simulation launders them while the 4-state checker
+  /// reports them (experiment E10).  four_state_report carries the result.
+  bool four_state = false;
 };
 
 struct InjectResult {
   int exit_code = 2;
   fuzz::InjectionReport report;
+  fuzz::FourStateInjectionReport four_state_report;
 };
 
 InjectResult run_inject(const InjectRequest& request,

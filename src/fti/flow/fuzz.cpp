@@ -4,6 +4,7 @@
 #include "fti/fuzz/corpus.hpp"
 #include "fti/fuzz/diff.hpp"
 #include "fti/util/file_io.hpp"
+#include "fti/xsim/driver.hpp"
 
 namespace fti::flow {
 namespace {
@@ -35,6 +36,13 @@ CampaignResult run_campaign(const CampaignRequest& request,
   (void)context;
   CampaignResult result;
   fuzz::FuzzOptions options = request.options;
+  if (options.diff.auto_xsim && !xsim::xsim_available()) {
+    // Requested cosim lane can't run: say so loudly up front instead of
+    // quietly fuzzing one lane short of what was asked for.
+    err << "fti_fuzz: NOTICE: --xsim requested but "
+        << xsim::xsim_status().reason
+        << "; the external-simulator lane is skipped for this campaign\n";
+  }
   if (!request.quiet && !options.log) {
     options.log = [&err](const std::string& line) {
       err << "fti_fuzz: " << line << "\n";
@@ -107,6 +115,36 @@ InjectResult run_inject(const InjectRequest& request,
   (void)context;
   (void)err;
   InjectResult result;
+  if (request.four_state) {
+    // E10: the dynamic-recall experiment.  In-process only -- no
+    // external simulator involved, so it runs everywhere.
+    result.four_state_report = fuzz::run_four_state_injection(
+        request.seed, request.runs, request.generator);
+    const fuzz::FourStateInjectionOutcome& outcome =
+        result.four_state_report.outcome;
+    out << "uninit-register (FTI-L010, dynamic): " << outcome.injected
+        << " injected across " << outcome.cases_tried << " case(s)\n"
+        << "  2-state lanes still agree (laundered): " << outcome.laundered
+        << "/" << outcome.injected << "\n"
+        << "  4-state checker detected:              " << outcome.detected
+        << "/" << outcome.injected << "\n";
+    if (outcome.missed > 0) {
+      out << "  MISSED " << outcome.missed << ", seeds:";
+      for (std::uint64_t missed_seed : outcome.missed_seeds) {
+        out << " " << missed_seed;
+      }
+      out << "\n";
+    }
+    if (result.four_state_report.ok()) {
+      out << "PASS: 2-state laundered every defect, 4-state caught every "
+             "one\n";
+      result.exit_code = 0;
+    } else {
+      out << "FAIL: the 4-state recall claim does not hold (see above)\n";
+      result.exit_code = 1;
+    }
+    return result;
+  }
   result.report =
       fuzz::run_injection(request.seed, request.runs, request.generator);
   for (const fuzz::InjectionOutcome& outcome : result.report.outcomes) {

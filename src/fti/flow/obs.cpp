@@ -6,6 +6,7 @@
 #include "fti/util/file_io.hpp"
 #include "fti/util/json_reader.hpp"
 #include "fti/util/table.hpp"
+#include "fti/xsim/driver.hpp"
 
 namespace fti::flow {
 
@@ -30,6 +31,14 @@ int run_engines(std::ostream& out) {
     table.add_row(
         {name, std::to_string(engine->max_lanes()), availability});
   }
+  // The external cosimulator is not a registry engine (it runs emitted
+  // Verilog, not the IR), but it is the other availability question
+  // users ask; one extra row answers it in the same place.
+  xsim::XsimStatus xsim_status = xsim::xsim_status();
+  table.add_row({"xsim (cosim)", "1",
+                 xsim_status.available
+                     ? "via " + xsim_status.compile
+                     : "skipped (" + xsim_status.reason + ")"});
   out << table.to_string();
   return 0;
 }

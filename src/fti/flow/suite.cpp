@@ -6,6 +6,7 @@
 #include "fti/util/error.hpp"
 #include "fti/util/file_io.hpp"
 #include "fti/util/json.hpp"
+#include "fti/xsim/driver.hpp"
 
 namespace fti::flow {
 
@@ -43,8 +44,12 @@ std::string suite_report_to_json(const harness::SuiteReport& report,
 
 SuiteResult run_suite(const SuiteRequest& request, const FlowContext& context,
                       std::ostream& out, std::ostream& err) {
-  (void)err;
   SuiteResult result;
+  if (request.xsim && !xsim::xsim_available()) {
+    err << "fti suite: NOTICE: --xsim requested but "
+        << xsim::xsim_status().reason
+        << "; cosimulation is skipped for every case\n";
+  }
   harness::TestSuite suite;
   if (!request.tests.empty()) {
     for (const harness::TestCase& test : request.tests) {
@@ -65,6 +70,7 @@ SuiteResult run_suite(const SuiteRequest& request, const FlowContext& context,
   options.lane_seed = request.lane_seed;
   options.design_cache = context.design_cache;
   options.cancel = context.cancel;
+  options.xsim = request.xsim;
   result.report = suite.run_all(
       options,
       [&](const harness::SuiteRow& row) {

@@ -31,6 +31,8 @@ VerifyResult run_verify(const VerifyRequest& request,
   // a warm (cache-hit) outcome does not carry -- force cold.
   options.design_cache = instrumented ? nullptr : context.design_cache;
   options.cancel = context.cancel;
+  options.xsim = request.xsim;
+  options.four_state = request.four_state;
   result.outcome = harness::run_test_case(test, options);
   const harness::VerifyOutcome& outcome = result.outcome;
 
@@ -67,6 +69,38 @@ VerifyResult run_verify(const VerifyRequest& request,
       << " ms, golden " << util::format_double(outcome.golden_seconds * 1e3, 1)
       << " ms, simulate " << util::format_double(outcome.sim_seconds * 1e3, 1)
       << " ms\n";
+
+  if (request.xsim) {
+    const xsim::XsimCheck& check = outcome.xsim_check;
+    if (!check.ran) {
+      // A missing simulator must be loud, not a silent no-op: anyone
+      // reading the log should know the cosim leg did not run, and why.
+      out << "xsim: SKIPPED -- " << check.skip_reason
+          << " (install Icarus Verilog or set FTI_XSIM_SIM)\n";
+    } else if (check.ok) {
+      out << "xsim: PASS -- external simulator matches the levelized "
+             "engine bit for bit ("
+          << util::format_count(check.run.total_cycles) << " cycles)\n";
+    } else {
+      out << "xsim: FAIL -- external simulator disagrees\n";
+      for (const std::string& line : check.mismatches) {
+        out << "  " << line << "\n";
+      }
+    }
+  }
+  if (outcome.four_state_ran) {
+    const xsim::FourStateReport& four_state = outcome.four_state;
+    if (four_state.clean()) {
+      out << "4-state: clean -- no X reached an observable in "
+          << util::format_count(four_state.total_cycles) << " cycles\n";
+    } else {
+      out << "4-state: " << four_state.findings.size() << " finding(s)\n";
+      for (const lint::Finding& finding : four_state.to_lint()) {
+        out << "  " << finding.rule << " " << finding.configuration << "/"
+            << finding.object << ": " << finding.message << "\n";
+      }
+    }
+  }
 
   // Optional VCD / saved memories need an instrumented re-run.
   if (instrumented) {
@@ -112,6 +146,12 @@ VerifyResult run_verify(const VerifyRequest& request,
     }
   }
   result.exit_code = outcome.passed ? 0 : 1;
+  // 4-state findings are warnings: they only shade an otherwise-passing
+  // run onto the warning exit code, mirroring lint's 4.
+  if (result.exit_code == 0 && outcome.four_state_ran &&
+      !outcome.four_state.clean()) {
+    result.exit_code = 4;
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "fti/ir/serde.hpp"
 #include "fti/xml/parser.hpp"
 #include "fti/xml/writer.hpp"
+#include "fti/xsim/driver.hpp"
 
 namespace fti::fuzz {
 namespace {
@@ -57,6 +58,33 @@ Observation run_lane(const ir::Design& design, const DiffOptions& options,
     obs.error = error.what();
     return obs;
   }
+}
+
+/// The eighth lane: the emitted Verilog run by an external simulator.
+/// Unlike the engine lanes this one executes generated *text*, so it is
+/// the only lane that can catch codegen::verilog emission bugs.  The
+/// stimulus pool is empty, mirroring run_engine_path: memories power up
+/// from their declaration init tables on both sides.
+Observation run_xsim_path(const ir::Design& design,
+                          const DiffOptions& options) {
+  Observation obs;
+  obs.engine = "xsim";
+  obs.has_wire_data = true;
+  xsim::XsimOptions xsim_options;
+  xsim_options.max_cycles_per_partition = options.max_cycles_per_partition;
+  mem::MemoryPool empty;
+  xsim::XsimRun run = xsim::run_external(design, empty, xsim_options);
+  if (!run.ran) {
+    obs.error = run.error.empty() ? "skipped: " + run.skip_reason : run.error;
+    return obs;
+  }
+  obs.completed = run.completed;
+  obs.total_cycles = run.total_cycles;
+  obs.cycles = std::move(run.cycles);
+  obs.finals = std::move(run.finals);
+  obs.traces = std::move(run.traces);
+  obs.memories = std::move(run.memories);
+  return obs;
 }
 
 Observation run_roundtrip_path(const ir::Design& design,
@@ -230,6 +258,11 @@ DiffResult diff_design(const ir::Design& design, const DiffOptions& options) {
   }
   if (options.check_roundtrip) {
     result.observations.push_back(run_roundtrip_path(design, options));
+  }
+  if (options.auto_xsim && xsim::xsim_available() &&
+      result.observations.front().error.empty() &&
+      result.observations.front().completed) {
+    result.observations.push_back(run_xsim_path(design, options));
   }
   {
     Reporter report(result);

@@ -52,6 +52,12 @@ struct DiffOptions {
   /// mutated candidate has a fresh IR hash, so every iteration would pay
   /// a host-compiler invocation) and in tests that pin the lane set.
   bool auto_compiled = true;
+  /// Append an "xsim" lane -- the emitted Verilog executed by an external
+  /// simulator (xsim::run_external) -- when one is available.  Opt-in
+  /// (fti_fuzz --xsim): every case pays an iverilog compile, and the lane
+  /// only runs on designs the kernel completed (the bench cannot mirror
+  /// the engines' early teardown observables on timed-out designs).
+  bool auto_xsim = false;
 };
 
 /// What one execution lane observed.  Engines that cannot report a given

@@ -4,8 +4,11 @@
 #include <map>
 #include <set>
 
+#include "fti/fuzz/diff.hpp"
 #include "fti/lint/lint.hpp"
+#include "fti/mem/storage.hpp"
 #include "fti/ops/alu.hpp"
+#include "fti/xsim/fourstate.hpp"
 
 namespace fti::fuzz {
 
@@ -23,6 +26,8 @@ std::string_view to_string(DefectClass defect) {
       return "unreachable-transition";
     case DefectClass::kReadBeforeWrite:
       return "read-before-write";
+    case DefectClass::kUninitRegister:
+      return "uninit-register";
   }
   return "unknown";
 }
@@ -41,6 +46,8 @@ std::string_view expected_rule(DefectClass defect) {
       return "FTI-L007";
     case DefectClass::kReadBeforeWrite:
       return "FTI-L009";
+    case DefectClass::kUninitRegister:
+      return "FTI-L010";  // via the 4-state checker, not static lint
   }
   return "";
 }
@@ -283,6 +290,107 @@ bool inject_read_before_write(ir::Design& design, Rng& rng) {
   return true;
 }
 
+bool inject_uninit_register(ir::Design& design, Rng& rng) {
+  // Splice a reset-less self-holding register's power-up value into a
+  // memory port's write enable via XOR.  2-state engines power the
+  // register up at 0, so the XOR is the identity and every lane still
+  // agrees -- the classic laundered uninitialized-read.  Under 4-state
+  // semantics the register powers up X; the write enable is evaluated on
+  // every clock edge of its configuration, so the X deterministically
+  // trips a dynamic FTI-L010 finding.
+  struct Site {
+    ir::Datapath* datapath;
+    std::size_t memport;  ///< index, not a pointer: the splice below
+                          ///< push_backs into units and may reallocate
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (std::size_t index = 0; index < config->datapath.units.size();
+         ++index) {
+      const ir::Unit& unit = config->datapath.units[index];
+      if (unit.kind == ir::UnitKind::kMemPort &&
+          unit.mem_mode != ir::MemMode::kRead && unit.has_port("we")) {
+        sites.push_back({&config->datapath, index});
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  Site& site = sites[rng.index(sites.size())];
+  const std::string we = site.datapath->units[site.memport].port("we");
+  std::uint32_t width = site.datapath->wire(we).width;
+  std::string suffix;
+  while (site.datapath->find_wire("uninit_q" + suffix) != nullptr ||
+         site.datapath->find_wire("uninit_mix" + suffix) != nullptr ||
+         site.datapath->find_unit("uninit_reg" + suffix) != nullptr ||
+         site.datapath->find_unit("uninit_xor" + suffix) != nullptr) {
+    suffix += "_";
+  }
+  site.datapath->wires.push_back({"uninit_q" + suffix, width});
+  site.datapath->wires.push_back({"uninit_mix" + suffix, width});
+  ir::Unit reg;
+  reg.name = "uninit_reg" + suffix;
+  reg.kind = ir::UnitKind::kRegister;
+  reg.width = width;
+  // Self-hold with no rst/en port: under 2-state the register sits at its
+  // reset value (0) forever; under 4-state it sits at X forever.
+  reg.ports["d"] = "uninit_q" + suffix;
+  reg.ports["q"] = "uninit_q" + suffix;
+  site.datapath->units.push_back(std::move(reg));
+  ir::Unit mix;
+  mix.name = "uninit_xor" + suffix;
+  mix.kind = ir::UnitKind::kBinOp;
+  mix.binop = ops::BinOp::kXor;
+  mix.width = width;
+  mix.ports["a"] = we;
+  mix.ports["b"] = "uninit_q" + suffix;
+  mix.ports["out"] = "uninit_mix" + suffix;
+  site.datapath->units.push_back(std::move(mix));
+  site.datapath->units[site.memport].ports["we"] = "uninit_mix" + suffix;
+  return true;
+}
+
+// E10 baseline preparation: give every reset-less register an rst port
+// tied to a constant 0.  2-state behaviour is untouched (the reset never
+// asserts and registers power up at reset_value regardless), but the
+// 4-state checker now treats them as initialized, so the only X left in
+// the design is whatever the experiment plants.  Pipeline stages still
+// power up X; designs where that X reaches an observable are filtered
+// out by the clean-baseline gate.
+void tie_off_register_resets(ir::Design& design) {
+  for (ir::Configuration* config : chain_configurations(design)) {
+    ir::Datapath& datapath = config->datapath;
+    std::vector<std::size_t> bare;
+    for (std::size_t index = 0; index < datapath.units.size(); ++index) {
+      const ir::Unit& unit = datapath.units[index];
+      if (unit.kind == ir::UnitKind::kRegister && !unit.has_port("rst")) {
+        bare.push_back(index);
+      }
+    }
+    if (bare.empty()) {
+      continue;
+    }
+    std::string suffix;
+    while (datapath.find_wire("rst_tie0" + suffix) != nullptr ||
+           datapath.find_unit("rst_tie0" + suffix) != nullptr) {
+      suffix += "_";
+    }
+    std::string tie = "rst_tie0" + suffix;
+    datapath.wires.push_back({tie, 1});
+    ir::Unit zero;
+    zero.name = tie;
+    zero.kind = ir::UnitKind::kConst;
+    zero.width = 1;
+    zero.value = 0;
+    zero.ports["out"] = tie;
+    datapath.units.push_back(std::move(zero));
+    for (std::size_t index : bare) {
+      datapath.units[index].ports["rst"] = tie;
+    }
+  }
+}
+
 bool rule_fired(const lint::Report& report, std::string_view rule) {
   for (const lint::Finding& finding : report.findings) {
     if (finding.rule == rule) {
@@ -308,6 +416,8 @@ bool inject_defect(ir::Design& design, DefectClass defect, Rng& rng) {
       return inject_unreachable_transition(design, rng);
     case DefectClass::kReadBeforeWrite:
       return inject_read_before_write(design, rng);
+    case DefectClass::kUninitRegister:
+      return inject_uninit_register(design, rng);
   }
   return false;
 }
@@ -356,6 +466,65 @@ InjectionReport run_injection(std::uint64_t seed, std::uint64_t runs,
       }
     }
     report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+bool FourStateInjectionReport::ok() const {
+  return outcome.injected > 0 && outcome.missed == 0 &&
+         outcome.laundered == outcome.injected;
+}
+
+FourStateInjectionReport run_four_state_injection(
+    std::uint64_t seed, std::uint64_t runs, const GeneratorOptions& options) {
+  FourStateInjectionReport report;
+  FourStateInjectionOutcome& outcome = report.outcome;
+  for (std::uint64_t index = 0; index < runs; ++index) {
+    std::uint64_t case_seed = Rng::derive(seed, index);
+    ir::Design design = generate_design_seeded(case_seed, options);
+    ++outcome.cases_tried;
+    tie_off_register_resets(design);
+    // Give every memory a fully-defined (zero) stimulus image: the
+    // 2-state engines define fresh memories as zeros, so an undefined
+    // image would flood the 4-state baseline with X findings that have
+    // nothing to do with registers.  Register power-up stays X.
+    mem::MemoryPool stimulus;
+    for (const auto& [node, config] : design.configurations) {
+      for (const ir::MemoryDecl& decl : config.datapath.memories) {
+        if (!stimulus.contains(decl.name)) {
+          stimulus.create(decl.name, decl.depth, decl.width);
+        }
+      }
+    }
+    // Attribution mirrors run_injection's "rule silent before edit":
+    // only designs whose 4-state baseline is already clean count, so a
+    // post-edit finding is the planted defect and nothing else.  Designs
+    // the generator grew a reset-less register into are dirty on their
+    // own and are skipped here -- exactly the attribution filter.
+    xsim::FourStateReport before = xsim::run_four_state(design, stimulus, {});
+    if (!before.completed || !before.clean()) {
+      continue;
+    }
+    Rng rng(Rng::derive(case_seed, 0x11a7));
+    if (!inject_defect(design, DefectClass::kUninitRegister, rng)) {
+      continue;
+    }
+    ++outcome.injected;
+    // (a) The laundering claim: every 2-state lane powers the reset-less
+    // register up at its declared reset value, so the lanes still agree.
+    if (diff_design(design).ok) {
+      ++outcome.laundered;
+    }
+    // (b) The detection claim: under 4-state the register powers up X
+    // and the X reaches the memory write -- an FTI-L010 finding.
+    mem::MemoryPool edited_pool;
+    xsim::FourStateReport after = xsim::run_four_state(design, edited_pool, {});
+    if (!after.findings.empty()) {
+      ++outcome.detected;
+    } else {
+      ++outcome.missed;
+      outcome.missed_seeds.push_back(case_seed);
+    }
   }
   return report;
 }

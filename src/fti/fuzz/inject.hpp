@@ -27,14 +27,25 @@ enum class DefectClass {
   kUnreachableTransition,  ///< shadowed by an unconditional one (FTI-L007)
   kReadBeforeWrite,        ///< memory read in an earlier partition than its
                            ///< first write (FTI-L009)
+  kUninitRegister,         ///< reset-less register whose power-up value
+                           ///< reaches a memory write port.  2-state
+                           ///< simulation launders it (registers power up
+                           ///< at their reset value); only the 4-state
+                           ///< checker (xsim::run_four_state) catches it,
+                           ///< reporting under FTI-L010.  Deliberately NOT
+                           ///< in all_defect_classes(): static lint cannot
+                           ///< see it, so it would break the recall gate.
 };
 
 std::string_view to_string(DefectClass defect);
 
-/// Lint rule ID the injected defect must trigger.
+/// Lint rule ID the injected defect must trigger.  For kUninitRegister
+/// the rule is dynamic: FTI-L010 findings come from the 4-state checker,
+/// not from lint_design.
 std::string_view expected_rule(DefectClass defect);
 
-/// All classes, in declaration order.
+/// All statically detectable classes, in declaration order (excludes
+/// kUninitRegister, whose detection needs 4-state execution).
 const std::vector<DefectClass>& all_defect_classes();
 
 /// Plants the defect into the design (one random applicable site).
@@ -66,5 +77,37 @@ struct InjectionReport {
 /// when the expected rule was silent pre-edit; it must fire post-edit.
 InjectionReport run_injection(std::uint64_t seed, std::uint64_t runs,
                               const GeneratorOptions& options = {});
+
+/// Recall of the *dynamic* checker (experiment E10): kUninitRegister's
+/// laundering claim, measured.  For each case seed: generate a design
+/// whose 4-state baseline is clean (registers reset, no X reaches an
+/// observable), plant kUninitRegister where a site exists, then
+/// (a) run the 2-state differential lanes on the edited design -- they
+///     should still agree (`laundered`): every 2-state engine powers the
+///     reset-less register up at its reset value, so the defect is
+///     invisible;
+/// (b) run the 4-state checker -- it must report an FTI-L010 finding
+///     (`detected`); a silent case is a recall bug (`missed`).
+struct FourStateInjectionOutcome {
+  std::uint64_t cases_tried = 0;  ///< generated designs examined
+  std::uint64_t injected = 0;     ///< clean baseline + applicable site
+  std::uint64_t laundered = 0;    ///< 2-state lanes still agree post-edit
+  std::uint64_t detected = 0;     ///< 4-state reported a finding post-edit
+  std::uint64_t missed = 0;       ///< 4-state stayed silent (recall bug)
+  std::vector<std::uint64_t> missed_seeds;
+};
+
+struct FourStateInjectionReport {
+  FourStateInjectionOutcome outcome;
+
+  /// The experiment's claim holds: at least one site was found, every
+  /// injected defect was laundered by 2-state simulation, and every one
+  /// was detected by the 4-state checker.
+  bool ok() const;
+};
+
+FourStateInjectionReport run_four_state_injection(
+    std::uint64_t seed, std::uint64_t runs,
+    const GeneratorOptions& options = {});
 
 }  // namespace fti::fuzz

@@ -492,6 +492,36 @@ VerifyOutcome run_test_case(const TestCase& test,
     }
   }
   outcome.passed = outcome.mismatches == 0;
+
+  // 7. Opt-in cosimulation and 4-state passes, both over a fresh lane-0
+  //    stimulus pool (the simulated pools hold post-run contents).
+  if (options.xsim || options.four_state) {
+    check_cancel(options);
+    mem::MemoryPool stimulus;
+    if (!test.embed_inputs) {
+      prime_pool(program, sema, test, stimulus, /*load_values=*/true);
+    }
+    if (options.xsim) {
+      xsim::XsimOptions xsim_options;
+      xsim_options.max_cycles_per_partition = test.max_cycles;
+      outcome.xsim_check = xsim::cross_check(*design, stimulus, xsim_options);
+      if (outcome.xsim_check.ran && !outcome.xsim_check.ok &&
+          outcome.passed) {
+        outcome.passed = false;
+        outcome.message =
+            "xsim: external simulator disagrees with the levelized engine: " +
+            outcome.xsim_check.mismatches.front();
+      }
+    }
+    if (options.four_state) {
+      xsim::FourStateOptions four_state_options;
+      four_state_options.max_cycles_per_partition = test.max_cycles;
+      outcome.four_state =
+          xsim::run_four_state(*design, stimulus, four_state_options);
+      outcome.four_state_ran = true;
+    }
+  }
+
   if (!options.emit_dir.empty()) {
     for (const std::string& array : arrays) {
       mem::save_mem_file(sim_pools[0].get(array),

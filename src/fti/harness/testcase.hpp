@@ -25,6 +25,8 @@
 #include "fti/compiler/interp.hpp"
 #include "fti/elab/engines.hpp"
 #include "fti/lint/lint.hpp"
+#include "fti/xsim/driver.hpp"
+#include "fti/xsim/fourstate.hpp"
 
 namespace fti::cache {
 class DesignCache;
@@ -95,6 +97,16 @@ struct VerifyOptions {
   /// every stage boundary (and per golden lane); when it reads true,
   /// run_test_case throws util::CancelledError.  nullptr never cancels.
   const std::atomic<bool>* cancel = nullptr;
+  /// Cosimulate the emitted Verilog with an external simulator and
+  /// compare it bit for bit against the levelized engine (lane-0 stimulus
+  /// only).  A disagreement fails the verify; a missing simulator records
+  /// a skip in outcome.xsim_check without affecting the verdict.
+  bool xsim = false;
+  /// Re-execute lane 0 under 4-state X/Z semantics and collect dynamic
+  /// uninitialized-read findings (outcome.four_state).  Findings do not
+  /// flip the verdict -- they are warnings, like their static FTI-L010
+  /// sibling; the flow layer maps them onto the warning exit code.
+  bool four_state = false;
 };
 
 /// Line counts of every artefact the flow produced (Table I's "lines of
@@ -133,6 +145,13 @@ struct VerifyOutcome {
   double compile_seconds = 0;
   double golden_seconds = 0;
   double sim_seconds = 0;
+  /// Cosimulation cross-check result (options.xsim).  ran == false with
+  /// skip_reason set means no external simulator was available.
+  xsim::XsimCheck xsim_check;
+  /// 4-state execution report (options.four_state); four_state_ran
+  /// records whether the mode was requested and executed.
+  bool four_state_ran = false;
+  xsim::FourStateReport four_state;
 };
 
 /// Runs the full flow.  Infrastructure errors (bad source, malformed IR)

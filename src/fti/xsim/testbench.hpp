@@ -1,0 +1,83 @@
+// Self-checking Verilog testbench generator for the cosimulation lane.
+//
+// The generated bench wraps the codegen::verilog output of every RTG
+// partition: one DUT instance per partition, each with its own gated
+// clock.  The bench preloads memories with $readmemh, clocks each
+// partition in RTG order until its done output rises (or the cycle
+// budget runs out), copies shared memory images between phases the way
+// the engines' MemoryPool hands images from one temporal partition to
+// the next, dumps a VCD of every DUT-internal net, and writes a
+// machine-readable result file (per-partition cycle counts, final
+// register/control values, final memory contents).  When golden memory
+// images are supplied it also embeds them and reports per-memory
+// mismatch counts, so the bench is self-checking even without the
+// driver's bit-for-bit comparison.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fti/ir/rtg.hpp"
+#include "fti/mem/storage.hpp"
+
+namespace fti::xsim {
+
+struct TestbenchOptions {
+  std::uint64_t max_cycles_per_partition = 100'000;
+  std::string result_file = "result.txt";
+  std::string vcd_file = "dump.vcd";
+  bool dump_vcd = true;
+  /// Golden final memory images; when non-empty the bench embeds them
+  /// and appends "selfcheck <memory> <mismatch-count>" result lines.
+  std::map<std::string, std::vector<std::uint64_t>> golden_memories;
+};
+
+/// One wire the bench observes: `wire` is the IR name (the key the
+/// engines report under), `ident` the legalized Verilog identifier it
+/// appears as in the emitted module and the VCD.
+struct TracedWire {
+  std::string node;
+  std::string wire;
+  std::string ident;
+  std::uint32_t width = 1;
+};
+
+/// One memory whose final contents the bench dumps: read from the last
+/// instance (in RTG order) that declares the memory.
+struct MemOutput {
+  std::string memory;    ///< IR memory name
+  std::string instance;  ///< bench instance holding the final image
+  std::size_t depth = 0;
+  std::uint32_t width = 32;
+};
+
+/// One $readmemh preload file the driver must materialize next to the
+/// bench before running it.
+struct MemPreload {
+  std::string file;
+  std::vector<std::uint64_t> words;
+};
+
+struct Testbench {
+  /// The bench module ("tb") only; compile together with the
+  /// codegen::design_to_verilog output.
+  std::string text;
+  /// RTG nodes in execution order (initial node, then successors).
+  std::vector<std::string> nodes;
+  /// Wires the result file reports finals for and the VCD traces,
+  /// in engine order (per node: register q wires, then controls).
+  std::vector<TracedWire> traced;
+  std::vector<MemOutput> mem_outputs;
+  std::vector<MemPreload> preloads;
+};
+
+/// Generates the bench for `design`.  `stimulus` supplies initial
+/// memory images by name; memories absent from the pool power up as the
+/// engines create them (zeros plus the declaration's init prefix).
+Testbench make_testbench(const ir::Design& design,
+                         const mem::MemoryPool& stimulus,
+                         const TestbenchOptions& options = {});
+
+}  // namespace fti::xsim

@@ -129,8 +129,10 @@ TEST(Verilog, ModuleStructure) {
       configuration_to_verilog(design.configuration("acc"));
   EXPECT_NE(verilog.find("module acc ("), std::string::npos);
   EXPECT_NE(verilog.find("endmodule"), std::string::npos);
-  EXPECT_NE(verilog.find("wire [31:0] acc_q;"), std::string::npos);
-  EXPECT_NE(verilog.find("reg  c_en = 0;"), std::string::npos);
+  // Register q wires are 'reg' declarators with a sized power-up
+  // initializer (the cosim bench relies on both), as are control wires.
+  EXPECT_NE(verilog.find("reg  [31:0] acc_q = 32'd0;"), std::string::npos);
+  EXPECT_NE(verilog.find("reg  c_en = 1'd0;"), std::string::npos);
   EXPECT_NE(verilog.find("localparam ST_run = 1'd0;"), std::string::npos);
   EXPECT_NE(verilog.find("assign done_o = done;"), std::string::npos);
   EXPECT_NE(verilog.find("always @(posedge clk)"), std::string::npos);
@@ -149,6 +151,92 @@ TEST(Verilog, MemoriesAndMuxes) {
   EXPECT_NE(verilog.find("reg [15:0] a_mem [0:7];"), std::string::npos);
   EXPECT_NE(verilog.find("a_mem["), std::string::npos);
   EXPECT_NE(verilog.find("$signed("), std::string::npos);
+}
+
+// Regression: division/remainder guard the zero divisor inline, with all
+// ternary arms signed.  IEEE 1364 type propagation makes one unsigned arm
+// coerce the whole expression unsigned, which silently flips signed
+// division -- and without the guard Icarus yields X where the engines
+// define x/0 = all-ones and x%0 = x.
+ir::Unit& unit_named(ir::Configuration& config, std::string_view name) {
+  for (ir::Unit& unit : config.datapath.units) {
+    if (unit.name == name) {
+      return unit;
+    }
+  }
+  throw std::logic_error("no unit named " + std::string(name));
+}
+
+TEST(Verilog, DivisionGuardsZeroDivisorAllArmsSigned) {
+  ir::Configuration config = fti::testing::make_accumulator(4);
+  unit_named(config, "add0").binop = ops::BinOp::kDiv;
+  std::string verilog = configuration_to_verilog(config);
+  EXPECT_NE(verilog.find("(k1_out == 0) ? $signed({32{1'b1}}) : "
+                         "($signed(acc_q) / $signed(k1_out))"),
+            std::string::npos);
+  unit_named(config, "add0").binop = ops::BinOp::kRem;
+  verilog = configuration_to_verilog(config);
+  EXPECT_NE(verilog.find("(k1_out == 0) ? $signed(acc_q) : "
+                         "($signed(acc_q) % $signed(k1_out))"),
+            std::string::npos);
+}
+
+// Regression: min/max must keep the *result* operands signed, not only
+// the comparison -- "(a < b) ? a : b" with unsigned arms zero-extends a
+// narrower winner into a wider result where the interpreter
+// sign-extends.
+TEST(Verilog, MinMaxKeepResultOperandsSigned) {
+  ir::Configuration config = fti::testing::make_accumulator(4);
+  unit_named(config, "add0").binop = ops::BinOp::kMin;
+  std::string verilog = configuration_to_verilog(config);
+  EXPECT_NE(verilog.find("($signed(acc_q) < $signed(k1_out)) ? "
+                         "$signed(acc_q) : $signed(k1_out)"),
+            std::string::npos);
+}
+
+// Regression: kSext used the SystemVerilog sized cast N'(...), which
+// iverilog -g2001 rejects.  A $signed RHS sign-extends to the assignment
+// width in plain Verilog-2001.
+TEST(Verilog, SextIsPlainVerilog2001) {
+  ir::Design design = compiled_mem_design();
+  std::string verilog = design_to_verilog(design);
+  EXPECT_NE(verilog.find("= $signed("), std::string::npos);
+  EXPECT_EQ(verilog.find("'("), std::string::npos);  // no SV sized casts
+}
+
+// Regression: IR names are legal identifiers for *this* repo but may
+// collide with Verilog keywords; the emitter must legalize every
+// reference (declaration, FSM control assignment, guard) consistently.
+TEST(Verilog, KeywordIdentifiersAreLegalized) {
+  EXPECT_EQ(verilog_ident("reg"), "reg_esc");
+  EXPECT_EQ(verilog_ident("case"), "case_esc");
+  EXPECT_EQ(verilog_ident("plain_name"), "plain_name");
+  EXPECT_EQ(verilog_ident("9lives"), "_9lives_esc");
+  ir::Configuration config = fti::testing::make_accumulator(4);
+  // Rename the enable control to a keyword everywhere it appears.
+  for (ir::Wire& wire : config.datapath.wires) {
+    if (wire.name == "c_en") {
+      wire.name = "reg";
+    }
+  }
+  config.datapath.control_wires[0] = "reg";
+  unit_named(config, "r_acc").ports["en"] = "reg";
+  config.fsm.states[0].controls[0].wire = "reg";
+  std::string verilog = configuration_to_verilog(config);
+  EXPECT_NE(verilog.find("reg  reg_esc = 1'd0;"), std::string::npos);
+  EXPECT_NE(verilog.find("if (reg_esc) acc_q <="), std::string::npos);
+  EXPECT_NE(verilog.find("reg_esc = 1'd1;"), std::string::npos);
+}
+
+// Regression: asynchronous memory reads guard the address against the
+// depth (out of bounds reads zeros, matching every engine) and muxes
+// carry an explicit default arm so no latch is inferred.
+TEST(Verilog, GuardedMemoryReadsAndMuxDefaults) {
+  ir::Design design = compiled_mem_design();
+  std::string verilog = design_to_verilog(design);
+  EXPECT_NE(verilog.find("(r_v_i_q < 8) ? a_mem[r_v_i_q] : {16{1'b0}}"),
+            std::string::npos);
+  EXPECT_NE(verilog.find(": {32{1'b0}};"), std::string::npos);  // mux default
 }
 
 TEST(Verilog, RejectsInvalidIr) {

@@ -1,0 +1,261 @@
+// Coverage for the external-simulator cosimulation subsystem: toolchain
+// probing (and the FTI_XSIM_SIM pin/disable contract), the self-checking
+// testbench generator's structure, the 4-state X/Z checker's
+// initialization semantics, the E10 injection recall loop, and the
+// cross-check's loud-skip path.  The final test exercises a real
+// Icarus Verilog round trip and GTEST_SKIPs (with the probe's reason)
+// on machines without a simulator, so the suite stays green everywhere
+// while CI -- which installs iverilog -- runs the whole loop.
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fti/fuzz/generate.hpp"
+#include "fti/fuzz/inject.hpp"
+#include "fti/ir/rtg.hpp"
+#include "fti/lint/lint.hpp"
+#include "fti/mem/storage.hpp"
+#include "fti/xsim/driver.hpp"
+#include "fti/xsim/fourstate.hpp"
+#include "fti/xsim/testbench.hpp"
+#include "test_designs.hpp"
+
+namespace fti {
+namespace {
+
+/// Pins (or clears) FTI_XSIM_SIM for one test and restores the previous
+/// value on the way out, so pin tests cannot leak into the real-simulator
+/// round trip below.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+ir::Design accumulator_design(std::uint64_t target = 3) {
+  return ir::make_single_design("acc", testing::make_accumulator(target));
+}
+
+/// The accumulator with its register's power-up made explicit: a const-0
+/// reset wire, the way synthesizable designs carry reset hardware.  The
+/// 4-state checker treats the register as initialized; 2-state engines
+/// behave identically with or without it.
+ir::Design reset_accumulator_design(std::uint64_t target = 3) {
+  ir::Design design = accumulator_design(target);
+  ir::Configuration& config = design.configurations.at("acc");
+  config.datapath.wires.push_back({"rst0", 1});
+  ir::Unit tie;
+  tie.name = "rst_tie";
+  tie.kind = ir::UnitKind::kConst;
+  tie.width = 1;
+  tie.value = 0;
+  tie.ports = {{"out", "rst0"}};
+  config.datapath.units.push_back(tie);
+  for (ir::Unit& unit : config.datapath.units) {
+    if (unit.kind == ir::UnitKind::kRegister) {
+      unit.ports["rst"] = "rst0";
+    }
+  }
+  return design;
+}
+
+// ------------------------------------------------------ toolchain probe
+
+TEST(XsimStatus, PinToMissingBinaryDisablesLane) {
+  EnvGuard pin("FTI_XSIM_SIM", "/nonexistent/xsim-compiler");
+  xsim::XsimStatus status = xsim::xsim_status();
+  EXPECT_FALSE(status.available);
+  EXPECT_FALSE(xsim::xsim_available());
+  // The pin is the whole story: the reason names it instead of falling
+  // through to a $PATH probe that might succeed.
+  EXPECT_NE(status.reason.find("FTI_XSIM_SIM"), std::string::npos)
+      << status.reason;
+  EXPECT_NE(status.reason.find("not an executable"), std::string::npos)
+      << status.reason;
+}
+
+TEST(XsimStatus, ProbeIsUncachedAcrossEnvironmentChanges) {
+  {
+    EnvGuard pin("FTI_XSIM_SIM", "/nonexistent/xsim-compiler");
+    EXPECT_FALSE(xsim::xsim_available());
+  }
+  // With the pin gone the probe must re-run; whatever it finds, the
+  // status has to be self-consistent (a reason when unavailable, a
+  // compiler path when available).
+  xsim::XsimStatus status = xsim::xsim_status();
+  if (status.available) {
+    EXPECT_FALSE(status.compile.empty());
+  } else {
+    EXPECT_FALSE(status.reason.empty());
+  }
+}
+
+// -------------------------------------------------- testbench generator
+
+TEST(Testbench, SelfCheckingBenchStructure) {
+  ir::Design design = accumulator_design(3);
+  mem::MemoryPool pool;
+  xsim::Testbench bench = xsim::make_testbench(design, pool);
+
+  // One DUT instance per RTG node, positional naming.
+  ASSERT_EQ(bench.nodes.size(), 1u);
+  EXPECT_EQ(bench.nodes[0], "acc");
+  EXPECT_NE(bench.text.find("module tb;"), std::string::npos);
+  EXPECT_NE(bench.text.find("dut_0"), std::string::npos);
+
+  // The bench is self-contained: it dumps a VCD and writes the
+  // machine-readable result file the driver parses back.
+  EXPECT_NE(bench.text.find("$dumpfile(\"dump.vcd\");"), std::string::npos);
+  EXPECT_NE(bench.text.find("$fopen(\"result.txt\""), std::string::npos);
+  EXPECT_NE(bench.text.find("partition 0"), std::string::npos);
+
+  // Traced wires cover the engines' observables: the register q wire and
+  // both control wires, each with its width.
+  std::vector<std::string> traced;
+  for (const xsim::TracedWire& wire : bench.traced) {
+    EXPECT_EQ(wire.node, "acc");
+    traced.push_back(wire.wire);
+  }
+  EXPECT_NE(std::find(traced.begin(), traced.end(), "acc_q"), traced.end());
+  EXPECT_NE(std::find(traced.begin(), traced.end(), "done"), traced.end());
+
+  // The accumulator has no memories: nothing to preload, nothing to dump.
+  EXPECT_TRUE(bench.preloads.empty());
+  EXPECT_TRUE(bench.mem_outputs.empty());
+}
+
+// ------------------------------------------------------ 4-state checker
+
+TEST(FourState, ResetLessRegisterPowerUpIsReported) {
+  // The plain accumulator's register has no rst port: under 4-state
+  // semantics it powers up X, the comparator output goes X, and the FSM
+  // guard reads an unknown -- an observable-point finding.  Every
+  // 2-state engine launders exactly this (acc_q powers up at its reset
+  // value 0), which is the gap the checker exists to close.
+  mem::MemoryPool pool;
+  xsim::FourStateReport report =
+      xsim::run_four_state(accumulator_design(3), pool);
+  ASSERT_FALSE(report.clean());
+  std::vector<lint::Finding> findings = report.to_lint();
+  ASSERT_FALSE(findings.empty());
+  for (const lint::Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, "FTI-L010");
+    EXPECT_EQ(finding.configuration, "acc");
+    EXPECT_FALSE(finding.object.empty());
+    EXPECT_NE(finding.message.find("4-state"), std::string::npos);
+  }
+}
+
+TEST(FourState, ResetRegisterRunsClean) {
+  mem::MemoryPool pool;
+  xsim::FourStateReport report =
+      xsim::run_four_state(reset_accumulator_design(3), pool);
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.clean()) << report.to_lint().empty()
+                              << " findings expected none";
+  EXPECT_GT(report.total_cycles, 0u);
+}
+
+TEST(FourState, FindingsAreDeduplicatedAndCapped) {
+  mem::MemoryPool pool;
+  xsim::FourStateOptions options;
+  options.max_findings = 2;
+  xsim::FourStateReport report =
+      xsim::run_four_state(accumulator_design(50), pool, options);
+  // 50 poisoned cycles must not produce 50 copies of the same finding.
+  EXPECT_LE(report.findings.size(), 2u);
+  EXPECT_FALSE(report.clean());
+}
+
+// --------------------------------------------- E10 injection recall loop
+
+TEST(Inject, FourStateCatchesWhatTwoStateLaunders) {
+  // The experiment-E10 loop at smoke scale: every injected
+  // uninit-register defect must leave the 2-state differential lanes in
+  // agreement (laundered) while the 4-state checker reports it.
+  fuzz::GeneratorOptions options;
+  options.max_units = 12;
+  options.max_configurations = 2;
+  fuzz::FourStateInjectionReport report =
+      fuzz::run_four_state_injection(/*seed=*/7, /*runs=*/20, options);
+  EXPECT_GT(report.outcome.injected, 0u);
+  EXPECT_EQ(report.outcome.laundered, report.outcome.injected);
+  EXPECT_EQ(report.outcome.detected, report.outcome.injected);
+  EXPECT_EQ(report.outcome.missed, 0u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Inject, UninitRegisterIsNotInStaticRecallGate) {
+  // Static lint cannot see the defect; it must stay out of the
+  // lint-recall class list or the gate would report misses.
+  for (fuzz::DefectClass defect : fuzz::all_defect_classes()) {
+    EXPECT_NE(defect, fuzz::DefectClass::kUninitRegister);
+  }
+  EXPECT_EQ(fuzz::expected_rule(fuzz::DefectClass::kUninitRegister),
+            "FTI-L010");
+}
+
+// ------------------------------------------------- cross-check skip path
+
+TEST(CrossCheck, SkipsLoudlyWithoutSimulator) {
+  EnvGuard pin("FTI_XSIM_SIM", "/nonexistent/xsim-compiler");
+  mem::MemoryPool pool;
+  xsim::XsimCheck check = xsim::cross_check(accumulator_design(3), pool);
+  EXPECT_FALSE(check.ran);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.skip_reason.empty());
+
+  xsim::XsimRun run = xsim::run_external(accumulator_design(3), pool);
+  EXPECT_FALSE(run.ran);
+  EXPECT_FALSE(run.skip_reason.empty());
+  EXPECT_TRUE(run.error.empty());
+}
+
+// --------------------------------------------- real-simulator round trip
+
+TEST(CrossCheck, RoundTripMatchesLevelizedEngine) {
+  xsim::XsimStatus status = xsim::xsim_status();
+  if (!status.available) {
+    GTEST_SKIP() << "cosimulation unavailable: " << status.reason;
+  }
+  mem::MemoryPool pool;
+  xsim::XsimCheck check = xsim::cross_check(accumulator_design(3), pool);
+  ASSERT_TRUE(check.ran);
+  EXPECT_TRUE(check.ok) << (check.mismatches.empty()
+                                ? std::string("(no detail)")
+                                : check.mismatches.front());
+  EXPECT_TRUE(check.run.completed);
+  EXPECT_GT(check.run.total_cycles, 0u);
+  // The register's final value follows the Moore-timing contract the
+  // engines implement: target + 1.
+  auto it = check.run.finals.find("acc/acc_q");
+  ASSERT_NE(it, check.run.finals.end());
+  EXPECT_EQ(it->second, 4u);
+}
+
+}  // namespace
+}  // namespace fti

@@ -25,12 +25,19 @@
 //   --lanes N        batched stimulus lanes per design (default 64,
 //                    0 disables the lane check)
 //   --smoke          fixed quick profile used by ctest (~seconds)
+//   --xsim           add the external-simulator lane: cosimulate every
+//                    completed design's emitted Verilog under Icarus
+//                    Verilog and diff it against the kernel lane; a
+//                    loud notice is printed (and the lane skipped) when
+//                    no simulator is installed
 //   --metrics PATH   record observability counters, write snapshot JSON
 //   --trace PATH     record spans, write a Chrome trace-event file
 //   --quiet          suppress per-case progress lines
 //
 // Inject options: --seed N, --runs N (cases per defect class),
-// --max-units N, --max-configs N, --smoke (quick ctest profile).
+// --max-units N, --max-configs N, --smoke (quick ctest profile),
+// --4state (experiment E10: plant uninit-register defects, assert the
+// 2-state lanes launder them while the 4-state checker reports them).
 //
 // Exit code: 0 when every case agreed (or, for inject, every planted
 // defect was detected), 1 on any mismatch / missed defect, 2 on usage
@@ -50,12 +57,12 @@ namespace {
       << "usage: fti_fuzz [--seed N] [--runs N] [--jobs N]\n"
          "                [--max-failures N] [--corpus DIR] [--no-shrink]\n"
          "                [--max-units N] [--max-configs N] [--smoke]\n"
-         "                [--engine NAME]... [--lanes N] [--metrics PATH]\n"
-         "                [--trace PATH] [--quiet]\n"
+         "                [--engine NAME]... [--lanes N] [--xsim]\n"
+         "                [--metrics PATH] [--trace PATH] [--quiet]\n"
          "       fti_fuzz replay FILE.xml\n"
          "       fti_fuzz corpus DIR\n"
          "       fti_fuzz inject [--seed N] [--runs N] [--max-units N]\n"
-         "                       [--max-configs N] [--smoke]\n";
+         "                       [--max-configs N] [--smoke] [--4state]\n";
   std::exit(2);
 }
 
@@ -104,6 +111,8 @@ int run_inject(int argc, char** argv) {
       request.runs = 20;
       request.generator.max_units = 12;
       request.generator.max_run_cycles = 24;
+    } else if (arg == "--4state") {
+      request.four_state = true;
     } else {
       usage();
     }
@@ -150,6 +159,8 @@ int run_campaign(int argc, char** argv) {
       request.options.generator.max_units = 12;
       request.options.generator.max_run_cycles = 24;
       request.options.batch_lanes = 16;
+    } else if (arg == "--xsim") {
+      request.options.diff.auto_xsim = true;
     } else if (arg == "--quiet") {
       request.quiet = true;
     } else {

@@ -47,6 +47,14 @@
 //   --max-cycles N         per-partition cycle budget
 //   --vcd FILE             dump a VCD of the first partition
 //   --save ARRAY=FILE.dat  write an array's final contents after the run
+//   --xsim                 cosimulate the emitted Verilog with an external
+//                          simulator (Icarus Verilog; FTI_XSIM_SIM pins or
+//                          disables it) and compare bit for bit against
+//                          the levelized engine; skipped loudly when no
+//                          simulator is installed
+//   --4state               re-run lane 0 with 4-state X/Z semantics;
+//                          X reaching an observable is reported as a
+//                          dynamic FTI-L010 finding (warning exit code)
 // translate options:
 //   --out DIR              output directory (default: KERNEL name)
 //
@@ -79,12 +87,13 @@ namespace {
       "                     [--vcd FILE] [--save a=F.dat]\n"
       "                     [--limit class=N] [--default-limit N]\n"
       "                     [--read-ports N] [--engine NAME] [--lanes N]\n"
+      "                     [--xsim] [--4state]\n"
       "       fti translate KERNEL.k [--arg n=V] [--mem a=F.dat] [--rom]\n"
       "                     [--out DIR] [--limit class=N]\n"
       "       fti run       RTG.xml [--mem a=F.dat] [--save a=F.dat]\n"
       "                     [--max-cycles N] [--vcd FILE] [--engine NAME]\n"
       "       fti suite     DIR [--emit DIR] [--engine NAME] [--lanes N]\n"
-      "                     [--jobs N] [--json PATH]\n"
+      "                     [--jobs N] [--json PATH] [--xsim]\n"
       "       fti engines\n"
       "       fti obs       METRICS.json\n"
       "       fti lint      PATH... [--json PATH] [--sarif PATH]\n"
@@ -118,6 +127,8 @@ struct Cli {
   std::filesystem::path json_path;
   fti::util::ToolFlags flags;
   bool verbose = false;
+  bool xsim = false;
+  bool four_state = false;
 };
 
 Cli parse_cli(int argc, char** argv) {
@@ -183,6 +194,10 @@ Cli parse_cli(int argc, char** argv) {
           fti::util::parse_u32_flag("--read-ports", need_value(i));
     } else if (flag == "--json") {
       cli.json_path = need_value(i);
+    } else if (flag == "--xsim") {
+      cli.xsim = true;
+    } else if (flag == "--4state") {
+      cli.four_state = true;
     } else if (flag == "--verbose") {
       cli.verbose = true;
     } else {
@@ -340,6 +355,8 @@ int main(int argc, char** argv) {
       request.emit_dir = cli.out_dir;
       request.vcd_path = cli.vcd_path;
       request.saves = cli.saves;
+      request.xsim = cli.xsim;
+      request.four_state = cli.four_state;
       return finish(
           fti::flow::run_verify(request, context, std::cout, std::cerr)
               .exit_code);
@@ -374,6 +391,7 @@ int main(int argc, char** argv) {
       request.jobs = cli.flags.jobs;
       request.emit_dir = cli.out_dir;
       request.json_path = cli.json_path;
+      request.xsim = cli.xsim;
       return finish(
           fti::flow::run_suite(request, context, std::cout, std::cerr)
               .exit_code);
