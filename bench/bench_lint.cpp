@@ -1,0 +1,171 @@
+// Lint-tier cost model: what the semantic (abstract-interpretation)
+// tier adds on top of the structural rules.
+//
+// The dataflow engine (src/fti/lint/dataflow.*) is priced on two
+// workload shapes:
+//
+//   fdct       one large compiler-emitted design (the paper's FDCT at
+//              1,024 px), linted repeatedly -- the `fti verify` /
+//              warm-serve shape, where the cost is paid once per design
+//              hash and then memoized by the design cache
+//   fuzz-100   one hundred seeded generator designs, linted once each --
+//              the campaign / corpus-sweep shape dominated by many small
+//              fixpoints
+//
+// Each shape is measured structural-only (--semantic=off) and full, so
+// the delta is exactly the semantic tier; the dataflow.* obs counters
+// (iterations, widenings, findings) are reported per shape so precision
+// regressions show up as counter drift, not just wall-clock noise.
+// Finding counts must be identical across repetitions (the analysis is
+// deterministic) or the bench exits 1.
+//
+//   bench_lint [--json PATH]   (conventionally PATH=BENCH_lint.json)
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fti/compiler/hls.hpp"
+#include "fti/fuzz/generate.hpp"
+#include "fti/golden/fdct.hpp"
+#include "fti/lint/lint.hpp"
+#include "fti/obs/metrics.hpp"
+#include "fti/util/cli.hpp"
+#include "fti/util/json.hpp"
+#include "fti/util/table.hpp"
+
+namespace {
+
+struct Shape {
+  std::string name;
+  std::vector<fti::ir::Design> designs;
+  std::size_t repetitions = 1;
+};
+
+struct Measure {
+  double structural_seconds = 0;
+  double full_seconds = 0;
+  std::uint64_t findings_structural = 0;
+  std::uint64_t findings_full = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t widenings = 0;
+  std::uint64_t lints = 0;
+  bool deterministic = true;
+};
+
+Measure measure(const Shape& shape) {
+  Measure m;
+  fti::lint::Options structural;
+  structural.semantic = false;
+
+  fti::util::Stopwatch watch;
+  for (std::size_t rep = 0; rep < shape.repetitions; ++rep) {
+    for (const fti::ir::Design& design : shape.designs) {
+      m.findings_structural +=
+          fti::lint::lint_design(design, structural).findings.size();
+    }
+  }
+  m.structural_seconds = watch.seconds();
+
+  const std::uint64_t iter_before =
+      fti::obs::counter("dataflow.iterations").value();
+  const std::uint64_t widen_before =
+      fti::obs::counter("dataflow.widenings").value();
+  std::uint64_t first_pass = 0;
+  fti::util::Stopwatch full_watch;
+  for (std::size_t rep = 0; rep < shape.repetitions; ++rep) {
+    std::uint64_t this_pass = 0;
+    for (const fti::ir::Design& design : shape.designs) {
+      this_pass += fti::lint::lint_design(design).findings.size();
+    }
+    if (rep == 0) {
+      first_pass = this_pass;
+    } else if (this_pass != first_pass) {
+      m.deterministic = false;
+    }
+    m.findings_full += this_pass;
+  }
+  m.full_seconds = full_watch.seconds();
+  m.iterations =
+      fti::obs::counter("dataflow.iterations").value() - iter_before;
+  m.widenings =
+      fti::obs::counter("dataflow.widenings").value() - widen_before;
+  m.lints = shape.repetitions * shape.designs.size();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path json_path;
+  try {
+    json_path = fti::util::extract_path_flag(argc, argv, "--json");
+  } catch (const fti::util::UsageError& error) {
+    std::cerr << argv[0] << ": " << error.what() << "\n";
+    return 2;
+  }
+  fti::obs::set_enabled(true);
+
+  constexpr std::size_t kBlocks = 16;
+  fti::compiler::CompileOptions options;
+  options.scalar_args = {{"nblocks", kBlocks}};
+  Shape fdct;
+  fdct.name = "fdct";
+  fdct.designs.push_back(
+      fti::compiler::compile_source(fti::golden::fdct_source(kBlocks, false),
+                                    options)
+          .design);
+  fdct.repetitions = 20;
+
+  Shape fuzz;
+  fuzz.name = "fuzz-100";
+  fti::fuzz::GeneratorOptions generator;
+  generator.max_units = 16;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    fuzz.designs.push_back(fti::fuzz::generate_design_seeded(seed, generator));
+  }
+  fuzz.repetitions = 1;
+
+  fti::util::JsonReport report("lint");
+  fti::util::TextTable table({"shape", "lints", "structural (s)", "full (s)",
+                              "semantic x", "iters/lint", "findings"});
+  bool ok = true;
+  for (const Shape* shape : {&fdct, &fuzz}) {
+    Measure m = measure(*shape);
+    ok = ok && m.deterministic;
+    const double ratio =
+        m.structural_seconds > 0 ? m.full_seconds / m.structural_seconds : 0;
+    table.add_row(
+        {shape->name, fti::util::format_count(m.lints),
+         fti::util::format_double(m.structural_seconds, 4),
+         fti::util::format_double(m.full_seconds, 4),
+         fti::util::format_double(ratio, 2),
+         fti::util::format_double(
+             static_cast<double>(m.iterations) /
+                 static_cast<double>(m.lints > 0 ? m.lints : 1),
+             1),
+         fti::util::format_count(m.findings_full)});
+    fti::util::JsonReport::Workload& workload =
+        report.workload(shape->name);
+    workload.set("lints", m.lints);
+    workload.set("structural_seconds", m.structural_seconds);
+    workload.set("full_seconds", m.full_seconds);
+    workload.set("semantic_ratio", ratio);
+    workload.set("dataflow_iterations", m.iterations);
+    workload.set("dataflow_widenings", m.widenings);
+    workload.set("findings_structural", m.findings_structural);
+    workload.set("findings_full", m.findings_full);
+    workload.set("deterministic", m.deterministic);
+  }
+
+  std::cout << "=== lint: structural vs structural+semantic tier ===\n"
+            << table.to_string() << "\n";
+  if (!ok) {
+    std::cout << "NON-DETERMINISTIC FINDINGS (analysis bug)\n";
+  }
+  if (!json_path.empty()) {
+    report.write(json_path);
+    std::cout << "wrote " << json_path.string() << "\n";
+  }
+  return ok ? 0 : 1;
+}

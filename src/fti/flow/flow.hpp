@@ -67,6 +67,8 @@ struct VerifyRequest {
   harness::TestCase test;
   std::string engine = "event";
   lint::Gate lint_gate = lint::Gate::kError;
+  /// Semantic lint tier (FTI-L012..L017); `--semantic=off` disables.
+  bool semantic = true;
   std::uint32_t lanes = 1;
   std::uint64_t lane_seed = 1;
   /// Artefact directory (--emit); empty keeps the round-trip in memory.
@@ -104,6 +106,8 @@ struct SuiteRequest {
   std::vector<harness::TestCase> tests;
   std::string engine = "event";
   lint::Gate lint_gate = lint::Gate::kError;
+  /// Semantic lint tier (FTI-L012..L017); `--semantic=off` disables.
+  bool semantic = true;
   std::uint32_t lanes = 1;
   std::uint64_t lane_seed = 1;
   std::uint32_t jobs = 1;
@@ -183,11 +187,20 @@ struct LintRequest {
   std::vector<std::filesystem::path> inputs;
   std::filesystem::path json_path;
   std::filesystem::path sarif_path;
+  /// Semantic lint tier (FTI-L012..L017); `--semantic=off` disables.
+  bool semantic = true;
+  /// SARIF baseline (--baseline): findings already present in this file
+  /// -- matched by rule ID, fully-qualified location and message -- are
+  /// suppressed from the output and the exit code, so CI fails only on
+  /// NEW findings while the backlog is burned down.
+  std::filesystem::path baseline_path;
 };
 
 struct LintResult {
   int exit_code = 2;
   std::vector<lint::Report> reports;
+  /// Findings dropped by the --baseline suppression (0 without one).
+  std::size_t suppressed = 0;
 };
 
 LintResult run_lint(const LintRequest& request, const FlowContext& context,
@@ -244,12 +257,19 @@ struct InjectRequest {
   /// differential simulation launders them while the 4-state checker
   /// reports them (experiment E10).  four_state_report carries the result.
   bool four_state = false;
+  /// `fti_fuzz inject --semantic`: plant the behaviour-neutral semantic
+  /// defect classes (oob-index, const-false-guard, live-truncation) and
+  /// measure that 2-state differential simulation launders them while
+  /// the dataflow lint tier proves them statically (experiment E11).
+  /// semantic_report carries the result.
+  bool semantic = false;
 };
 
 struct InjectResult {
   int exit_code = 2;
   fuzz::InjectionReport report;
   fuzz::FourStateInjectionReport four_state_report;
+  fuzz::SemanticInjectionReport semantic_report;
 };
 
 InjectResult run_inject(const InjectRequest& request,

@@ -145,6 +145,40 @@ InjectResult run_inject(const InjectRequest& request,
     }
     return result;
   }
+  if (request.semantic) {
+    // E11: the semantic-recall experiment.  Each class's edit is
+    // behaviour-neutral, so the differential lanes measure laundering
+    // and the dataflow lint tier measures detection.
+    result.semantic_report = fuzz::run_semantic_injection(
+        request.seed, request.runs, request.generator);
+    for (const fuzz::SemanticInjectionOutcome& outcome :
+         result.semantic_report.outcomes) {
+      out << fuzz::to_string(outcome.defect) << " ("
+          << fuzz::expected_rule(outcome.defect) << ", semantic): "
+          << outcome.injected << " injected across " << outcome.cases_tried
+          << " case(s)\n"
+          << "  2-state lanes still agree (laundered): " << outcome.laundered
+          << "/" << outcome.injected << "\n"
+          << "  semantic lint detected:                " << outcome.detected
+          << "/" << outcome.injected << "\n";
+      if (outcome.missed > 0) {
+        out << "  MISSED " << outcome.missed << ", seeds:";
+        for (std::uint64_t missed_seed : outcome.missed_seeds) {
+          out << " " << missed_seed;
+        }
+        out << "\n";
+      }
+    }
+    if (result.semantic_report.ok()) {
+      out << "PASS: 2-state laundered every defect, the semantic tier "
+             "proved every one\n";
+      result.exit_code = 0;
+    } else {
+      out << "FAIL: the semantic recall claim does not hold (see above)\n";
+      result.exit_code = 1;
+    }
+    return result;
+  }
   result.report =
       fuzz::run_injection(request.seed, request.runs, request.generator);
   for (const fuzz::InjectionOutcome& outcome : result.report.outcomes) {

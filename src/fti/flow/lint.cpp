@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <set>
 
 #include "fti/compiler/hls.hpp"
 #include "fti/flow/flow.hpp"
@@ -8,9 +9,89 @@
 #include "fti/harness/suite_io.hpp"
 #include "fti/ir/serde.hpp"
 #include "fti/util/file_io.hpp"
+#include "fti/util/json_reader.hpp"
 #include "fti/xml/parser.hpp"
 
 namespace fti::flow {
+
+namespace {
+
+/// Identity of one finding across runs, for baseline suppression:
+/// rule ID + fully-qualified logical location + message text -- exactly
+/// the fields lint::to_sarif writes, so the key can be rebuilt from a
+/// previously exported SARIF file.  Witness ranges live in the message,
+/// so a finding whose evidence changes counts as new.
+std::string suppression_key(const std::string& rule,
+                            const std::string& qualified_name,
+                            const std::string& message) {
+  return rule + "\x1f" + qualified_name + "\x1f" + message;
+}
+
+/// design/configuration/object, mirroring report.cpp's qualified_name.
+std::string qualified_name(const lint::Report& report,
+                           const lint::Finding& finding) {
+  std::string name = report.design;
+  if (!finding.configuration.empty()) {
+    name += "/" + finding.configuration;
+  }
+  if (!finding.object.empty()) {
+    name += "/" + finding.object;
+  }
+  return name;
+}
+
+/// Keys of every result in a SARIF baseline file.  Tolerant of foreign
+/// SARIF (missing logical locations key on rule+message alone); throws
+/// util::Error only on unreadable or non-JSON input.
+std::set<std::string> load_baseline(const std::filesystem::path& path) {
+  std::set<std::string> keys;
+  util::JsonValue doc = util::parse_json(util::read_file(path));
+  const util::JsonValue* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    throw util::JsonError("baseline '" + path.string() +
+                          "' has no SARIF \"runs\" array");
+  }
+  for (const util::JsonValue& run : runs->items) {
+    const util::JsonValue* results = run.find("results");
+    if (results == nullptr || !results->is_array()) {
+      continue;
+    }
+    for (const util::JsonValue& result : results->items) {
+      const util::JsonValue* rule = result.find("ruleId");
+      if (rule == nullptr || !rule->is_string()) {
+        continue;
+      }
+      std::string message;
+      if (const util::JsonValue* wrapper = result.find("message")) {
+        if (const util::JsonValue* text = wrapper->find("text")) {
+          if (text->is_string()) {
+            message = text->as_string();
+          }
+        }
+      }
+      std::string name;
+      if (const util::JsonValue* locations = result.find("locations")) {
+        if (locations->is_array() && !locations->items.empty()) {
+          if (const util::JsonValue* logical =
+                  locations->items.front().find("logicalLocations")) {
+            if (logical->is_array() && !logical->items.empty()) {
+              if (const util::JsonValue* fqn =
+                      logical->items.front().find("fullyQualifiedName")) {
+                if (fqn->is_string()) {
+                  name = fqn->as_string();
+                }
+              }
+            }
+          }
+        }
+      }
+      keys.insert(suppression_key(rule->as_string(), name, message));
+    }
+  }
+  return keys;
+}
+
+}  // namespace
 
 /// Static analysis over one or more designs, no simulation.  Accepts
 /// kernel sources (compiled first), saved rtg.xml file sets, bare
@@ -43,6 +124,13 @@ LintResult run_lint(const LintRequest& request, const FlowContext& context,
     return result;
   }
 
+  std::set<std::string> baseline;
+  if (!request.baseline_path.empty()) {
+    baseline = load_baseline(request.baseline_path);
+  }
+
+  lint::Options lint_options;
+  lint_options.semantic = request.semantic;
   for (const std::filesystem::path& file : files) {
     ir::Design design;
     if (file.extension() == ".k") {
@@ -65,8 +153,24 @@ LintResult run_lint(const LintRequest& request, const FlowContext& context,
         design = ir::design_from_xml(*root);
       }
     }
-    lint::Report report = lint::lint_design(design);
+    lint::Report report = lint::lint_design(design, lint_options);
     report.source = file.string();
+    if (!baseline.empty()) {
+      // Suppressed findings vanish from every view -- text, JSON, SARIF
+      // and the exit code -- so only NEW findings gate; the summary line
+      // below still accounts for them loudly.
+      std::vector<lint::Finding> kept;
+      for (lint::Finding& finding : report.findings) {
+        if (baseline.count(suppression_key(
+                finding.rule, qualified_name(report, finding),
+                finding.message)) > 0) {
+          ++result.suppressed;
+        } else {
+          kept.push_back(std::move(finding));
+        }
+      }
+      report.findings = std::move(kept);
+    }
     out << lint::to_text(report);
     result.reports.push_back(std::move(report));
   }
@@ -80,6 +184,10 @@ LintResult run_lint(const LintRequest& request, const FlowContext& context,
   if (result.reports.size() > 1) {
     out << result.reports.size() << " design(s): " << errors
         << " error(s), " << warnings << " warning(s)\n";
+  }
+  if (result.suppressed > 0) {
+    out << result.suppressed << " finding(s) suppressed by baseline "
+        << request.baseline_path.string() << "\n";
   }
   if (!request.json_path.empty()) {
     std::string json;

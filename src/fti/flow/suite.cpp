@@ -66,6 +66,7 @@ SuiteResult run_suite(const SuiteRequest& request, const FlowContext& context,
   options.emit_dir = request.emit_dir;
   options.engine = request.engine;
   options.lint_gate = request.lint_gate;
+  options.semantic = request.semantic;
   options.lanes = request.lanes;
   options.lane_seed = request.lane_seed;
   options.design_cache = context.design_cache;

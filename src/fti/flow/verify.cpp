@@ -25,6 +25,7 @@ VerifyResult run_verify(const VerifyRequest& request,
   options.emit_dir = request.emit_dir;
   options.engine = request.engine;
   options.lint_gate = request.lint_gate;
+  options.semantic = request.semantic;
   options.lanes = request.lanes;
   options.lane_seed = request.lane_seed;
   // The instrumented re-run below replays outcome.compiled.design, which

@@ -28,6 +28,12 @@ std::string_view to_string(DefectClass defect) {
       return "read-before-write";
     case DefectClass::kUninitRegister:
       return "uninit-register";
+    case DefectClass::kOobIndex:
+      return "oob-index";
+    case DefectClass::kConstFalseGuard:
+      return "const-false-guard";
+    case DefectClass::kLiveTruncation:
+      return "live-truncation";
   }
   return "unknown";
 }
@@ -48,6 +54,12 @@ std::string_view expected_rule(DefectClass defect) {
       return "FTI-L009";
     case DefectClass::kUninitRegister:
       return "FTI-L010";  // via the 4-state checker, not static lint
+    case DefectClass::kOobIndex:
+      return "FTI-L012";
+    case DefectClass::kConstFalseGuard:
+      return "FTI-L013";
+    case DefectClass::kLiveTruncation:
+      return "FTI-L014";
   }
   return "";
 }
@@ -57,6 +69,15 @@ const std::vector<DefectClass>& all_defect_classes() {
       DefectClass::kMultiDriver,           DefectClass::kWidthMismatch,
       DefectClass::kCombCycle,             DefectClass::kDeadState,
       DefectClass::kUnreachableTransition, DefectClass::kReadBeforeWrite,
+  };
+  return kClasses;
+}
+
+const std::vector<DefectClass>& semantic_defect_classes() {
+  static const std::vector<DefectClass> kClasses = {
+      DefectClass::kOobIndex,
+      DefectClass::kConstFalseGuard,
+      DefectClass::kLiveTruncation,
   };
   return kClasses;
 }
@@ -351,6 +372,222 @@ bool inject_uninit_register(ir::Design& design, Rng& rng) {
   return true;
 }
 
+/// Wires driven by at least one unit output in `datapath`, in
+/// declaration order; the semantic injectors read these so the new
+/// logic observes real computed values instead of undriven zeros.
+std::vector<std::string> driven_wires(const ir::Datapath& datapath) {
+  std::set<std::string> driven;
+  for (const ir::Unit& unit : datapath.units) {
+    for (const std::string& output : ir::port_spec(unit).outputs) {
+      if (unit.has_port(output)) {
+        driven.insert(unit.port(output));
+      }
+    }
+  }
+  std::vector<std::string> ordered;
+  for (const ir::Wire& wire : datapath.wires) {
+    if (driven.count(wire.name)) {
+      ordered.push_back(wire.name);
+    }
+  }
+  return ordered;
+}
+
+bool inject_oob_index(ir::Design& design, Rng& rng) {
+  // New read port with a constant address one past the end of an
+  // existing memory.  Every 2-state engine drives the out-of-range dout
+  // as 0 and nothing consumes it, so simulation still agrees lane for
+  // lane -- only the value-range analysis proves addr >= depth
+  // (FTI-L012).
+  struct Site {
+    ir::Datapath* datapath;
+    std::string memory;
+    std::uint64_t depth;
+    std::uint32_t width;
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (const ir::MemoryDecl& memory : config->datapath.memories) {
+      sites.push_back({&config->datapath, memory.name,
+                       static_cast<std::uint64_t>(memory.depth),
+                       memory.width});
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  Site& site = sites[rng.index(sites.size())];
+  std::string suffix;
+  while (site.datapath->find_wire("oob_addr" + suffix) != nullptr ||
+         site.datapath->find_wire("oob_dout" + suffix) != nullptr ||
+         site.datapath->find_unit("oob_addr" + suffix) != nullptr ||
+         site.datapath->find_unit("oob_rd" + suffix) != nullptr) {
+    suffix += "_";
+  }
+  // The first out-of-range index is `depth`; the address wire is just
+  // wide enough to hold it (wider than the generator's log2(depth)
+  // addresses -- memport addr accepts any width).
+  std::uint32_t addr_bits = 1;
+  while (addr_bits < 64 && (1ull << addr_bits) <= site.depth) {
+    ++addr_bits;
+  }
+  site.datapath->wires.push_back({"oob_addr" + suffix, addr_bits});
+  site.datapath->wires.push_back({"oob_dout" + suffix, site.width});
+  ir::Unit addr;
+  addr.name = "oob_addr" + suffix;
+  addr.kind = ir::UnitKind::kConst;
+  addr.width = addr_bits;
+  addr.value = site.depth;
+  addr.ports["out"] = "oob_addr" + suffix;
+  site.datapath->units.push_back(std::move(addr));
+  ir::Unit rd;
+  rd.name = "oob_rd" + suffix;
+  rd.kind = ir::UnitKind::kMemPort;
+  rd.memory = site.memory;
+  rd.mem_mode = ir::MemMode::kRead;
+  rd.ports["addr"] = "oob_addr" + suffix;
+  rd.ports["dout"] = "oob_dout" + suffix;
+  site.datapath->units.push_back(std::move(rd));
+  return true;
+}
+
+bool inject_const_false_guard(ir::Design& design, Rng& rng) {
+  // Splice a transition guarded by a provably-false status -- ltu(x, 0)
+  // is false for every x -- at the FRONT of the initial state's
+  // transition list.  The transition never fires, so 2-state behaviour
+  // is untouched; the initial state is always semantically reachable, so
+  // the dataflow tier records the verdict and FTI-L013 fires.  The
+  // single-literal guard is not syntactically self-contradictory, so the
+  // structural FTI-L007 stays silent: the proof needs value analysis.
+  struct Site {
+    ir::Datapath* datapath;
+    ir::Fsm* fsm;
+    std::string operand;  ///< driven wire the comparison observes
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    ir::State* initial = nullptr;
+    for (ir::State& state : config->fsm.states) {
+      if (state.name == config->fsm.initial) {
+        initial = &state;
+      }
+    }
+    if (initial == nullptr) {
+      continue;
+    }
+    for (const std::string& wire : driven_wires(config->datapath)) {
+      sites.push_back({&config->datapath, &config->fsm, wire});
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  Site& site = sites[rng.index(sites.size())];
+  std::string suffix;
+  while (site.datapath->find_wire("dead_zero" + suffix) != nullptr ||
+         site.datapath->find_wire("dead_status" + suffix) != nullptr ||
+         site.datapath->find_unit("dead_zero" + suffix) != nullptr ||
+         site.datapath->find_unit("dead_ltu" + suffix) != nullptr) {
+    suffix += "_";
+  }
+  const std::uint32_t width = site.datapath->wire(site.operand).width;
+  site.datapath->wires.push_back({"dead_zero" + suffix, width});
+  site.datapath->wires.push_back({"dead_status" + suffix, 1});
+  site.datapath->status_wires.push_back("dead_status" + suffix);
+  ir::Unit zero;
+  zero.name = "dead_zero" + suffix;
+  zero.kind = ir::UnitKind::kConst;
+  zero.width = width;
+  zero.value = 0;
+  zero.ports["out"] = "dead_zero" + suffix;
+  site.datapath->units.push_back(std::move(zero));
+  ir::Unit cmp;
+  cmp.name = "dead_ltu" + suffix;
+  cmp.kind = ir::UnitKind::kBinOp;
+  cmp.binop = ops::BinOp::kLtu;
+  cmp.width = width;
+  cmp.ports["a"] = site.operand;
+  cmp.ports["b"] = "dead_zero" + suffix;
+  cmp.ports["out"] = "dead_status" + suffix;
+  site.datapath->units.push_back(std::move(cmp));
+  for (ir::State& state : site.fsm->states) {
+    if (state.name == site.fsm->initial) {
+      ir::Transition never;
+      never.guard.literals.push_back({"dead_status" + suffix, true});
+      never.target = state.transitions.empty() ? state.name
+                                               : state.transitions.front()
+                                                     .target;
+      state.transitions.insert(state.transitions.begin(), std::move(never));
+      break;
+    }
+  }
+  return true;
+}
+
+bool inject_live_truncation(ir::Design& design, Rng& rng) {
+  // or(x, 1 << (w-1)) pins the top bit known-1 even though x itself is
+  // unknown; a width-narrowing pass then provably drops a live bit
+  // (FTI-L014).  The truncated wire feeds nothing, so simulation is
+  // untouched -- the proof rides on known-bits propagation, not on
+  // constant folding.
+  struct Site {
+    ir::Datapath* datapath;
+    std::string operand;
+    std::uint32_t width;
+  };
+  std::vector<Site> sites;
+  for (ir::Configuration* config : chain_configurations(design)) {
+    for (const std::string& wire : driven_wires(config->datapath)) {
+      std::uint32_t width = config->datapath.wire(wire).width;
+      if (width >= 2) {
+        sites.push_back({&config->datapath, wire, width});
+      }
+    }
+  }
+  if (sites.empty()) {
+    return false;
+  }
+  Site& site = sites[rng.index(sites.size())];
+  std::string suffix;
+  while (site.datapath->find_wire("trunc_high" + suffix) != nullptr ||
+         site.datapath->find_wire("trunc_wide" + suffix) != nullptr ||
+         site.datapath->find_wire("trunc_narrow" + suffix) != nullptr ||
+         site.datapath->find_unit("trunc_high" + suffix) != nullptr ||
+         site.datapath->find_unit("trunc_or" + suffix) != nullptr ||
+         site.datapath->find_unit("trunc_pass" + suffix) != nullptr) {
+    suffix += "_";
+  }
+  const std::uint32_t width = site.width;
+  site.datapath->wires.push_back({"trunc_high" + suffix, width});
+  site.datapath->wires.push_back({"trunc_wide" + suffix, width});
+  site.datapath->wires.push_back({"trunc_narrow" + suffix, width - 1});
+  ir::Unit high;
+  high.name = "trunc_high" + suffix;
+  high.kind = ir::UnitKind::kConst;
+  high.width = width;
+  high.value = 1ull << (width - 1);
+  high.ports["out"] = "trunc_high" + suffix;
+  site.datapath->units.push_back(std::move(high));
+  ir::Unit mix;
+  mix.name = "trunc_or" + suffix;
+  mix.kind = ir::UnitKind::kBinOp;
+  mix.binop = ops::BinOp::kOr;
+  mix.width = width;
+  mix.ports["a"] = site.operand;
+  mix.ports["b"] = "trunc_high" + suffix;
+  mix.ports["out"] = "trunc_wide" + suffix;
+  site.datapath->units.push_back(std::move(mix));
+  ir::Unit narrow;
+  narrow.name = "trunc_pass" + suffix;
+  narrow.kind = ir::UnitKind::kUnOp;
+  narrow.unop = ops::UnOp::kPass;
+  narrow.width = width - 1;
+  narrow.ports["a"] = "trunc_wide" + suffix;
+  narrow.ports["out"] = "trunc_narrow" + suffix;
+  site.datapath->units.push_back(std::move(narrow));
+  return true;
+}
+
 // E10 baseline preparation: give every reset-less register an rst port
 // tied to a constant 0.  2-state behaviour is untouched (the reset never
 // asserts and registers power up at reset_value regardless), but the
@@ -418,6 +655,12 @@ bool inject_defect(ir::Design& design, DefectClass defect, Rng& rng) {
       return inject_read_before_write(design, rng);
     case DefectClass::kUninitRegister:
       return inject_uninit_register(design, rng);
+    case DefectClass::kOobIndex:
+      return inject_oob_index(design, rng);
+    case DefectClass::kConstFalseGuard:
+      return inject_const_false_guard(design, rng);
+    case DefectClass::kLiveTruncation:
+      return inject_live_truncation(design, rng);
   }
   return false;
 }
@@ -525,6 +768,56 @@ FourStateInjectionReport run_four_state_injection(
       ++outcome.missed;
       outcome.missed_seeds.push_back(case_seed);
     }
+  }
+  return report;
+}
+
+bool SemanticInjectionReport::ok() const {
+  for (const SemanticInjectionOutcome& outcome : outcomes) {
+    if (outcome.injected == 0 || outcome.missed != 0 ||
+        outcome.laundered != outcome.injected) {
+      return false;
+    }
+  }
+  return !outcomes.empty();
+}
+
+SemanticInjectionReport run_semantic_injection(
+    std::uint64_t seed, std::uint64_t runs, const GeneratorOptions& options) {
+  SemanticInjectionReport report;
+  for (DefectClass defect : semantic_defect_classes()) {
+    SemanticInjectionOutcome outcome;
+    outcome.defect = defect;
+    for (std::uint64_t index = 0; index < runs; ++index) {
+      std::uint64_t case_seed = Rng::derive(seed, index);
+      ir::Design design = generate_design_seeded(case_seed, options);
+      ++outcome.cases_tried;
+      // Attribution mirrors run_injection: the expected rule must be
+      // silent on the clean design, so a post-edit finding is the
+      // planted defect and nothing else.
+      if (rule_fired(lint::lint_design(design), expected_rule(defect))) {
+        continue;
+      }
+      Rng rng(Rng::derive(case_seed, 0x5e11));
+      if (!inject_defect(design, defect, rng)) {
+        continue;
+      }
+      ++outcome.injected;
+      // (a) The laundering claim: the edit is behaviour-neutral, so
+      // every 2-state engine still agrees -- functional testing passes
+      // the defective design.
+      if (diff_design(design).ok) {
+        ++outcome.laundered;
+      }
+      // (b) The detection claim: the dataflow tier proves the bug.
+      if (rule_fired(lint::lint_design(design), expected_rule(defect))) {
+        ++outcome.detected;
+      } else {
+        ++outcome.missed;
+        outcome.missed_seeds.push_back(case_seed);
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
   }
   return report;
 }

@@ -35,6 +35,21 @@ enum class DefectClass {
                            ///< reporting under FTI-L010.  Deliberately NOT
                            ///< in all_defect_classes(): static lint cannot
                            ///< see it, so it would break the recall gate.
+  // --- Semantic classes (experiment E11).  Each edit is behaviour-
+  // neutral -- every 2-state engine still computes the same memory
+  // contents, so functional testing passes -- but the dataflow tier
+  // proves the bug pattern statically.  They live in
+  // semantic_defect_classes(), not all_defect_classes(): structural
+  // lint alone cannot see them.
+  kOobIndex,               ///< read port with a constant address one past
+                           ///< the end of its memory; engines drive the
+                           ///< out-of-range dout as 0 (FTI-L012)
+  kConstFalseGuard,        ///< transition spliced in front of a state,
+                           ///< guarded by ltu(x, 0) -- false for every x,
+                           ///< so it never fires (FTI-L013)
+  kLiveTruncation,         ///< or(x, 1<<(w-1)) pins the top bit known-1,
+                           ///< then a width-narrowing pass provably drops
+                           ///< that live bit (FTI-L014)
 };
 
 std::string_view to_string(DefectClass defect);
@@ -47,6 +62,11 @@ std::string_view expected_rule(DefectClass defect);
 /// All statically detectable classes, in declaration order (excludes
 /// kUninitRegister, whose detection needs 4-state execution).
 const std::vector<DefectClass>& all_defect_classes();
+
+/// The semantic classes (kOobIndex, kConstFalseGuard, kLiveTruncation):
+/// detectable only by the abstract-interpretation lint tier, invisible
+/// to 2-state simulation.
+const std::vector<DefectClass>& semantic_defect_classes();
 
 /// Plants the defect into the design (one random applicable site).
 /// Returns false -- leaving the design untouched -- when the design has
@@ -107,6 +127,38 @@ struct FourStateInjectionReport {
 };
 
 FourStateInjectionReport run_four_state_injection(
+    std::uint64_t seed, std::uint64_t runs,
+    const GeneratorOptions& options = {});
+
+/// Recall of the *semantic* lint tier (experiment E11), one outcome per
+/// semantic defect class.  For each case seed: generate a design on
+/// which the expected rule is silent, plant the defect where a site
+/// exists, then
+/// (a) run the 2-state differential lanes on the edited design -- they
+///     must still agree (`laundered`): every edit is behaviour-neutral,
+///     so functional testing cannot see the bug;
+/// (b) lint with the semantic tier on -- the expected rule must fire
+///     (`detected`); a silent case is a recall bug (`missed`).
+struct SemanticInjectionOutcome {
+  DefectClass defect{};
+  std::uint64_t cases_tried = 0;  ///< generated designs examined
+  std::uint64_t injected = 0;     ///< rule silent pre-edit + applicable site
+  std::uint64_t laundered = 0;    ///< 2-state lanes still agree post-edit
+  std::uint64_t detected = 0;     ///< expected rule fired post-edit
+  std::uint64_t missed = 0;       ///< rule stayed silent (a recall bug)
+  std::vector<std::uint64_t> missed_seeds;
+};
+
+struct SemanticInjectionReport {
+  std::vector<SemanticInjectionOutcome> outcomes;
+
+  /// The experiment's claim holds for every class: at least one site was
+  /// found, every injected defect was laundered by 2-state simulation,
+  /// and every one was proved statically.
+  bool ok() const;
+};
+
+SemanticInjectionReport run_semantic_injection(
     std::uint64_t seed, std::uint64_t runs,
     const GeneratorOptions& options = {});
 

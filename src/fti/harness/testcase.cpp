@@ -290,7 +290,10 @@ VerifyOutcome run_test_case(const TestCase& test,
     outcome.cache_hit = true;
     outcome.compile_seconds = watch.seconds();
     if (options.lint_gate != lint::Gate::kOff) {
-      outcome.lint = entry->lint;
+      // The cached report carries the semantic tier; a --semantic=off
+      // request sees the filtered view without re-running the fixpoint.
+      outcome.lint = options.semantic ? entry->lint
+                                      : lint::without_semantic(entry->lint);
       if (lint::blocks(options.lint_gate, outcome.lint)) {
         outcome.lint_blocked = true;
         outcome.passed = false;
@@ -329,10 +332,16 @@ VerifyOutcome run_test_case(const TestCase& test,
     //    the cache entry can answer any later request's gate.
     lint::Report lint_report;
     if (options.lint_gate != lint::Gate::kOff || cacheable) {
-      lint_report = lint::lint_design(outcome.compiled.design);
+      // A cacheable run always analyzes with the semantic tier on, so
+      // the cache entry can answer any later request's view; the filter
+      // below gives this request what it asked for.
+      lint::Options lint_options;
+      lint_options.semantic = options.semantic || cacheable;
+      lint_report = lint::lint_design(outcome.compiled.design, lint_options);
     }
     if (options.lint_gate != lint::Gate::kOff) {
-      outcome.lint = lint_report;
+      outcome.lint = options.semantic ? lint_report
+                                      : lint::without_semantic(lint_report);
       if (lint::blocks(options.lint_gate, outcome.lint)) {
         outcome.lint_blocked = true;
         outcome.passed = false;

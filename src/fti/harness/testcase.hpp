@@ -67,6 +67,12 @@ struct VerifyOptions {
   /// (outcome.lint_blocked); kWarn also blocks on warnings; kOff skips
   /// the analysis entirely.
   lint::Gate lint_gate = lint::Gate::kError;
+  /// Run the semantic lint tier (the abstract-interpretation dataflow
+  /// engine behind FTI-L012..L017) as part of the pre-check.  Off keeps
+  /// only the structural rules; the design cache always stores the full
+  /// report and filters per request, so flipping this between warm
+  /// resubmissions never re-runs the fixpoint.
+  bool semantic = true;
   /// Stimulus lanes for the simulated run.  1 is the classic single run.
   /// N > 1 issues ONE engine->run_batch over N memory pools: lane 0
   /// carries the test's declared inputs, lanes k >= 1 carry

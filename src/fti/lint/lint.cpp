@@ -7,6 +7,7 @@
 
 #include "fti/ir/comb_graph.hpp"
 #include "fti/ir/datapath.hpp"
+#include "fti/lint/dataflow.hpp"
 
 namespace fti::lint {
 
@@ -55,8 +56,42 @@ const std::vector<RuleInfo>& rules() {
        "a name references an object that does not exist (wire, memory, "
        "state, status, control or RTG node), or a required port is "
        "missing"},
+      {"FTI-L012", Severity::kError, "memory-index-out-of-bounds",
+       "a memory port's address range provably (error) or possibly "
+       "(warning) exceeds the memory depth"},
+      {"FTI-L013", Severity::kWarning, "dead-transition-proved",
+       "value-range analysis proves a transition guard constant false, or "
+       "constant true shadowing its later siblings"},
+      {"FTI-L014", Severity::kWarning, "live-bit-truncation",
+       "a width-adapting unit (pass/sext) drops bits proven live by "
+       "value-range analysis"},
+      {"FTI-L015", Severity::kWarning, "possibly-zero-divisor",
+       "a division or remainder's divisor is provably or possibly zero; "
+       "division by zero reads all-ones deterministically, hence warning"},
+      {"FTI-L016", Severity::kWarning, "semantically-unreachable",
+       "an FSM state is unreachable, or a register can never load, under "
+       "value-range analysis (strictly stronger than FTI-L006)"},
+      {"FTI-L017", Severity::kWarning, "vacuous-comparison",
+       "a comparison's result is provably constant (always true or always "
+       "false)"},
   };
   return kRules;
+}
+
+bool is_semantic_rule(std::string_view id) {
+  return id >= "FTI-L012" && id <= "FTI-L017" && find_rule(id) != nullptr;
+}
+
+Report without_semantic(const Report& report) {
+  Report filtered;
+  filtered.design = report.design;
+  filtered.source = report.source;
+  for (const Finding& finding : report.findings) {
+    if (!is_semantic_rule(finding.rule)) {
+      filtered.findings.push_back(finding);
+    }
+  }
+  return filtered;
 }
 
 const RuleInfo* find_rule(std::string_view id) {
@@ -639,7 +674,18 @@ class Linter {
 }  // namespace
 
 Report lint_design(const ir::Design& design) {
-  return Linter(design).run();
+  return lint_design(design, Options{});
+}
+
+Report lint_design(const ir::Design& design, const Options& options) {
+  Report report = Linter(design).run();
+  if (options.semantic) {
+    dataflow::Summary summary = dataflow::analyze(design);
+    for (Finding& finding : summary.findings) {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
 }
 
 }  // namespace fti::lint

@@ -69,11 +69,28 @@ struct Report {
   bool clean() const { return findings.empty(); }
 };
 
+/// Linter configuration.  The semantic tier (FTI-L012..L017, the
+/// abstract-interpretation dataflow engine in dataflow.hpp) is on by
+/// default; `--semantic=off` is the escape hatch.
+struct Options {
+  bool semantic = true;
+};
+
 /// Runs every rule over the design.  Never throws on malformed input --
 /// malformed is precisely what it reports.  Findings are deterministic:
 /// configurations in RTG declaration order, objects in IR declaration
-/// order, rules in ID order within one object.
+/// order, rules in ID order within one object; semantic findings follow
+/// the structural ones.
 Report lint_design(const ir::Design& design);
+Report lint_design(const ir::Design& design, const Options& options);
+
+/// True for rules produced by the semantic (dataflow) tier.
+bool is_semantic_rule(std::string_view id);
+
+/// `report` without its semantic findings: the `--semantic=off` view of
+/// a memoized full report (the design cache stores reports with the
+/// semantic tier on and filters per request).
+Report without_semantic(const Report& report);
 
 /// Pre-check gate threshold for `fti verify` / `fti suite`:
 /// kOff = never block, kWarn = block on warnings or errors,

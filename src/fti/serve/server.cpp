@@ -438,6 +438,7 @@ std::string Server::submit_job(const std::string& kind,
     request.test = harness::load_test_case(doc.at("kernel").as_string());
     request.engine = str_or(doc, "engine", request.engine);
     request.lint_gate = gate_or(doc, request.lint_gate);
+    request.semantic = bool_or(doc, "semantic", request.semantic);
     request.lanes = static_cast<std::uint32_t>(u64_or(doc, "lanes", 1));
     request.lane_seed = u64_or(doc, "lane_seed", 1);
     job->name = str_or(doc, "name", request.test.name);
@@ -453,6 +454,7 @@ std::string Server::submit_job(const std::string& kind,
     request.suite_dir = doc.at("dir").as_string();
     request.engine = str_or(doc, "engine", request.engine);
     request.lint_gate = gate_or(doc, request.lint_gate);
+    request.semantic = bool_or(doc, "semantic", request.semantic);
     request.lanes = static_cast<std::uint32_t>(u64_or(doc, "lanes", 1));
     request.lane_seed = u64_or(doc, "lane_seed", 1);
     request.jobs = static_cast<std::uint32_t>(u64_or(doc, "jobs", 1));
@@ -472,6 +474,8 @@ std::string Server::submit_job(const std::string& kind,
     for (const util::JsonValue& item : inputs.items) {
       request.inputs.emplace_back(item.as_string());
     }
+    request.semantic = bool_or(doc, "semantic", request.semantic);
+    request.baseline_path = str_or(doc, "baseline", "");
     job->name = request.inputs.front().string();
     body = [this, request = std::move(request)](std::ostream& out,
                                                 std::ostream& err, Job& job) {

@@ -54,8 +54,8 @@ inline std::uint32_t parse_jobs_flag(const std::string& flag,
 
 /// The flags `fti` and `fti_fuzz` accept with identical spelling,
 /// validation and error wording: --engine NAME (repeatable), --lanes N,
-/// --lane-seed N, --jobs N, --lint error|warn|off, --metrics PATH and
-/// --trace PATH.  Before this struct each tool parsed its own subset, so
+/// --lane-seed N, --jobs N, --lint error|warn|off, --semantic[=on|off],
+/// --metrics PATH and --trace PATH.  Before this struct each tool parsed its own subset, so
 /// the binaries drifted (fti_fuzz rejected --lint, validated --lanes
 /// differently, ...).  The lint gate stays a string here because util
 /// sits below fti_lint in the layering; consume_tool_flag validates the
@@ -71,6 +71,10 @@ struct ToolFlags {
   std::uint32_t jobs = 1;
   bool jobs_set = false;
   std::string lint_gate = "error";
+  /// Semantic lint tier (abstract interpretation); `--semantic=off`
+  /// clears it.  Stays a bool here because, like the gate, util sits
+  /// below fti_lint in the layering.
+  bool semantic = true;
   std::string metrics_path;
   std::string trace_path;
 
@@ -111,6 +115,15 @@ inline bool consume_tool_flag(ToolFlags& flags, int argc, char** argv,
                        "' (expected error, warn or off)");
     }
     flags.lint_gate = gate;
+  } else if (flag == "--semantic" || starts_with(flag, "--semantic=")) {
+    std::string mode = flag == "--semantic"
+                           ? "on"
+                           : flag.substr(std::string("--semantic=").size());
+    if (mode != "on" && mode != "off") {
+      throw UsageError("bad --semantic value '" + mode +
+                       "' (expected on or off)");
+    }
+    flags.semantic = mode == "on";
   } else if (flag == "--metrics") {
     flags.metrics_path = value();
   } else if (flag == "--trace") {

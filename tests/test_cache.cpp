@@ -15,6 +15,7 @@
 #include "fti/harness/testcase.hpp"
 #include "fti/ir/serde.hpp"
 #include "fti/lint/lint.hpp"
+#include "fti/obs/metrics.hpp"
 #include "fti/xml/parser.hpp"
 #include "fti/xml/writer.hpp"
 
@@ -232,6 +233,95 @@ TEST(DesignCache, WarmRunHonoursLintGatePerRequest) {
   harness::VerifyOutcome warm = harness::run_test_case(test, off);
   EXPECT_TRUE(warm.cache_hit);
   EXPECT_TRUE(warm.passed);
+}
+
+/// Kernel whose compiled design carries exactly one semantic finding (an
+/// FTI-L016 never-enabled temporary register) and no structural ones --
+/// the observable that separates the semantic-on and -off views.
+harness::TestCase semantic_warning_case() {
+  harness::TestCase test;
+  test.name = "mulacc";
+  test.source =
+      "kernel mulacc(int x[8], int y[8], int a, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1) {\n"
+      "    y[i] = a * x[i] + y[i];\n"
+      "  }\n"
+      "}\n";
+  test.scalar_args = {{"a", 3}, {"n", 8}};
+  test.inputs = {{"x", {1, 2, 3, 4, 5, 6, 7, 8}},
+                 {"y", {8, 7, 6, 5, 4, 3, 2, 1}}};
+  test.check_arrays = {"y"};
+  return test;
+}
+
+bool has_semantic_finding(const lint::Report& report) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [](const lint::Finding& finding) {
+                       return lint::is_semantic_rule(finding.rule);
+                     });
+}
+
+TEST(DesignCache, WarmRunHonoursSemanticTierPerRequest) {
+  harness::TestCase test = semantic_warning_case();
+  DesignCache cache(4);
+  harness::VerifyOptions options;
+  options.design_cache = &cache;
+
+  harness::VerifyOutcome cold = harness::run_test_case(test, options);
+  ASSERT_TRUE(cold.passed) << cold.message;
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(has_semantic_finding(cold.lint)) << to_text(cold.lint);
+  EXPECT_GE(cold.lint.warnings(), 1u);
+
+  // Same design with the semantic tier off: still a warm hit, and the
+  // semantic findings disappear from the outcome's view.
+  harness::VerifyOptions off = options;
+  off.semantic = false;
+  harness::VerifyOutcome warm_off = harness::run_test_case(test, off);
+  EXPECT_TRUE(warm_off.cache_hit);
+  EXPECT_TRUE(warm_off.passed);
+  EXPECT_FALSE(has_semantic_finding(warm_off.lint))
+      << to_text(warm_off.lint);
+
+  // Flipping it back on restores the full memoized report -- the cache
+  // stores the semantic-on analysis and filters per request, so neither
+  // direction of the flip depends on what earlier requests asked for.
+  harness::VerifyOutcome warm_on = harness::run_test_case(test, options);
+  EXPECT_TRUE(warm_on.cache_hit);
+  EXPECT_TRUE(has_semantic_finding(warm_on.lint)) << to_text(warm_on.lint);
+  EXPECT_EQ(warm_on.lint.warnings(), cold.lint.warnings());
+  EXPECT_EQ(warm_on.lint.findings.size(), cold.lint.findings.size());
+}
+
+TEST(DesignCache, WarmHitNeverRerunsDataflowFixpoint) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::Counter& analyses = obs::counter("dataflow.analyses");
+
+  harness::TestCase test = semantic_warning_case();
+  DesignCache cache(4);
+  harness::VerifyOptions options;
+  options.design_cache = &cache;
+
+  const std::uint64_t before = analyses.value();
+  harness::VerifyOutcome cold = harness::run_test_case(test, options);
+  ASSERT_TRUE(cold.passed) << cold.message;
+  const std::uint64_t after_cold = analyses.value();
+  EXPECT_GT(after_cold, before) << "cold run must run the fixpoint";
+
+  // Warm resubmissions -- semantic on AND off -- re-gate from the
+  // memoized report without a single new dataflow analysis.
+  harness::VerifyOutcome warm_on = harness::run_test_case(test, options);
+  EXPECT_TRUE(warm_on.cache_hit);
+  harness::VerifyOptions off = options;
+  off.semantic = false;
+  harness::VerifyOutcome warm_off = harness::run_test_case(test, off);
+  EXPECT_TRUE(warm_off.cache_hit);
+  EXPECT_EQ(analyses.value(), after_cold)
+      << "a warm hit re-ran the abstract interpreter";
+
+  obs::set_enabled(was_enabled);
 }
 
 TEST(DesignCache, EmitDirBypassesCache) {

@@ -37,7 +37,10 @@
 // Inject options: --seed N, --runs N (cases per defect class),
 // --max-units N, --max-configs N, --smoke (quick ctest profile),
 // --4state (experiment E10: plant uninit-register defects, assert the
-// 2-state lanes launder them while the 4-state checker reports them).
+// 2-state lanes launder them while the 4-state checker reports them),
+// --semantic (experiment E11: plant behaviour-neutral oob-index /
+// const-false-guard / live-truncation defects, assert the 2-state lanes
+// launder them while the semantic lint tier proves them statically).
 //
 // Exit code: 0 when every case agreed (or, for inject, every planted
 // defect was detected), 1 on any mismatch / missed defect, 2 on usage
@@ -62,7 +65,8 @@ namespace {
          "       fti_fuzz replay FILE.xml\n"
          "       fti_fuzz corpus DIR\n"
          "       fti_fuzz inject [--seed N] [--runs N] [--max-units N]\n"
-         "                       [--max-configs N] [--smoke] [--4state]\n";
+         "                       [--max-configs N] [--smoke] [--4state]\n"
+         "                       [--semantic]\n";
   std::exit(2);
 }
 
@@ -113,6 +117,8 @@ int run_inject(int argc, char** argv) {
       request.generator.max_run_cycles = 24;
     } else if (arg == "--4state") {
       request.four_state = true;
+    } else if (arg == "--semantic") {
+      request.semantic = true;
     } else {
       usage();
     }

@@ -19,6 +19,11 @@
 //   fti obs METRICS.json              pretty-print a --metrics snapshot
 //   fti lint PATH...                  static analysis without simulating
 //        [--json PATH] [--sarif PATH]
+//        [--semantic[=off]]           abstract-interpretation tier
+//                                     (FTI-L012..L017), on by default
+//        [--baseline SARIF]           suppress findings already in a
+//                                     previously exported SARIF file;
+//                                     only NEW findings set the exit code
 //   fti serve SOCKET [--jobs N]       long-lived daemon accepting verify/
 //             [--cache N]             suite/lint jobs as JSON over a local
 //                                     socket; repeat submissions of the
@@ -39,6 +44,9 @@
 //   --lanes N              verify/suite: stimulus lanes per design
 //   --lane-seed N          seed for the random lane stimuli (default 1)
 //   --lint error|warn|off  static-analysis gate for verify/suite
+//   --semantic[=on|off]    semantic lint tier for verify/suite/lint
+//                          (value-range + known-bits dataflow analysis;
+//                          on by default)
 //   --metrics PATH         write an observability snapshot as JSON
 //   --trace PATH           write a Chrome trace-event file
 // verify options:
@@ -97,11 +105,13 @@ namespace {
       "       fti engines\n"
       "       fti obs       METRICS.json\n"
       "       fti lint      PATH... [--json PATH] [--sarif PATH]\n"
+      "                     [--semantic[=off]] [--baseline SARIF]\n"
       "       fti serve     SOCKET [--jobs N] [--cache N]\n"
       "       fti submit    SOCKET REQUEST-JSON\n"
       "options common to verify/run/suite:\n"
       "                     [--metrics PATH] [--trace PATH]\n"
       "                     [--lint error|warn|off]  (verify/suite gate)\n"
+      "                     [--semantic[=on|off]]    (semantic lint tier)\n"
       "exit codes: 0 pass/clean, 1 simulation mismatch, 2 usage/input\n"
       "error, 3 lint errors, 4 lint warnings only\n";
   std::exit(2);
@@ -226,6 +236,15 @@ int run_lint(int argc, char** argv) {
       request.json_path = need_value();
     } else if (flag == "--sarif") {
       request.sarif_path = need_value();
+    } else if (flag == "--baseline") {
+      request.baseline_path = need_value();
+    } else if (flag == "--semantic" ||
+               fti::util::starts_with(flag, "--semantic=")) {
+      fti::util::ToolFlags semantic_flag;
+      int j = i;
+      fti::util::consume_tool_flag(semantic_flag, argc, argv, j);
+      request.semantic = semantic_flag.semantic;
+      i = j;
     } else if (fti::util::starts_with(flag, "--")) {
       std::cerr << "unknown option '" << flag << "'\n";
       usage();
@@ -350,6 +369,7 @@ int main(int argc, char** argv) {
       request.test = std::move(cli.test);
       request.engine = cli.flags.engine_or("event");
       request.lint_gate = gate;
+      request.semantic = cli.flags.semantic;
       request.lanes = cli.flags.lanes_set ? cli.flags.lanes : 1;
       request.lane_seed = cli.flags.lane_seed;
       request.emit_dir = cli.out_dir;
@@ -386,6 +406,7 @@ int main(int argc, char** argv) {
       request.suite_dir = cli.source_path;
       request.engine = cli.flags.engine_or("event");
       request.lint_gate = gate;
+      request.semantic = cli.flags.semantic;
       request.lanes = cli.flags.lanes_set ? cli.flags.lanes : 1;
       request.lane_seed = cli.flags.lane_seed;
       request.jobs = cli.flags.jobs;
